@@ -1,0 +1,434 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation (printed once per run), plus microbenchmarks of the hot data
+// structures and ablations of the analyzer's design choices.
+//
+//	go test -bench=. -benchmem
+package tdat_test
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+
+	"tdat/internal/core"
+	"tdat/internal/experiments"
+	"tdat/internal/factors"
+	"tdat/internal/flows"
+	"tdat/internal/series"
+	"tdat/internal/timerange"
+	"tdat/internal/tracegen"
+)
+
+// sharedSuite generates the three datasets once per bench run; the per-
+// iteration work of the table/figure benches is the aggregation itself.
+var (
+	suiteOnce sync.Once
+	suite     *experiments.Suite
+)
+
+func sharedSuite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	suiteOnce.Do(func() {
+		fmt.Fprintln(os.Stdout, "# generating benchmark suite (default scale, seed 42)...")
+		suite = experiments.RunSuite(experiments.DefaultScale())
+	})
+	return suite
+}
+
+// onceEach prints each experiment's rows exactly once per bench run.
+var printed sync.Map
+
+func printOnce(key string, f func(w io.Writer)) {
+	if _, loaded := printed.LoadOrStore(key, true); !loaded {
+		f(os.Stdout)
+	}
+}
+
+// --- Paper tables ---
+
+func BenchmarkTable1Datasets(b *testing.B) {
+	s := sharedSuite(b)
+	printOnce("table1", func(w io.Writer) { experiments.Table1(w, s) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Table1(io.Discard, s)
+	}
+}
+
+func BenchmarkTable2Problems(b *testing.B) {
+	s := sharedSuite(b)
+	printOnce("table2", func(w io.Writer) { experiments.Table2(w, s, 3) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Table2(io.Discard, s, 3)
+	}
+}
+
+func BenchmarkTable3RetxDelays(b *testing.B) {
+	printOnce("table3", func(w io.Writer) { experiments.Table3(w, 1042) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Table3(io.Discard, 1042)
+	}
+}
+
+func BenchmarkTable4Factors(b *testing.B) {
+	s := sharedSuite(b)
+	printOnce("table4", func(w io.Writer) { experiments.Table4(w, s) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Table4(io.Discard, s)
+	}
+}
+
+func BenchmarkTable5ProblemDelay(b *testing.B) {
+	s := sharedSuite(b)
+	printOnce("table5", func(w io.Writer) { experiments.Table5(w, s, 3) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Table5(io.Discard, s, 1)
+	}
+}
+
+// --- Paper figures ---
+
+func BenchmarkFig3DurationCDF(b *testing.B) {
+	s := sharedSuite(b)
+	printOnce("fig3", func(w io.Writer) { experiments.Fig3(w, s) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig3(io.Discard, s)
+	}
+}
+
+func BenchmarkFig4StretchCDF(b *testing.B) {
+	s := sharedSuite(b)
+	printOnce("fig4", func(w io.Writer) { experiments.Fig4(w, s) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig4(io.Discard, s)
+	}
+}
+
+func BenchmarkFig5TimerGapExample(b *testing.B) {
+	printOnce("fig5", func(w io.Writer) { experiments.Fig5(w, 1043) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig5(io.Discard, 1043)
+	}
+}
+
+func BenchmarkFig6ConsecutiveRetx(b *testing.B) {
+	printOnce("fig6", func(w io.Writer) { experiments.Fig6(w, 1044) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig6(io.Discard, 1044)
+	}
+}
+
+func BenchmarkFig7DownstreamLoss(b *testing.B) {
+	printOnce("fig7", func(w io.Writer) { experiments.Fig7(w, 1045) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig7(io.Discard, 1045)
+	}
+}
+
+func BenchmarkFig8UpstreamLoss(b *testing.B) {
+	printOnce("fig8", func(w io.Writer) { experiments.Fig8(w, 1046) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig8(io.Discard, 1046)
+	}
+}
+
+func BenchmarkFig9PeerGroupBlocking(b *testing.B) {
+	printOnce("fig9", func(w io.Writer) { experiments.Fig9(w, 1047) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig9(io.Discard, 1047)
+	}
+}
+
+func BenchmarkFig11SeriesExample(b *testing.B) {
+	printOnce("fig11", func(w io.Writer) { experiments.Fig11(w, 1048) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig11(io.Discard, 1048)
+	}
+}
+
+func BenchmarkFig14Scatter(b *testing.B) {
+	s := sharedSuite(b)
+	printOnce("fig14", func(w io.Writer) { experiments.Fig14(w, s) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig14(io.Discard, s)
+	}
+}
+
+func BenchmarkFig15Concurrent(b *testing.B) {
+	printOnce("fig15", func(w io.Writer) { experiments.Fig15(w, 1049, nil) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig15(io.Discard, 1049, []int{1, 8})
+	}
+}
+
+func BenchmarkFig16DurationByFactor(b *testing.B) {
+	s := sharedSuite(b)
+	printOnce("fig16", func(w io.Writer) { experiments.Fig16(w, s) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig16(io.Discard, s)
+	}
+}
+
+func BenchmarkFig17TimerKnee(b *testing.B) {
+	s := sharedSuite(b)
+	printOnce("fig17", func(w io.Writer) {
+		experiments.Fig17(w, s)
+		experiments.Fig17Gaps(w, s)
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig17(io.Discard, s)
+	}
+}
+
+// --- Analyzer throughput (paper §V-C: 26 s/connection in Perl) ---
+
+func BenchmarkAnalyzerThroughput(b *testing.B) {
+	printOnce("throughput", func(w io.Writer) {
+		fmt.Fprintf(w, "\n=== Analyzer throughput ===\n%s\n", experiments.MeasureThroughput(20, 2042))
+	})
+	tr := tracegen.Run(tracegen.Scenario{Kind: tracegen.KindSlowReceiver, Seed: 2042, Routes: 12_000})
+	pkts := tr.Packets()
+	analyzer := core.New(core.Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := analyzer.AnalyzePackets(pkts)
+		if len(rep.Transfers) != 1 {
+			b.Fatal("analysis failed")
+		}
+	}
+	b.ReportMetric(float64(len(pkts)), "packets/conn")
+}
+
+// --- Ablations (DESIGN.md §6) ---
+
+// BenchmarkAblationAckShift compares factor attribution with and without
+// the sniffer-location ACK shift.
+func BenchmarkAblationAckShift(b *testing.B) {
+	tr := tracegen.Run(tracegen.Scenario{Kind: tracegen.KindBandwidth, Seed: 3042, Routes: 12_000, UpstreamRate: 60_000})
+	pkts := tr.Packets()
+	printOnce("ablation-ackshift", func(w io.Writer) {
+		fmt.Fprintf(w, "\n=== Ablation: ACK shift (bandwidth-limited transfer) ===\n")
+		for _, disable := range []bool{false, true} {
+			cfg := core.Config{}
+			cfg.Series.DisableShift = disable
+			rep := core.New(cfg).AnalyzePackets(pkts)
+			t := rep.Transfers[0]
+			fmt.Fprintf(w, "shift=%-5v V=%v G=%v\n", !disable, t.Factors.V, t.Factors.G)
+		}
+	})
+	analyzer := core.New(core.Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analyzer.AnalyzePackets(pkts)
+	}
+}
+
+// BenchmarkAblationMajorThreshold sweeps the major-factor cutoff (paper
+// claims 0.3–0.5 is qualitatively stable).
+func BenchmarkAblationMajorThreshold(b *testing.B) {
+	s := sharedSuite(b)
+	printOnce("ablation-threshold", func(w io.Writer) {
+		fmt.Fprintf(w, "\n=== Ablation: major-factor threshold (ISPA-Vendor dominant-group counts) ===\n")
+		for _, th := range []float64{0.3, 0.4, 0.5} {
+			counts := map[factors.Group]int{}
+			for _, t := range s.Vendor().Transfers {
+				rep := factors.Analyze(t.Report.Catalog, t.Report.Transfer, th)
+				if !rep.Unknown() {
+					counts[rep.MajorGroups[0]]++
+				}
+			}
+			fmt.Fprintf(w, "threshold=%.1f sender=%d receiver=%d network=%d\n",
+				th, counts[factors.GroupSender], counts[factors.GroupReceiver], counts[factors.GroupNetwork])
+		}
+	})
+	t0 := s.Vendor().Transfers[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		factors.Analyze(t0.Report.Catalog, t0.Report.Transfer, 0.3)
+	}
+}
+
+// BenchmarkAblationWindowThreshold sweeps the small-window cutoff (3·MSS in
+// the paper, adopted from the rate-analysis literature).
+func BenchmarkAblationWindowThreshold(b *testing.B) {
+	tr := tracegen.Run(tracegen.Scenario{Kind: tracegen.KindSlowReceiver, Seed: 4042, Routes: 15_000, CollectorRate: 20_000})
+	pkts := tr.Packets()
+	printOnce("ablation-window", func(w io.Writer) {
+		fmt.Fprintf(w, "\n=== Ablation: small-window threshold (slow-receiver transfer) ===\n")
+		for _, mss := range []int{2, 3, 4} {
+			cfg := core.Config{}
+			cfg.Series.SmallWindowMSS = mss
+			rep := core.New(cfg).AnalyzePackets(pkts)
+			t := rep.Transfers[0]
+			fmt.Fprintf(w, "smallWindow=%d·MSS recvApp=%.2f recvWindow=%.2f\n",
+				mss, t.Factors.V.At(factors.ReceiverApp), t.Factors.V.At(factors.ReceiverWindow))
+		}
+	})
+	analyzer := core.New(core.Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analyzer.AnalyzePackets(pkts)
+	}
+}
+
+// BenchmarkAblationReorderFilter toggles the Jaiswal reordering filter.
+func BenchmarkAblationReorderFilter(b *testing.B) {
+	tr := tracegen.Run(tracegen.Scenario{Kind: tracegen.KindUpstreamLoss, Seed: 5042, Routes: 12_000, LossRate: 0.05})
+	pkts := tr.Packets()
+	printOnce("ablation-reorder", func(w io.Writer) {
+		fmt.Fprintf(w, "\n=== Ablation: reordering filter (upstream-lossy transfer) ===\n")
+		for _, disable := range []bool{false, true} {
+			cfg := core.Config{}
+			cfg.Flows.DisableReorderFilter = disable
+			rep := core.New(cfg).AnalyzePackets(pkts)
+			t := rep.Transfers[0]
+			fmt.Fprintf(w, "filter=%-5v gapFills=%d reordered=%d netLossRatio=%.2f\n",
+				!disable, t.Conn.Profile.GapFillCount, t.Conn.Profile.ReorderCount,
+				t.Factors.V.At(factors.NetLoss))
+		}
+	})
+	analyzer := core.New(core.Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analyzer.AnalyzePackets(pkts)
+	}
+}
+
+// BenchmarkAblationConsecLossThreshold sweeps the ≥8 consecutive-loss rule.
+func BenchmarkAblationConsecLossThreshold(b *testing.B) {
+	s := sharedSuite(b)
+	printOnce("ablation-consec", func(w io.Writer) {
+		fmt.Fprintf(w, "\n=== Ablation: consecutive-loss threshold (episodes across suite) ===\n")
+		for _, th := range []int{4, 8, 16} {
+			total := 0
+			for _, ds := range s.Datasets {
+				for _, t := range ds.Transfers {
+					cfg := core.Config{ConsecutiveLossThreshold: th}
+					_ = cfg
+					if t.Report.ConsecLoss.MaxRun >= th {
+						total++
+					}
+				}
+			}
+			fmt.Fprintf(w, "threshold=%-3d transfers with an episode: %d\n", th, total)
+		}
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Vendor().Transfers[0].Report.ConsecLoss
+	}
+}
+
+// --- Microbenchmarks: the set container and codecs ---
+
+func randomSet(rnd *rand.Rand, n int) *timerange.Set {
+	s := timerange.NewSet()
+	for i := 0; i < n; i++ {
+		start := timerange.Micros(rnd.Intn(1_000_000))
+		s.Add(timerange.R(start, start+timerange.Micros(rnd.Intn(1_000))))
+	}
+	return s
+}
+
+func BenchmarkRangeSetAdd(b *testing.B) {
+	rnd := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		randomSet(rnd, 1000)
+	}
+}
+
+func BenchmarkRangeSetUnion(b *testing.B) {
+	rnd := rand.New(rand.NewSource(2))
+	x := randomSet(rnd, 1000)
+	y := randomSet(rnd, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Union(y)
+	}
+}
+
+func BenchmarkRangeSetIntersect(b *testing.B) {
+	rnd := rand.New(rand.NewSource(3))
+	x := randomSet(rnd, 1000)
+	y := randomSet(rnd, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Intersect(y)
+	}
+}
+
+func BenchmarkSeriesGeneration(b *testing.B) {
+	tr := tracegen.Run(tracegen.Scenario{Kind: tracegen.KindClean, Seed: 6042, Routes: 12_000})
+	conns := flows.Extract(toTimed(tr))
+	if len(conns) != 1 {
+		b.Fatal("extraction failed")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		series.Generate(conns[0], series.Config{})
+	}
+}
+
+func BenchmarkFlowExtraction(b *testing.B) {
+	tr := tracegen.Run(tracegen.Scenario{Kind: tracegen.KindClean, Seed: 7042, Routes: 12_000})
+	pkts := toTimed(tr)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		flows.Extract(pkts)
+	}
+}
+
+func toTimed(tr *tracegen.Trace) []flows.TimedPacket { return tr.Packets() }
+
+// BenchmarkAccuracyGroundTruth scores the analyzer's dominant-group verdict
+// against the simulator's known pathology (the reproduction's headline
+// quality metric), with the ACK-shift ablation.
+func BenchmarkAccuracyGroundTruth(b *testing.B) {
+	printOnce("accuracy", func(w io.Writer) { experiments.AccuracyTable(w, 3042, 5) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Accuracy(3042, 1, false)
+	}
+}
+
+// BenchmarkPaperScaleTransfer pushes one full-size (300k-route) table
+// through the pipeline — the paper's headline "tens of minutes" case.
+func BenchmarkPaperScaleTransfer(b *testing.B) {
+	printOnce("paperscale", func(w io.Writer) { experiments.PaperScale(w, 5042) })
+	tr := tracegen.Run(tracegen.Scenario{
+		Kind: tracegen.KindPaced, Seed: 5042, Routes: 300_000,
+		PacingTimer: 200_000, PacingBudget: 24, Horizon: 3_600_000_000,
+	})
+	pkts := tr.Packets()
+	analyzer := core.New(core.Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analyzer.AnalyzePackets(pkts)
+	}
+	b.ReportMetric(float64(len(pkts)), "packets")
+}

@@ -1,0 +1,75 @@
+// Command bgplot renders a pcap trace as terminal graphics — the repo's
+// stand-in for the paper's BGPlot/SCNMPlot (Table VI): a tcptrace-style
+// time-sequence diagram plus the derived T-DAT event-series lanes.
+//
+// Usage:
+//
+//	bgplot [-conn 0] [-width 110] [-height 20] trace.pcap
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tdat/internal/asciiplot"
+	"tdat/internal/core"
+	"tdat/internal/series"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		connIdx = flag.Int("conn", 0, "connection index to plot")
+		width   = flag.Int("width", 110, "plot width in columns")
+		height  = flag.Int("height", 20, "time-sequence plot height in rows")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: bgplot [flags] trace.pcap")
+		return 2
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bgplot: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+
+	rep, err := core.New(core.Config{}).AnalyzePcap(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bgplot: %v\n", err)
+		return 1
+	}
+	if *connIdx < 0 || *connIdx >= len(rep.Transfers) {
+		fmt.Fprintf(os.Stderr, "bgplot: connection %d of %d\n", *connIdx, len(rep.Transfers))
+		return 1
+	}
+	t := rep.Transfers[*connIdx]
+	fmt.Printf("connection %s -> %s (transfer %.2fs)\n\n",
+		t.Conn.Sender, t.Conn.Receiver, float64(t.Duration())/1e6)
+	if err := asciiplot.TimeSequence(os.Stdout, t.Conn, *width, *height); err != nil {
+		fmt.Fprintf(os.Stderr, "bgplot: %v\n", err)
+		return 1
+	}
+	fmt.Println()
+	rows := []asciiplot.Row{
+		{Label: "Transmission", Set: t.Catalog.Get(series.Transmission)},
+		{Label: "Outstanding", Set: t.Catalog.Get(series.Outstanding)},
+		{Label: "SendAppLimited", Set: t.Catalog.Get(series.SendAppLimited)},
+		{Label: "AdvBndOut", Set: t.Catalog.Get(series.AdvBndOut)},
+		{Label: "CwndBndOut", Set: t.Catalog.Get(series.CwndBndOut)},
+		{Label: "UpstreamLoss", Set: t.Catalog.Get(series.UpstreamLoss)},
+		{Label: "DownstreamLoss", Set: t.Catalog.Get(series.DownstreamLoss)},
+		{Label: "ZeroAdvWindow", Set: t.Catalog.Get(series.ZeroAdvWindow)},
+		{Label: "BandwidthLimited", Set: t.Catalog.Get(series.BandwidthLimited)},
+	}
+	if err := asciiplot.Series(os.Stdout, t.Transfer, rows, *width); err != nil {
+		fmt.Fprintf(os.Stderr, "bgplot: %v\n", err)
+		return 1
+	}
+	return 0
+}

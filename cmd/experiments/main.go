@@ -1,0 +1,135 @@
+// Command experiments regenerates the paper's evaluation: every table
+// (I–V) and figure (3–17) from synthetic datasets at reproduction scale.
+//
+// Usage:
+//
+//	experiments [-run all|table1|table2|table3|table4|table5|fig3|fig4|
+//	             fig5|fig6|fig7|fig8|fig9|fig11|fig14|fig15|fig16|fig17|
+//	             paperscale|accuracy|throughput]
+//	            [-scale default|quick] [-seed 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tdat/internal/experiments"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		which = flag.String("run", "all", "experiment id(s), comma separated")
+		scale = flag.String("scale", "default", "dataset scale: default, quick, or full (paper-exact)")
+		seed  = flag.Int64("seed", 42, "base random seed")
+	)
+	flag.Parse()
+
+	sc := experiments.DefaultScale()
+	switch *scale {
+	case "quick":
+		sc = experiments.QuickScale()
+	case "full":
+		sc = experiments.FullScale() // paper-exact 10396/436/94; ~10 min
+	}
+	sc.Seed = *seed
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*which, ",") {
+		want[strings.TrimSpace(id)] = true
+	}
+	all := want["all"]
+	need := func(ids ...string) bool {
+		if all {
+			return true
+		}
+		for _, id := range ids {
+			if want[id] {
+				return true
+			}
+		}
+		return false
+	}
+
+	w := os.Stdout
+	// Suite-based experiments share one generated suite.
+	var suite *experiments.Suite
+	if need("table1", "table2", "table4", "table5", "fig3", "fig4", "fig14", "fig16", "fig17", "throughput") {
+		fmt.Fprintf(w, "generating datasets (scale: %s, seed %d)...\n", *scale, *seed)
+		start := time.Now()
+		suite = experiments.RunSuite(sc)
+		fmt.Fprintf(w, "generated+analyzed %d transfers in %.1fs\n",
+			len(suite.Vendor().Transfers)+len(suite.Quagga().Transfers)+len(suite.RV().Transfers),
+			time.Since(start).Seconds())
+	}
+
+	if need("table1") {
+		experiments.Table1(w, suite)
+	}
+	if need("fig3") {
+		experiments.Fig3(w, suite)
+	}
+	if need("fig4") {
+		experiments.Fig4(w, suite)
+	}
+	if need("table2") {
+		experiments.Table2(w, suite, 3)
+	}
+	if need("table3") {
+		experiments.Table3(w, sc.Seed+1000)
+	}
+	if need("fig5") {
+		experiments.Fig5(w, sc.Seed+1001)
+	}
+	if need("fig6") {
+		experiments.Fig6(w, sc.Seed+1002)
+	}
+	if need("fig7") {
+		experiments.Fig7(w, sc.Seed+1003)
+	}
+	if need("fig8") {
+		experiments.Fig8(w, sc.Seed+1004)
+	}
+	if need("fig9") {
+		experiments.Fig9(w, sc.Seed+1005)
+	}
+	if need("fig11") {
+		experiments.Fig11(w, sc.Seed+1006)
+	}
+	if need("fig14") {
+		experiments.Fig14(w, suite)
+	}
+	if need("table4") {
+		experiments.Table4(w, suite)
+	}
+	if need("fig15") {
+		experiments.Fig15(w, sc.Seed+1007, nil)
+	}
+	if need("fig16") {
+		experiments.Fig16(w, suite)
+	}
+	if need("fig17") {
+		experiments.Fig17(w, suite)
+		experiments.Fig17Gaps(w, suite)
+	}
+	if need("table5") {
+		experiments.Table5(w, suite, 3)
+	}
+	if need("paperscale") {
+		experiments.PaperScale(w, sc.Seed+4000)
+	}
+	if need("accuracy") {
+		experiments.AccuracyTable(w, sc.Seed+3000, 5)
+	}
+	if need("throughput") {
+		t := experiments.MeasureThroughput(30, sc.Seed+2000)
+		fmt.Fprintf(w, "\n=== Analyzer throughput (paper §V-C: 26 s/connection in Perl) ===\n%s\n", t)
+	}
+	return 0
+}

@@ -1,0 +1,213 @@
+// Command pcap2bgp reconstructs TCP data streams from a raw packet trace
+// and extracts the BGP messages they carry, saving them in MRT format —
+// the paper's side tool (§II-A, Table VI) for vendor collectors that keep
+// no BGP archive of their own. It tolerates out-of-order delivery and
+// retransmissions and reports capture holes instead of guessing framing.
+//
+// Usage:
+//
+//	pcap2bgp [-o out.mrt] [-v] [-online] trace.pcap
+//
+// With -online the trace is processed in a single pass with the streaming
+// reassembler (per-direction state only), the mode a collector box would
+// run live; the default mode reassembles per extracted connection.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"net/netip"
+
+	"tdat/internal/bgp"
+	"tdat/internal/flows"
+	"tdat/internal/mrt"
+	"tdat/internal/packet"
+	"tdat/internal/pcapio"
+	"tdat/internal/reassembly"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		out     = flag.String("o", "", "output MRT file (default: stdout summary only)")
+		verbose = flag.Bool("v", false, "print per-message details")
+		online  = flag.Bool("online", false, "single-pass streaming mode")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pcap2bgp [flags] trace.pcap")
+		flag.PrintDefaults()
+		return 2
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pcap2bgp: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+	recs, err := pcapio.ReadAll(f)
+	if err != nil && len(recs) == 0 {
+		fmt.Fprintf(os.Stderr, "pcap2bgp: %v\n", err)
+		return 1
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pcap2bgp: trace truncated after %d records (tcpdump drop?): %v\n", len(recs), err)
+	}
+
+	if *online {
+		return runOnline(recs, *out, *verbose)
+	}
+
+	conns, skipped := flows.FromPcap(recs)
+	if skipped > 0 {
+		fmt.Printf("warning: %d undecodable packets skipped\n", skipped)
+	}
+
+	var mw *mrt.Writer
+	if *out != "" {
+		of, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pcap2bgp: %v\n", err)
+			return 1
+		}
+		defer of.Close()
+		mw = mrt.NewWriter(of)
+	}
+
+	for ci, c := range conns {
+		res, err := reassembly.Reassemble(c)
+		if err != nil {
+			fmt.Printf("connection %d (%s -> %s): framing error: %v\n", ci, c.Sender, c.Receiver, err)
+			continue
+		}
+		updates, prefixes := 0, 0
+		for _, m := range res.Messages {
+			if u, ok := m.Msg.(*bgp.Update); ok {
+				updates++
+				prefixes += len(u.NLRI)
+			}
+			if *verbose {
+				fmt.Printf("  %12d %T\n", m.Time, m.Msg)
+			}
+			if mw != nil {
+				rec := mrt.Record{
+					TimeMicros: m.Time,
+					PeerIP:     c.Sender.Addr,
+					LocalIP:    c.Receiver.Addr,
+					Raw:        m.Raw,
+				}
+				if err := mw.Write(rec); err != nil {
+					fmt.Fprintf(os.Stderr, "pcap2bgp: writing MRT: %v\n", err)
+					return 1
+				}
+			}
+		}
+		fmt.Printf("connection %d (%s -> %s): %d bytes, %d messages (%d updates, %d prefixes), %d capture holes\n",
+			ci, c.Sender, c.Receiver, res.StreamBytes, len(res.Messages), updates, prefixes, len(res.MissingRanges))
+	}
+	if mw != nil {
+		if err := mw.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "pcap2bgp: %v\n", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// dirKey identifies one direction of one connection.
+type dirKey struct {
+	src, dst     [4]byte
+	sport, dport uint16
+}
+
+// runOnline processes the records in one pass with per-direction streaming
+// reassemblers.
+func runOnline(recs []pcapio.Record, out string, verbose bool) int {
+	var mw *mrt.Writer
+	if out != "" {
+		of, err := os.Create(out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pcap2bgp: %v\n", err)
+			return 1
+		}
+		defer of.Close()
+		mw = mrt.NewWriter(of)
+	}
+	type dirState struct {
+		stream   *reassembly.Stream
+		messages int
+		updates  int
+		prefixes int
+		dead     bool
+	}
+	streams := map[dirKey]*dirState{}
+	skipped := 0
+	for _, rec := range recs {
+		p, err := packet.Decode(rec.Data)
+		if err != nil {
+			skipped++
+			continue
+		}
+		k := dirKey{
+			src: p.IP.Src.As4(), dst: p.IP.Dst.As4(),
+			sport: p.TCP.SrcPort, dport: p.TCP.DstPort,
+		}
+		st, ok := streams[k]
+		if !ok {
+			st = &dirState{}
+			src, dst := p.IP.Src, p.IP.Dst
+			st.stream = reassembly.NewStream(func(m reassembly.Message) {
+				st.messages++
+				if u, okU := m.Msg.(*bgp.Update); okU {
+					st.updates++
+					st.prefixes += len(u.NLRI)
+				}
+				if verbose {
+					fmt.Printf("  %12d %s->%s %T\n", m.Time, src, dst, m.Msg)
+				}
+				if mw != nil {
+					_ = mw.Write(mrt.Record{
+						TimeMicros: m.Time, PeerIP: src, LocalIP: dst, Raw: m.Raw,
+					})
+				}
+			})
+			streams[k] = st
+		}
+		if st.dead {
+			continue
+		}
+		if err := st.stream.Packet(rec.TimeMicros, p); err != nil {
+			fmt.Printf("direction %v:%d -> %v:%d: %v (direction abandoned)\n",
+				p.IP.Src, p.TCP.SrcPort, p.IP.Dst, p.TCP.DstPort, err)
+			st.dead = true
+		}
+	}
+	if skipped > 0 {
+		fmt.Printf("warning: %d undecodable packets skipped\n", skipped)
+	}
+	total := 0
+	for k, st := range streams {
+		if st.messages == 0 {
+			continue
+		}
+		src := netip.AddrFrom4(k.src)
+		dst := netip.AddrFrom4(k.dst)
+		fmt.Printf("%v:%d -> %v:%d: %d messages (%d updates, %d prefixes)\n",
+			src, k.sport, dst, k.dport, st.messages, st.updates, st.prefixes)
+		total += st.messages
+	}
+	fmt.Printf("online mode: %d messages total\n", total)
+	if mw != nil {
+		if err := mw.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "pcap2bgp: %v\n", err)
+			return 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,59 @@
+// Command tcpprof is the repo's mini-tcptrace (paper Table VI, tcptrace'):
+// it extracts TCP connections from a pcap trace and prints per-connection
+// profiles — endpoints, duration, RTT, MSS, advertised windows, volumes,
+// and retransmission/out-of-sequence/reordering labels.
+//
+// Usage:
+//
+//	tcpprof trace.pcap
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tdat/internal/flows"
+	"tdat/internal/pcapio"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tcpprof trace.pcap")
+		return 2
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tcpprof: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+	recs, err := pcapio.ReadAll(f)
+	if err != nil && len(recs) == 0 {
+		fmt.Fprintf(os.Stderr, "tcpprof: %v\n", err)
+		return 1
+	}
+	conns, skipped := flows.FromPcap(recs)
+	fmt.Printf("%d records (%d undecodable), %d connections\n\n", len(recs), skipped, len(conns))
+	for i, c := range conns {
+		p := c.Profile
+		fmt.Printf("conn %d: %s -> %s\n", i, c.Sender, c.Receiver)
+		fmt.Printf("  span: %.3fs - %.3fs (%.3fs)\n",
+			float64(p.Start)/1e6, float64(p.End)/1e6, float64(p.End-p.Start)/1e6)
+		fmt.Printf("  rtt: %.2fms  mss: %d  max adv window: %d  initiator=sender: %v\n",
+			float64(p.RTT)/1e3, p.MSS, p.MaxAdvWindow, p.InitiatorIsSender)
+		fmt.Printf("  data: %d bytes in %d packets; acks: %d\n",
+			p.TotalDataBytes, p.TotalDataPackets, len(c.Acks))
+		fmt.Printf("  retransmissions: %d  out-of-sequence: %d  reordered: %d\n",
+			p.RetransmitCount, p.GapFillCount, p.ReorderCount)
+		fmt.Printf("  loss recovery: upstream %.3fs in %d ranges, downstream %.3fs in %d ranges\n\n",
+			float64(c.UpstreamLoss.Size())/1e6, c.UpstreamLoss.Len(),
+			float64(c.DownstreamLoss.Size())/1e6, c.DownstreamLoss.Len())
+	}
+	return 0
+}

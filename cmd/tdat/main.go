@@ -1,0 +1,144 @@
+// Command tdat is the TCP Delay Analysis Tool: it reads a bidirectional
+// pcap trace captured next to a BGP collector, extracts every TCP
+// connection, and explains where each table transfer's time went — the
+// 8-factor delay-ratio vector, the 3-group summary, and the known-problem
+// detectors (pacing timers, consecutive losses, the zero-window bug).
+//
+// Usage:
+//
+//	tdat [-series] [-threshold 0.3] [-sniffer receiver|sender]
+//	     [-mrt archive.mrt] trace.pcap
+//
+// With -mrt, transfer ends come from the collector's BGP archive (the
+// paper's Quagga pipeline) instead of payload reassembly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+
+	"tdat/internal/core"
+	"tdat/internal/flows"
+	"tdat/internal/mct"
+	"tdat/internal/mrt"
+	"tdat/internal/pcapio"
+	"tdat/internal/series"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		plotSeries = flag.Bool("series", false, "render the event-series lanes per connection")
+		threshold  = flag.Float64("threshold", 0.3, "major factor-group threshold (fraction of transfer duration)")
+		sniffer    = flag.String("sniffer", "receiver", "sniffer location: receiver or sender")
+		noShift    = flag.Bool("noshift", false, "disable sniffer-location ACK shifting")
+		mrtPath    = flag.String("mrt", "", "collector MRT archive to pin transfer ends (Quagga pipeline)")
+		asJSON     = flag.Bool("json", false, "emit machine-readable JSON per connection")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tdat [flags] trace.pcap")
+		flag.PrintDefaults()
+		return 2
+	}
+
+	cfg := core.Config{MajorThreshold: *threshold}
+	cfg.Series.DisableShift = *noShift
+	switch *sniffer {
+	case "receiver":
+		cfg.Series.Sniffer = series.AtReceiver
+	case "sender":
+		cfg.Series.Sniffer = series.AtSender
+	default:
+		fmt.Fprintf(os.Stderr, "tdat: unknown sniffer location %q\n", *sniffer)
+		return 2
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tdat: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+
+	analyzer := core.New(cfg)
+	var rep *core.Report
+	if *mrtPath == "" {
+		rep, err = analyzer.AnalyzePcap(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tdat: %v\n", err)
+			return 1
+		}
+	} else {
+		rep, err = analyzeWithArchive(analyzer, f, *mrtPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tdat: %v\n", err)
+			return 1
+		}
+	}
+	if rep.SkippedPackets > 0 {
+		fmt.Printf("warning: %d undecodable packets skipped\n", rep.SkippedPackets)
+	}
+	if *asJSON {
+		for _, t := range rep.Transfers {
+			if err := t.WriteJSON(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "tdat: %v\n", err)
+				return 1
+			}
+		}
+		return 0
+	}
+	fmt.Printf("%d connection(s)\n\n", len(rep.Transfers))
+	for _, t := range rep.Transfers {
+		if err := t.WriteText(os.Stdout, *plotSeries); err != nil {
+			fmt.Fprintf(os.Stderr, "tdat: %v\n", err)
+			return 1
+		}
+		fmt.Println()
+	}
+	return 0
+}
+
+// analyzeWithArchive runs the Quagga pipeline: connections from the pcap,
+// transfer ends from the MRT archive, matched by the sending router's
+// address.
+func analyzeWithArchive(a *core.Analyzer, pcapF *os.File, mrtPath string) (*core.Report, error) {
+	recs, err := pcapio.ReadAll(pcapF)
+	if err != nil && len(recs) == 0 {
+		return nil, err
+	}
+	mf, err := os.Open(mrtPath)
+	if err != nil {
+		return nil, err
+	}
+	defer mf.Close()
+	mrecs, err := mrt.ReadAll(mf)
+	if err != nil && len(mrecs) == 0 {
+		return nil, err
+	}
+	// Bucket archive records by peer (router) address.
+	byPeer := map[netip.Addr][]mrt.Record{}
+	for _, r := range mrecs {
+		byPeer[r.PeerIP] = append(byPeer[r.PeerIP], r)
+	}
+	conns, skipped := flows.FromPcap(recs)
+	rep := &core.Report{SkippedPackets: skipped}
+	for _, c := range conns {
+		// Only archive records within this connection's lifetime belong to
+		// its transfer (an archive spans many sessions).
+		var scoped []mrt.Record
+		for _, r := range byPeer[c.Sender.Addr] {
+			if r.TimeMicros >= c.Profile.Start && r.TimeMicros <= c.Profile.End+1_000_000 {
+				scoped = append(scoped, r)
+			}
+		}
+		ups := mct.FromMRT(scoped)
+		rep.Transfers = append(rep.Transfers, a.AnalyzeConnectionWithUpdates(c, ups))
+	}
+	return rep, nil
+}

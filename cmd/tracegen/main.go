@@ -1,0 +1,219 @@
+// Command tracegen synthesizes BGP/TCP capture files: it runs one
+// table-transfer scenario in the discrete-event simulator and writes the
+// sniffer's pcap plus the collector's MRT archive — ready for tdat,
+// pcap2bgp, tcpprof, or bgplot.
+//
+// Usage:
+//
+//	tracegen -kind paced -routes 12000 -seed 1 -o transfer.pcap [-mrt transfer.mrt]
+//	tracegen -dataset ispa-vendor -n 20 -outdir traces/   # a whole dataset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"path/filepath"
+
+	"tdat/internal/mrt"
+	"tdat/internal/pcapio"
+	"tdat/internal/tracegen"
+)
+
+var kinds = map[string]tracegen.Kind{
+	"clean":           tracegen.KindClean,
+	"paced":           tracegen.KindPaced,
+	"slow-receiver":   tracegen.KindSlowReceiver,
+	"small-window":    tracegen.KindSmallWindow,
+	"upstream-loss":   tracegen.KindUpstreamLoss,
+	"downstream-loss": tracegen.KindDownstreamLoss,
+	"bandwidth":       tracegen.KindBandwidth,
+	"zero-ack-bug":    tracegen.KindZeroAckBug,
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		dataset = flag.String("dataset", "", "write a whole dataset: ispa-vendor|ispa-quagga|routeviews")
+		n       = flag.Int("n", 20, "transfers in the dataset (-dataset mode)")
+		outdir  = flag.String("outdir", "traces", "output directory (-dataset mode)")
+		kind    = flag.String("kind", "clean", "scenario kind: clean|paced|slow-receiver|small-window|upstream-loss|downstream-loss|bandwidth|zero-ack-bug")
+		routes  = flag.Int("routes", 12_000, "routing table size")
+		seed    = flag.Int64("seed", 1, "random seed")
+		rtt     = flag.Int64("rtt", 8_000, "round-trip propagation in microseconds")
+		out     = flag.String("o", "transfer.pcap", "output pcap file")
+		mrtOut  = flag.String("mrt", "", "also write the collector MRT archive here")
+		timer   = flag.Int64("timer", 200_000, "pacing timer (paced kind), microseconds")
+		budget  = flag.Int("budget", 24, "updates per pacing tick (paced kind)")
+		rate    = flag.Int64("rate", 0, "collector processing or link rate override, bytes/sec")
+		recvbuf = flag.Int("recvbuf", 0, "collector receive buffer override, bytes")
+	)
+	flag.Parse()
+
+	if *dataset != "" {
+		return writeDataset(*dataset, *n, *seed, *outdir)
+	}
+
+	k, ok := kinds[*kind]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tracegen: unknown kind %q\n", *kind)
+		return 2
+	}
+	sc := tracegen.Scenario{
+		Kind: k, Seed: *seed, Routes: *routes, RTT: *rtt,
+		PacingTimer: *timer, PacingBudget: *budget,
+	}
+	if *rate > 0 {
+		sc.CollectorRate = *rate
+		sc.UpstreamRate = *rate
+	}
+	if *recvbuf > 0 {
+		sc.RecvBuf = *recvbuf
+	}
+	tr := tracegen.Run(sc)
+	fmt.Printf("scenario %s: %d captures, %d routes delivered, ground duration %.2fs\n",
+		k, len(tr.Captures), tr.RoutesDelivered, float64(tr.GroundDuration)/1e6)
+
+	pf, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		return 1
+	}
+	defer pf.Close()
+	pw := pcapio.NewWriter(pf)
+	for _, c := range tr.Captures {
+		frame, err := c.Pkt.Marshal()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: marshal: %v\n", err)
+			return 1
+		}
+		if err := pw.WritePacket(c.Time, frame); err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			return 1
+		}
+	}
+	if err := pw.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		return 1
+	}
+	fmt.Printf("wrote %s\n", *out)
+
+	if *mrtOut != "" {
+		mf, err := os.Create(*mrtOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			return 1
+		}
+		defer mf.Close()
+		// Router/collector addresses from the capture itself.
+		peer := netip.MustParseAddr("10.0.0.1")
+		local := netip.MustParseAddr("10.0.0.2")
+		if len(tr.Captures) > 0 {
+			peer = tr.Captures[0].Pkt.IP.Src
+			local = tr.Captures[0].Pkt.IP.Dst
+		}
+		mw := mrt.NewWriter(mf)
+		for _, e := range tr.Archive {
+			rec := mrt.Record{
+				TimeMicros: e.Time,
+				PeerAS:     e.PeerAS,
+				LocalAS:    65000,
+				PeerIP:     peer,
+				LocalIP:    local,
+				Raw:        e.Raw,
+			}
+			if err := mw.Write(rec); err != nil {
+				fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+				return 1
+			}
+		}
+		if err := mw.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			return 1
+		}
+		fmt.Printf("wrote %s (%d records)\n", *mrtOut, len(tr.Archive))
+	}
+	return 0
+}
+
+// writeDataset generates a whole profile's worth of transfers as numbered
+// pcap files (plus one merged MRT archive), mimicking a collection
+// deployment's output directory.
+func writeDataset(name string, n int, seed int64, dir string) int {
+	var profile tracegen.DatasetProfile
+	switch name {
+	case "ispa-vendor":
+		profile = tracegen.ISPAVendor(n, max(2, n/8), seed)
+	case "ispa-quagga":
+		profile = tracegen.ISPAQuagga(n, max(2, n/8), seed)
+	case "routeviews":
+		profile = tracegen.RouteViews(n, max(2, n/8), seed)
+	default:
+		fmt.Fprintf(os.Stderr, "tracegen: unknown dataset %q\n", name)
+		return 2
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		return 1
+	}
+	mf, err := os.Create(filepath.Join(dir, "archive.mrt"))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		return 1
+	}
+	defer mf.Close()
+	mw := mrt.NewWriter(mf)
+
+	failed := false
+	profile.Generate(func(t tracegen.Transfer) {
+		name := filepath.Join(dir, fmt.Sprintf("transfer-%03d-%s.pcap", t.Index, t.Trace.Kind))
+		pf, err := os.Create(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			failed = true
+			return
+		}
+		defer pf.Close()
+		pw := pcapio.NewWriter(pf)
+		for _, c := range t.Trace.Captures {
+			frame, err := c.Pkt.Marshal()
+			if err != nil {
+				failed = true
+				return
+			}
+			if err := pw.WritePacket(c.Time, frame); err != nil {
+				failed = true
+				return
+			}
+		}
+		if err := pw.Flush(); err != nil {
+			failed = true
+			return
+		}
+		for _, e := range t.Trace.Archive {
+			_ = mw.Write(mrt.Record{
+				TimeMicros: e.Time,
+				PeerAS:     e.PeerAS,
+				LocalAS:    65000,
+				PeerIP:     netip.MustParseAddr("10.0.0.1"),
+				LocalIP:    netip.MustParseAddr("10.0.0.2"),
+				Raw:        e.Raw,
+			})
+		}
+		fmt.Printf("wrote %s (%d packets, %s, router %d)\n",
+			name, len(t.Trace.Captures), t.Trace.Kind, t.Router.ID)
+	})
+	if err := mw.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		return 1
+	}
+	if failed {
+		return 1
+	}
+	fmt.Printf("dataset %s: %d transfers under %s\n", profile.Name, n, dir)
+	return 0
+}

@@ -1,0 +1,11 @@
+// Package tdat is a from-scratch Go reproduction of "Explaining BGP Slow
+// Table Transfers: Implementing a TCP Delay Analyzer" (Cheng, Park, Patel,
+// Amante, Zhang — ICDCS 2012 / UCLA CS TR #110020).
+//
+// The analyzer (T-DAT) lives under internal/core with one package per
+// subsystem; the binaries under cmd/ mirror the paper's tool suite
+// (Table VI: tdat, pcap2bgp, tcptrace', BGPlot) plus the synthetic trace
+// generator and the experiment harness that regenerates every table and
+// figure of the paper's evaluation. See README.md, DESIGN.md, and
+// EXPERIMENTS.md.
+package tdat

@@ -1,0 +1,3 @@
+module tdat
+
+go 1.22

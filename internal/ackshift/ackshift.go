@@ -1,0 +1,115 @@
+// Package ackshift compensates for the sniffer's location (paper §III-B1).
+//
+// The sniffer sits next to the receiver, so ACKs are captured almost when
+// they are generated, while the sender perceives them roughly one upstream
+// delay (d2) later — and the data packets those ACKs release appear at the
+// sniffer a further d2 after that. To make the trace approximate the
+// sender's viewpoint, ACKs are shifted forward in time: they are grouped
+// into back-to-back flights, each ACK's release delay d2 is estimated from
+// the first data packet its window release explains, and the whole flight
+// is shifted by the flight's minimum (most precise) d2.
+package ackshift
+
+import (
+	"tdat/internal/flows"
+	"tdat/internal/timerange"
+)
+
+// Micros aliases the trace time unit.
+type Micros = timerange.Micros
+
+// Config tunes flight grouping; zero values select defaults.
+type Config struct {
+	// FlightGap separates ACK flights: a new flight starts when the
+	// inter-ACK spacing exceeds this fraction of the RTT (default 1/2).
+	// Expressed as a divisor to stay integral: gap > RTT/FlightGapDiv.
+	FlightGapDiv int
+	// MaxShift caps a flight's shift at this multiple of RTT ×1000 — i.e.
+	// a cap of 2×RTT uses MaxShiftRTTMillis = 2000. Shifts beyond it mean
+	// the association was spurious (sender idle), so the flight stays put.
+	MaxShiftRTTMillis int
+}
+
+func (c Config) withDefaults() Config {
+	if c.FlightGapDiv == 0 {
+		c.FlightGapDiv = 2
+	}
+	if c.MaxShiftRTTMillis == 0 {
+		c.MaxShiftRTTMillis = 2000
+	}
+	return c
+}
+
+// Shift returns a copy of c's ACK events with flight-granular forward time
+// shifts applied. The data events are untouched; series generation runs on
+// (original data, shifted ACKs), which approximates the sender-side
+// interleaving. Connections whose RTT estimate is missing are returned
+// unshifted.
+func Shift(c *flows.Connection, cfg Config) []flows.AckEvent {
+	cfg = cfg.withDefaults()
+	acks := append([]flows.AckEvent(nil), c.Acks...)
+	rtt := c.Profile.RTT
+	if rtt <= 0 || len(acks) == 0 || len(c.Data) == 0 {
+		return acks
+	}
+	flightGap := rtt / Micros(cfg.FlightGapDiv)
+	if flightGap <= 0 {
+		flightGap = 1
+	}
+	maxShift := rtt * Micros(cfg.MaxShiftRTTMillis) / 1000
+
+	// Group ACKs into flights by inter-arrival spacing.
+	type flight struct{ lo, hi int } // index range [lo,hi]
+	var flights []flight
+	cur := flight{lo: 0, hi: 0}
+	for i := 1; i < len(acks); i++ {
+		if acks[i].Time-acks[i-1].Time > flightGap {
+			flights = append(flights, cur)
+			cur = flight{lo: i, hi: i}
+			continue
+		}
+		cur.hi = i
+	}
+	flights = append(flights, cur)
+
+	// For each ACK, estimate d2 as the delay to the first NEW data packet
+	// whose sequence extends beyond what was permitted before this ACK —
+	// i.e. data this ACK's window release explains — then shift the flight
+	// by the minimum d2 among its ACKs.
+	di := 0
+	for _, fl := range flights {
+		minD2 := Micros(-1)
+		for i := fl.lo; i <= fl.hi; i++ {
+			a := acks[i]
+			if a.Dup {
+				continue // dup ACKs trigger retransmissions, not releases
+			}
+			// Advance the data cursor to the first data packet after the ACK.
+			for di < len(c.Data) && c.Data[di].Time <= a.Time {
+				di++
+			}
+			for j := di; j < len(c.Data); j++ {
+				d := c.Data[j]
+				if d.Time-a.Time > maxShift {
+					break
+				}
+				if d.Kind == flows.DataNew && d.SeqEnd > a.Ack {
+					d2 := d.Time - a.Time
+					if minD2 < 0 || d2 < minD2 {
+						minD2 = d2
+					}
+					break
+				}
+			}
+		}
+		if minD2 <= 0 {
+			continue // nothing released (sender idle or trailing flight)
+		}
+		// Keep the shifted ACK strictly before the data it released.
+		shift := minD2 - 1
+		for i := fl.lo; i <= fl.hi; i++ {
+			acks[i].Time += shift
+		}
+	}
+	return acks
+}

@@ -1,0 +1,580 @@
+// Package bgp implements the subset of the BGP-4 wire protocol (RFC 4271)
+// needed to synthesize and parse routing-table transfers: the common header,
+// OPEN, UPDATE (withdrawn routes, path attributes, NLRI), KEEPALIVE, and
+// NOTIFICATION messages, plus an UPDATE packer that groups prefixes sharing
+// a path-attribute set into maximally filled messages the way routers do
+// when they stream a full table.
+package bgp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// Message type codes (RFC 4271 §4.1).
+const (
+	TypeOpen         = 1
+	TypeUpdate       = 2
+	TypeNotification = 3
+	TypeKeepalive    = 4
+)
+
+// Wire-size constants (RFC 4271).
+const (
+	HeaderLen     = 19   // marker(16) + length(2) + type(1)
+	MaxMessageLen = 4096 // maximum BGP message size
+	markerLen     = 16
+)
+
+// Errors returned by the codec.
+var (
+	ErrTruncated  = errors.New("bgp: truncated message")
+	ErrBadMarker  = errors.New("bgp: bad marker")
+	ErrBadLength  = errors.New("bgp: bad length")
+	ErrBadType    = errors.New("bgp: unknown message type")
+	ErrBadMessage = errors.New("bgp: malformed message body")
+)
+
+// Path attribute type codes.
+const (
+	AttrOrigin    = 1
+	AttrASPath    = 2
+	AttrNextHop   = 3
+	AttrMED       = 4
+	AttrLocalPref = 5
+)
+
+// Origin values.
+const (
+	OriginIGP        = 0
+	OriginEGP        = 1
+	OriginIncomplete = 2
+)
+
+// AS_PATH segment types.
+const (
+	SegmentSet      = 1
+	SegmentSequence = 2
+)
+
+// Prefix is an IPv4 NLRI entry.
+type Prefix = netip.Prefix
+
+// PathAttrs is the decoded attribute set attached to a group of prefixes.
+// Only the attributes the paper's tables exercise are modeled.
+type PathAttrs struct {
+	Origin    uint8
+	ASPath    []uint16 // single AS_SEQUENCE segment
+	NextHop   netip.Addr
+	MED       uint32
+	HasMED    bool
+	LocalPref uint32
+	HasLocal  bool
+}
+
+// Key returns a canonical string identifying the attribute set, used to
+// group prefixes that can share one UPDATE.
+func (a *PathAttrs) Key() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "o%d|nh%s|", a.Origin, a.NextHop)
+	for _, as := range a.ASPath {
+		fmt.Fprintf(&b, "%d ", as)
+	}
+	if a.HasMED {
+		fmt.Fprintf(&b, "|m%d", a.MED)
+	}
+	if a.HasLocal {
+		fmt.Fprintf(&b, "|l%d", a.LocalPref)
+	}
+	return b.String()
+}
+
+// marshalAttrs encodes the path attributes.
+func (a *PathAttrs) marshalAttrs() ([]byte, error) {
+	var b bytes.Buffer
+	// ORIGIN: well-known transitive (flags 0x40).
+	b.Write([]byte{0x40, AttrOrigin, 1, a.Origin})
+	// AS_PATH.
+	if len(a.ASPath) > 255 {
+		return nil, fmt.Errorf("%w: AS path too long (%d)", ErrBadMessage, len(a.ASPath))
+	}
+	pathLen := 0
+	if len(a.ASPath) > 0 {
+		pathLen = 2 + 2*len(a.ASPath)
+	}
+	if pathLen > 255 {
+		b.Write([]byte{0x50, AttrASPath}) // extended length
+		var l [2]byte
+		binary.BigEndian.PutUint16(l[:], uint16(pathLen))
+		b.Write(l[:])
+	} else {
+		b.Write([]byte{0x40, AttrASPath, uint8(pathLen)})
+	}
+	if len(a.ASPath) > 0 {
+		b.WriteByte(SegmentSequence)
+		b.WriteByte(uint8(len(a.ASPath)))
+		for _, as := range a.ASPath {
+			var v [2]byte
+			binary.BigEndian.PutUint16(v[:], as)
+			b.Write(v[:])
+		}
+	}
+	// NEXT_HOP.
+	if !a.NextHop.Is4() {
+		return nil, fmt.Errorf("%w: next hop %v is not IPv4", ErrBadMessage, a.NextHop)
+	}
+	nh := a.NextHop.As4()
+	b.Write([]byte{0x40, AttrNextHop, 4})
+	b.Write(nh[:])
+	// MED (optional non-transitive, flags 0x80).
+	if a.HasMED {
+		b.Write([]byte{0x80, AttrMED, 4})
+		var v [4]byte
+		binary.BigEndian.PutUint32(v[:], a.MED)
+		b.Write(v[:])
+	}
+	// LOCAL_PREF (well-known, flags 0x40).
+	if a.HasLocal {
+		b.Write([]byte{0x40, AttrLocalPref, 4})
+		var v [4]byte
+		binary.BigEndian.PutUint32(v[:], a.LocalPref)
+		b.Write(v[:])
+	}
+	return b.Bytes(), nil
+}
+
+// Message is any BGP message.
+type Message interface {
+	// Type returns the RFC 4271 message type code.
+	Type() uint8
+	// Marshal serializes the message including the common header.
+	Marshal() ([]byte, error)
+}
+
+// Open is a BGP OPEN message.
+type Open struct {
+	Version    uint8
+	AS         uint16
+	HoldTime   uint16
+	Identifier netip.Addr
+}
+
+// Type implements Message.
+func (*Open) Type() uint8 { return TypeOpen }
+
+// Marshal implements Message.
+func (o *Open) Marshal() ([]byte, error) {
+	if !o.Identifier.Is4() {
+		return nil, fmt.Errorf("%w: OPEN identifier %v is not IPv4", ErrBadMessage, o.Identifier)
+	}
+	body := make([]byte, 10)
+	v := o.Version
+	if v == 0 {
+		v = 4
+	}
+	body[0] = v
+	binary.BigEndian.PutUint16(body[1:3], o.AS)
+	binary.BigEndian.PutUint16(body[3:5], o.HoldTime)
+	id := o.Identifier.As4()
+	copy(body[5:9], id[:])
+	body[9] = 0 // no optional parameters
+	return frame(TypeOpen, body), nil
+}
+
+// Keepalive is a BGP KEEPALIVE message (header only).
+type Keepalive struct{}
+
+// Type implements Message.
+func (*Keepalive) Type() uint8 { return TypeKeepalive }
+
+// Marshal implements Message.
+func (*Keepalive) Marshal() ([]byte, error) { return frame(TypeKeepalive, nil), nil }
+
+// Notification is a BGP NOTIFICATION message.
+type Notification struct {
+	Code    uint8
+	Subcode uint8
+	Data    []byte
+}
+
+// Type implements Message.
+func (*Notification) Type() uint8 { return TypeNotification }
+
+// Marshal implements Message.
+func (n *Notification) Marshal() ([]byte, error) {
+	body := append([]byte{n.Code, n.Subcode}, n.Data...)
+	if HeaderLen+len(body) > MaxMessageLen {
+		return nil, fmt.Errorf("%w: notification too large", ErrBadLength)
+	}
+	return frame(TypeNotification, body), nil
+}
+
+// Update is a BGP UPDATE message.
+type Update struct {
+	Withdrawn []Prefix
+	Attrs     *PathAttrs // nil when the update only withdraws
+	NLRI      []Prefix
+}
+
+// Type implements Message.
+func (*Update) Type() uint8 { return TypeUpdate }
+
+// Marshal implements Message.
+func (u *Update) Marshal() ([]byte, error) {
+	var body bytes.Buffer
+	wd, err := marshalPrefixes(u.Withdrawn)
+	if err != nil {
+		return nil, err
+	}
+	var l [2]byte
+	binary.BigEndian.PutUint16(l[:], uint16(len(wd)))
+	body.Write(l[:])
+	body.Write(wd)
+
+	var attrs []byte
+	if u.Attrs != nil {
+		attrs, err = u.Attrs.marshalAttrs()
+		if err != nil {
+			return nil, err
+		}
+	} else if len(u.NLRI) > 0 {
+		return nil, fmt.Errorf("%w: NLRI without path attributes", ErrBadMessage)
+	}
+	binary.BigEndian.PutUint16(l[:], uint16(len(attrs)))
+	body.Write(l[:])
+	body.Write(attrs)
+
+	nlri, err := marshalPrefixes(u.NLRI)
+	if err != nil {
+		return nil, err
+	}
+	body.Write(nlri)
+	if HeaderLen+body.Len() > MaxMessageLen {
+		return nil, fmt.Errorf("%w: update %d bytes exceeds %d", ErrBadLength, HeaderLen+body.Len(), MaxMessageLen)
+	}
+	return frame(TypeUpdate, body.Bytes()), nil
+}
+
+// frame prepends the 19-byte common header.
+func frame(msgType uint8, body []byte) []byte {
+	out := make([]byte, HeaderLen+len(body))
+	for i := 0; i < markerLen; i++ {
+		out[i] = 0xFF
+	}
+	binary.BigEndian.PutUint16(out[16:18], uint16(len(out)))
+	out[18] = msgType
+	copy(out[HeaderLen:], body)
+	return out
+}
+
+// marshalPrefixes encodes a prefix list in NLRI format.
+func marshalPrefixes(prefixes []Prefix) ([]byte, error) {
+	var b bytes.Buffer
+	for _, p := range prefixes {
+		if !p.Addr().Is4() {
+			return nil, fmt.Errorf("%w: prefix %v is not IPv4", ErrBadMessage, p)
+		}
+		bits := p.Bits()
+		b.WriteByte(uint8(bits))
+		addr := p.Addr().As4()
+		b.Write(addr[:(bits+7)/8])
+	}
+	return b.Bytes(), nil
+}
+
+// parsePrefixes decodes an NLRI-format prefix list.
+func parsePrefixes(data []byte) ([]Prefix, error) {
+	var out []Prefix
+	for len(data) > 0 {
+		bits := int(data[0])
+		if bits > 32 {
+			return nil, fmt.Errorf("%w: prefix length %d", ErrBadMessage, bits)
+		}
+		nbytes := (bits + 7) / 8
+		if len(data) < 1+nbytes {
+			return nil, fmt.Errorf("%w: prefix bytes", ErrTruncated)
+		}
+		var addr [4]byte
+		copy(addr[:], data[1:1+nbytes])
+		p := netip.PrefixFrom(netip.AddrFrom4(addr), bits)
+		out = append(out, p.Masked())
+		data = data[1+nbytes:]
+	}
+	return out, nil
+}
+
+// PrefixWireLen returns the NLRI encoding size of one prefix.
+func PrefixWireLen(p Prefix) int { return 1 + (p.Bits()+7)/8 }
+
+// Parse decodes one message from data, which must contain exactly one whole
+// message (as produced by SplitStream or read from MRT).
+func Parse(data []byte) (Message, error) {
+	if len(data) < HeaderLen {
+		return nil, fmt.Errorf("%w: %d header bytes", ErrTruncated, len(data))
+	}
+	for i := 0; i < markerLen; i++ {
+		if data[i] != 0xFF {
+			return nil, ErrBadMarker
+		}
+	}
+	length := int(binary.BigEndian.Uint16(data[16:18]))
+	if length < HeaderLen || length > MaxMessageLen {
+		return nil, fmt.Errorf("%w: %d", ErrBadLength, length)
+	}
+	if length != len(data) {
+		return nil, fmt.Errorf("%w: declared %d, have %d", ErrBadLength, length, len(data))
+	}
+	body := data[HeaderLen:]
+	switch data[18] {
+	case TypeOpen:
+		return parseOpen(body)
+	case TypeUpdate:
+		return parseUpdate(body)
+	case TypeNotification:
+		if len(body) < 2 {
+			return nil, fmt.Errorf("%w: notification body", ErrTruncated)
+		}
+		return &Notification{Code: body[0], Subcode: body[1], Data: append([]byte(nil), body[2:]...)}, nil
+	case TypeKeepalive:
+		if len(body) != 0 {
+			return nil, fmt.Errorf("%w: keepalive with body", ErrBadMessage)
+		}
+		return &Keepalive{}, nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrBadType, data[18])
+	}
+}
+
+func parseOpen(body []byte) (*Open, error) {
+	if len(body) < 10 {
+		return nil, fmt.Errorf("%w: OPEN body %d bytes", ErrTruncated, len(body))
+	}
+	return &Open{
+		Version:    body[0],
+		AS:         binary.BigEndian.Uint16(body[1:3]),
+		HoldTime:   binary.BigEndian.Uint16(body[3:5]),
+		Identifier: netip.AddrFrom4([4]byte(body[5:9])),
+	}, nil
+}
+
+func parseUpdate(body []byte) (*Update, error) {
+	if len(body) < 4 {
+		return nil, fmt.Errorf("%w: UPDATE body %d bytes", ErrTruncated, len(body))
+	}
+	wdLen := int(binary.BigEndian.Uint16(body[0:2]))
+	if 2+wdLen+2 > len(body) {
+		return nil, fmt.Errorf("%w: withdrawn length %d", ErrBadLength, wdLen)
+	}
+	u := &Update{}
+	var err error
+	u.Withdrawn, err = parsePrefixes(body[2 : 2+wdLen])
+	if err != nil {
+		return nil, err
+	}
+	rest := body[2+wdLen:]
+	attrLen := int(binary.BigEndian.Uint16(rest[0:2]))
+	if 2+attrLen > len(rest) {
+		return nil, fmt.Errorf("%w: attribute length %d", ErrBadLength, attrLen)
+	}
+	if attrLen > 0 {
+		u.Attrs, err = parseAttrs(rest[2 : 2+attrLen])
+		if err != nil {
+			return nil, err
+		}
+	}
+	u.NLRI, err = parsePrefixes(rest[2+attrLen:])
+	if err != nil {
+		return nil, err
+	}
+	if len(u.NLRI) > 0 && u.Attrs == nil {
+		return nil, fmt.Errorf("%w: NLRI without path attributes", ErrBadMessage)
+	}
+	return u, nil
+}
+
+func parseAttrs(data []byte) (*PathAttrs, error) {
+	a := &PathAttrs{}
+	for len(data) > 0 {
+		if len(data) < 3 {
+			return nil, fmt.Errorf("%w: attribute header", ErrTruncated)
+		}
+		flags, typ := data[0], data[1]
+		var alen, hdr int
+		if flags&0x10 != 0 { // extended length
+			if len(data) < 4 {
+				return nil, fmt.Errorf("%w: extended attribute header", ErrTruncated)
+			}
+			alen, hdr = int(binary.BigEndian.Uint16(data[2:4])), 4
+		} else {
+			alen, hdr = int(data[2]), 3
+		}
+		if len(data) < hdr+alen {
+			return nil, fmt.Errorf("%w: attribute value (%d declared)", ErrTruncated, alen)
+		}
+		val := data[hdr : hdr+alen]
+		switch typ {
+		case AttrOrigin:
+			if alen != 1 {
+				return nil, fmt.Errorf("%w: ORIGIN length %d", ErrBadLength, alen)
+			}
+			a.Origin = val[0]
+		case AttrASPath:
+			for len(val) > 0 {
+				if len(val) < 2 {
+					return nil, fmt.Errorf("%w: AS_PATH segment header", ErrTruncated)
+				}
+				segType, n := val[0], int(val[1])
+				if len(val) < 2+2*n {
+					return nil, fmt.Errorf("%w: AS_PATH segment", ErrTruncated)
+				}
+				if segType != SegmentSequence && segType != SegmentSet {
+					return nil, fmt.Errorf("%w: AS_PATH segment type %d", ErrBadMessage, segType)
+				}
+				for i := 0; i < n; i++ {
+					a.ASPath = append(a.ASPath, binary.BigEndian.Uint16(val[2+2*i:4+2*i]))
+				}
+				val = val[2+2*n:]
+			}
+		case AttrNextHop:
+			if alen != 4 {
+				return nil, fmt.Errorf("%w: NEXT_HOP length %d", ErrBadLength, alen)
+			}
+			a.NextHop = netip.AddrFrom4([4]byte(val))
+		case AttrMED:
+			if alen != 4 {
+				return nil, fmt.Errorf("%w: MED length %d", ErrBadLength, alen)
+			}
+			a.MED, a.HasMED = binary.BigEndian.Uint32(val), true
+		case AttrLocalPref:
+			if alen != 4 {
+				return nil, fmt.Errorf("%w: LOCAL_PREF length %d", ErrBadLength, alen)
+			}
+			a.LocalPref, a.HasLocal = binary.BigEndian.Uint32(val), true
+		default:
+			// Unknown attributes are skipped (optional transitive pass-through).
+		}
+		data = data[hdr+alen:]
+	}
+	return a, nil
+}
+
+// SplitStream splits a byte stream into whole BGP messages. It returns the
+// parsed leading messages and the number of bytes consumed; a trailing
+// partial message is left unconsumed for the caller to retry with more data.
+// A framing error (bad marker/length) aborts the split.
+func SplitStream(data []byte) (msgs []Message, consumed int, err error) {
+	for {
+		if len(data)-consumed < HeaderLen {
+			return msgs, consumed, nil
+		}
+		hdr := data[consumed:]
+		length := int(binary.BigEndian.Uint16(hdr[16:18]))
+		if length < HeaderLen || length > MaxMessageLen {
+			return msgs, consumed, fmt.Errorf("%w: %d", ErrBadLength, length)
+		}
+		if len(data)-consumed < length {
+			return msgs, consumed, nil
+		}
+		m, err := Parse(data[consumed : consumed+length])
+		if err != nil {
+			return msgs, consumed, err
+		}
+		msgs = append(msgs, m)
+		consumed += length
+	}
+}
+
+// Route is one routing-table entry: a prefix and its attribute set.
+type Route struct {
+	Prefix Prefix
+	Attrs  *PathAttrs
+}
+
+// PackWithdrawals converts a prefix list into withdrawal-only UPDATE
+// messages, each filled to the protocol's size limit — what a router emits
+// when a failure invalidates routes before any re-announcement.
+func PackWithdrawals(prefixes []Prefix) ([]*Update, error) {
+	const base = HeaderLen + 2 + 2 // header + withdrawn len + attr len
+	budget := MaxMessageLen - base
+	var out []*Update
+	var cur []Prefix
+	curBytes := 0
+	flush := func() {
+		if len(cur) > 0 {
+			out = append(out, &Update{Withdrawn: cur})
+			cur, curBytes = nil, 0
+		}
+	}
+	for _, p := range prefixes {
+		if !p.Addr().Is4() {
+			return nil, fmt.Errorf("%w: prefix %v is not IPv4", ErrBadMessage, p)
+		}
+		w := PrefixWireLen(p)
+		if curBytes+w > budget {
+			flush()
+		}
+		cur = append(cur, p)
+		curBytes += w
+	}
+	flush()
+	return out, nil
+}
+
+// PackTable converts a routing table into a sequence of UPDATE messages,
+// grouping prefixes by identical attribute sets and filling each message up
+// to the 4096-byte limit — the way a router serializes a full-table
+// transfer. Group order follows first appearance in the input, and prefix
+// order within a group is preserved, so output is deterministic.
+func PackTable(routes []Route) ([]*Update, error) {
+	type group struct {
+		attrs    *PathAttrs
+		prefixes []Prefix
+	}
+	index := map[string]int{}
+	var groups []*group
+	for _, r := range routes {
+		if r.Attrs == nil {
+			return nil, fmt.Errorf("%w: route %v without attributes", ErrBadMessage, r.Prefix)
+		}
+		k := r.Attrs.Key()
+		gi, ok := index[k]
+		if !ok {
+			gi = len(groups)
+			index[k] = gi
+			groups = append(groups, &group{attrs: r.Attrs})
+		}
+		groups[gi].prefixes = append(groups[gi].prefixes, r.Prefix)
+	}
+
+	var out []*Update
+	for _, g := range groups {
+		attrBytes, err := g.attrs.marshalAttrs()
+		if err != nil {
+			return nil, err
+		}
+		// Fixed per-message overhead: header + withdrawn len + attr len + attrs.
+		base := HeaderLen + 2 + 2 + len(attrBytes)
+		budget := MaxMessageLen - base
+		var cur []Prefix
+		curBytes := 0
+		flush := func() {
+			if len(cur) > 0 {
+				out = append(out, &Update{Attrs: g.attrs, NLRI: cur})
+				cur, curBytes = nil, 0
+			}
+		}
+		for _, p := range g.prefixes {
+			w := PrefixWireLen(p)
+			if curBytes+w > budget {
+				flush()
+			}
+			cur = append(cur, p)
+			curBytes += w
+		}
+		flush()
+	}
+	return out, nil
+}

@@ -1,0 +1,48 @@
+package bgp
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+)
+
+// TestParseNeverPanics mutates valid messages and feeds noise: malformed
+// BGP bytes in a reassembled stream must error, never crash.
+func TestParseNeverPanics(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	attrs := &PathAttrs{
+		Origin:    OriginIGP,
+		ASPath:    []uint16{7018, 3356},
+		NextHop:   netip.MustParseAddr("10.0.0.1"),
+		HasMED:    true,
+		MED:       5,
+		HasLocal:  true,
+		LocalPref: 100,
+	}
+	u := &Update{
+		Withdrawn: []Prefix{mustPrefix("192.0.2.0/24")},
+		Attrs:     attrs,
+		NLRI:      []Prefix{mustPrefix("10.0.0.0/8"), mustPrefix("172.16.0.0/12")},
+	}
+	good, err := u.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		var data []byte
+		switch i % 3 {
+		case 0:
+			data = make([]byte, rnd.Intn(100))
+			rnd.Read(data)
+		case 1:
+			data = append([]byte(nil), good...)
+			for j := 0; j < 1+rnd.Intn(6); j++ {
+				data[rnd.Intn(len(data))] ^= byte(1 << rnd.Intn(8))
+			}
+		default:
+			data = good[:rnd.Intn(len(good))]
+		}
+		_, _ = Parse(data)
+		_, _, _ = SplitStream(data)
+	}
+}

@@ -1,0 +1,280 @@
+// Package bgpsim layers BGP speakers over tcpsim endpoints: an operational
+// router (Speaker) that streams routing-table transfers with the
+// timer-driven update pacing and peer-group replication semantics the paper
+// diagnoses, and a passive Collector (Quagga- or vendor-style) that
+// rate-limits its reads — the BGP receiver-processing bottleneck — and
+// archives received updates in MRT form.
+package bgpsim
+
+import (
+	"fmt"
+
+	"tdat/internal/bgp"
+	"tdat/internal/sim"
+	"tdat/internal/tcpsim"
+)
+
+// Micros aliases the simulator time unit.
+type Micros = sim.Micros
+
+// Default protocol timers (RFC 4271 suggested values, as in ISP_A).
+const (
+	DefaultHoldTime          = 180 * 1_000_000
+	DefaultKeepaliveInterval = 60 * 1_000_000
+)
+
+// PeerState is the BGP session state (condensed from the RFC 4271 FSM).
+type PeerState int
+
+// Session states.
+const (
+	PeerIdle PeerState = iota
+	PeerOpenSent
+	PeerOpenConfirm
+	PeerEstablished
+	PeerDown
+)
+
+// String implements fmt.Stringer.
+func (s PeerState) String() string {
+	switch s {
+	case PeerIdle:
+		return "idle"
+	case PeerOpenSent:
+		return "open-sent"
+	case PeerOpenConfirm:
+		return "open-confirm"
+	case PeerEstablished:
+		return "established"
+	case PeerDown:
+		return "down"
+	default:
+		return "unknown"
+	}
+}
+
+// Peer runs the BGP session state machine over a TCP endpoint: OPEN
+// exchange, keepalive generation, hold-timer supervision, and inbound
+// message framing.
+type Peer struct {
+	eng  *sim.Engine
+	ep   *tcpsim.Endpoint
+	name string
+
+	localAS   uint16
+	holdTime  Micros
+	keepalive Micros
+	// autoRead drains the TCP receive buffer immediately (router side). The
+	// collector leaves it false and pulls at its processing rate.
+	autoRead bool
+
+	state    PeerState
+	lastRecv Micros
+	lastSent Micros
+	inbuf    []byte
+
+	holdTimer      *sim.Timer
+	keepaliveTimer *sim.Timer
+
+	// OnEstablished fires when the BGP session reaches Established.
+	OnEstablished func()
+	// OnMessage fires for every inbound BGP message (raw bytes included for
+	// archiving).
+	OnMessage func(m bgp.Message, raw []byte)
+	// OnDown fires when the session leaves Established (hold expiry, RST,
+	// or notification).
+	OnDown func(reason string)
+}
+
+// NewPeer wraps ep in a BGP session. Call Start once the TCP connection is
+// being opened; the OPEN is sent when TCP establishes.
+func NewPeer(eng *sim.Engine, ep *tcpsim.Endpoint, name string, localAS uint16, autoRead bool) *Peer {
+	p := &Peer{
+		eng:       eng,
+		ep:        ep,
+		name:      name,
+		localAS:   localAS,
+		holdTime:  DefaultHoldTime,
+		keepalive: DefaultKeepaliveInterval,
+		autoRead:  autoRead,
+		state:     PeerIdle,
+	}
+	ep.OnEstablished = p.onTCPEstablished
+	ep.OnReset = func() { p.down("tcp reset") }
+	if autoRead {
+		ep.OnReadable = func() { p.Feed(ep.Read(ep.ReadableLen())) }
+	}
+	return p
+}
+
+// SetTimers overrides the hold and keepalive intervals.
+func (p *Peer) SetTimers(hold, keepalive Micros) {
+	p.holdTime = hold
+	p.keepalive = keepalive
+}
+
+// State returns the session state.
+func (p *Peer) State() PeerState { return p.state }
+
+// Endpoint returns the underlying TCP endpoint.
+func (p *Peer) Endpoint() *tcpsim.Endpoint { return p.ep }
+
+// Name returns the peer label.
+func (p *Peer) Name() string { return p.name }
+
+func (p *Peer) onTCPEstablished() {
+	open := &bgp.Open{
+		AS:         p.localAS,
+		HoldTime:   uint16(p.holdTime / 1_000_000),
+		Identifier: p.ep.Config().Addr,
+	}
+	raw, err := open.Marshal()
+	if err != nil {
+		p.down(fmt.Sprintf("marshal OPEN: %v", err))
+		return
+	}
+	p.send(raw)
+	p.state = PeerOpenSent
+	p.lastRecv = p.eng.Now()
+	p.armHoldTimer()
+}
+
+// send writes a whole BGP message to the TCP stream, bypassing any update
+// queue (OPEN, KEEPALIVE, NOTIFICATION are never paced).
+func (p *Peer) send(raw []byte) bool {
+	n := p.ep.Write(raw)
+	if n < len(raw) {
+		// Partial protocol-message writes would desynchronize framing; this
+		// only happens against a peer that stopped acking with a full
+		// buffer, where the session is about to die via hold timer anyway.
+		return false
+	}
+	p.lastSent = p.eng.Now()
+	return true
+}
+
+// SendKeepalive emits a KEEPALIVE immediately.
+func (p *Peer) SendKeepalive() {
+	raw, _ := (&bgp.Keepalive{}).Marshal()
+	p.send(raw)
+}
+
+// Feed hands inbound TCP bytes to the session framer.
+func (p *Peer) Feed(data []byte) {
+	if len(data) == 0 || p.state == PeerDown {
+		return
+	}
+	p.inbuf = append(p.inbuf, data...)
+	msgs, consumed, err := bgp.SplitStream(p.inbuf)
+	if err != nil {
+		p.down(fmt.Sprintf("framing error: %v", err))
+		return
+	}
+	rawStream := p.inbuf[:consumed]
+	p.inbuf = append([]byte(nil), p.inbuf[consumed:]...)
+	off := 0
+	for _, m := range msgs {
+		// Re-derive each message's length from the stream framing.
+		length := int(uint16(rawStream[off+16])<<8 | uint16(rawStream[off+17]))
+		raw := rawStream[off : off+length]
+		off += length
+		p.handleMessage(m, raw)
+		if p.state == PeerDown {
+			return
+		}
+	}
+}
+
+func (p *Peer) handleMessage(m bgp.Message, raw []byte) {
+	p.lastRecv = p.eng.Now()
+	switch msg := m.(type) {
+	case *bgp.Open:
+		// RFC 4271 §4.2: the session hold time is the minimum of both
+		// proposals; the keepalive interval is one third of it.
+		peerHold := Micros(msg.HoldTime) * 1_000_000
+		if peerHold < p.holdTime {
+			p.holdTime = peerHold
+		}
+		if p.holdTime > 0 {
+			p.keepalive = p.holdTime / 3
+			p.armHoldTimer()
+		} else {
+			p.holdTimer.Stop()
+		}
+		// Complete our side of the exchange with a KEEPALIVE ack.
+		p.SendKeepalive()
+		if p.state == PeerOpenSent {
+			p.state = PeerOpenConfirm
+		}
+	case *bgp.Keepalive:
+		if p.state == PeerOpenConfirm || p.state == PeerOpenSent {
+			p.state = PeerEstablished
+			p.armKeepaliveTimer()
+			if p.OnEstablished != nil {
+				p.OnEstablished()
+			}
+		}
+	case *bgp.Notification:
+		p.down("notification received")
+		return
+	}
+	if p.OnMessage != nil {
+		p.OnMessage(m, raw)
+	}
+}
+
+func (p *Peer) armHoldTimer() {
+	p.holdTimer.Stop()
+	if p.holdTime <= 0 {
+		return
+	}
+	p.holdTimer = p.eng.After(p.holdTime, p.checkHold)
+}
+
+func (p *Peer) checkHold() {
+	if p.state == PeerDown {
+		return
+	}
+	idle := p.eng.Now() - p.lastRecv
+	if idle >= p.holdTime {
+		raw, _ := (&bgp.Notification{Code: 4}).Marshal() // hold timer expired
+		p.send(raw)
+		p.down("hold timer expired")
+		return
+	}
+	p.holdTimer = p.eng.After(p.holdTime-idle, p.checkHold)
+}
+
+func (p *Peer) armKeepaliveTimer() {
+	p.keepaliveTimer.Stop()
+	if p.keepalive <= 0 {
+		return
+	}
+	p.keepaliveTimer = p.eng.After(p.keepalive, p.keepaliveTick)
+}
+
+func (p *Peer) keepaliveTick() {
+	if p.state != PeerEstablished {
+		return
+	}
+	if p.eng.Now()-p.lastSent >= p.keepalive {
+		p.SendKeepalive()
+	}
+	p.keepaliveTimer = p.eng.After(p.keepalive, p.keepaliveTick)
+}
+
+// Down tears the session down locally (used by owners for resets).
+func (p *Peer) Down(reason string) { p.down(reason) }
+
+func (p *Peer) down(reason string) {
+	if p.state == PeerDown {
+		return
+	}
+	p.state = PeerDown
+	p.holdTimer.Stop()
+	p.keepaliveTimer.Stop()
+	p.ep.Abort()
+	if p.OnDown != nil {
+		p.OnDown(reason)
+	}
+}

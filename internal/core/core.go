@@ -1,0 +1,238 @@
+// Package core is the T-DAT facade: it wires the full analysis pipeline —
+// pcap decoding, connection extraction (flows), sniffer-location ACK
+// shifting, event-series generation, delay-factor classification, and the
+// known-problem detectors — behind one Analyzer type (paper Fig 10).
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"tdat/internal/bgp"
+	"tdat/internal/detect"
+	"tdat/internal/factors"
+	"tdat/internal/flows"
+	"tdat/internal/mct"
+	"tdat/internal/packet"
+	"tdat/internal/pcapio"
+	"tdat/internal/reassembly"
+	"tdat/internal/series"
+	"tdat/internal/timerange"
+)
+
+// Micros aliases the analyzer time unit.
+type Micros = timerange.Micros
+
+// Config collects the tunables of every pipeline stage. The zero value
+// selects the paper's defaults.
+type Config struct {
+	// Flows tunes connection extraction and loss classification.
+	Flows flows.Options
+	// Series tunes event-series generation (including sniffer location and
+	// ACK shifting).
+	Series series.Config
+	// MCT tunes transfer-end estimation.
+	MCT mct.Config
+	// MajorThreshold is the major-factor-group cutoff (default 0.3).
+	MajorThreshold float64
+	// TimerMinJump is the knee sharpness guard for timer inference
+	// (default 3).
+	TimerMinJump float64
+	// ConsecutiveLossThreshold is the burst-loss rule (default 8).
+	ConsecutiveLossThreshold int
+}
+
+// Analyzer runs the T-DAT pipeline.
+type Analyzer struct {
+	cfg Config
+}
+
+// New creates an Analyzer.
+func New(cfg Config) *Analyzer { return &Analyzer{cfg: cfg} }
+
+// TransferReport is the full analysis of one table transfer (one TCP
+// connection).
+type TransferReport struct {
+	Conn    *flows.Connection
+	Catalog *series.Catalog
+	// Transfer is the analysis window: TCP connection start to the MCT end
+	// (or the last data packet when no BGP stream could be recovered).
+	Transfer timerange.Range
+	// MCT is the transfer-end estimate, when the BGP stream was decodable.
+	MCT *mct.Result
+	// Factors is the delay-ratio report over the transfer window.
+	Factors *factors.Report
+
+	// Timer is the inferred BGP pacing timer, if any.
+	Timer *detect.TimerGapResult
+	// ConsecLoss summarizes burst-loss episodes.
+	ConsecLoss detect.ConsecutiveLossResult
+	// ZeroAckBug is set when the zero-window/upstream-loss conflict series
+	// is non-empty.
+	ZeroAckBug bool
+
+	// Messages counts BGP messages recovered by reassembly (0 when the
+	// payload was not decodable as BGP).
+	Messages int
+}
+
+// Duration returns the transfer duration.
+func (t *TransferReport) Duration() Micros { return t.Transfer.Len() }
+
+// Report is the analysis of a whole capture.
+type Report struct {
+	Transfers []*TransferReport
+	// SkippedPackets counts records that failed to decode.
+	SkippedPackets int
+}
+
+// AnalyzePcap reads a pcap stream and analyzes every connection in it.
+func (a *Analyzer) AnalyzePcap(r io.Reader) (*Report, error) {
+	recs, err := pcapio.ReadAll(r)
+	if err != nil && len(recs) == 0 {
+		return nil, fmt.Errorf("core: reading pcap: %w", err)
+	}
+	return a.AnalyzeRecords(recs)
+}
+
+// AnalyzeRecords analyzes decoded pcap records.
+func (a *Analyzer) AnalyzeRecords(recs []pcapio.Record) (*Report, error) {
+	var pkts []flows.TimedPacket
+	skipped := 0
+	for _, rec := range recs {
+		p, err := decodeRecord(rec)
+		if err != nil {
+			skipped++
+			continue
+		}
+		pkts = append(pkts, p)
+	}
+	rep := a.AnalyzePackets(pkts)
+	rep.SkippedPackets = skipped
+	return rep, nil
+}
+
+// AnalyzePackets analyzes pre-decoded packets.
+func (a *Analyzer) AnalyzePackets(pkts []flows.TimedPacket) *Report {
+	conns := flows.ExtractOpts(pkts, a.cfg.Flows)
+	rep := &Report{}
+	for _, c := range conns {
+		rep.Transfers = append(rep.Transfers, a.AnalyzeConnection(c))
+	}
+	return rep
+}
+
+// AnalyzeConnection runs series generation, transfer-window estimation,
+// factor classification, and the detectors for one connection.
+func (a *Analyzer) AnalyzeConnection(c *flows.Connection) *TransferReport {
+	tr := &TransferReport{Conn: c}
+	tr.Catalog = series.Generate(c, a.cfg.Series)
+
+	// Transfer window: TCP start → MCT end (paper §II-A steps ii & iii).
+	start := c.Profile.Start
+	end := c.Profile.End
+	if res, ok := a.reassembleEnd(c, &tr.Messages); ok {
+		tr.MCT = &res
+		end = res.End
+	} else if len(c.Data) > 0 {
+		end = c.Data[len(c.Data)-1].Time
+	}
+	if end <= start {
+		end = start + 1
+	}
+	tr.Transfer = timerange.R(start, end)
+
+	tr.Factors = factors.Analyze(tr.Catalog, tr.Transfer, a.cfg.MajorThreshold)
+
+	if res, ok := detect.TimerGaps(tr.Catalog, tr.Transfer, a.cfg.TimerMinJump); ok {
+		tr.Timer = &res
+	}
+	tr.ConsecLoss = detect.ConsecutiveLosses(tr.Catalog, tr.Transfer, a.cfg.ConsecutiveLossThreshold)
+	_, tr.ZeroAckBug = detect.ZeroAckBug(tr.Catalog)
+	return tr
+}
+
+// AnalyzeConnectionWithEnd is AnalyzeConnection with an externally known
+// transfer end (e.g. from a collector's MRT archive via mct.FindEnd),
+// skipping payload reassembly.
+func (a *Analyzer) AnalyzeConnectionWithEnd(c *flows.Connection, end Micros) *TransferReport {
+	tr := &TransferReport{Conn: c}
+	tr.Catalog = series.Generate(c, a.cfg.Series)
+	start := c.Profile.Start
+	if end <= start {
+		end = start + 1
+	}
+	tr.Transfer = timerange.R(start, end)
+	tr.Factors = factors.Analyze(tr.Catalog, tr.Transfer, a.cfg.MajorThreshold)
+	if res, ok := detect.TimerGaps(tr.Catalog, tr.Transfer, a.cfg.TimerMinJump); ok {
+		tr.Timer = &res
+	}
+	tr.ConsecLoss = detect.ConsecutiveLosses(tr.Catalog, tr.Transfer, a.cfg.ConsecutiveLossThreshold)
+	_, tr.ZeroAckBug = detect.ZeroAckBug(tr.Catalog)
+	return tr
+}
+
+// AnalyzeConnectionWindow analyzes c over an explicit window — e.g. a churn
+// burst on an established session rather than the initial table transfer.
+func (a *Analyzer) AnalyzeConnectionWindow(c *flows.Connection, window timerange.Range) *TransferReport {
+	tr := &TransferReport{Conn: c}
+	tr.Catalog = series.Generate(c, a.cfg.Series)
+	if window.Empty() {
+		window = timerange.R(c.Profile.Start, c.Profile.End+1)
+	}
+	tr.Transfer = window
+	tr.Factors = factors.Analyze(tr.Catalog, tr.Transfer, a.cfg.MajorThreshold)
+	if res, ok := detect.TimerGaps(tr.Catalog, tr.Transfer, a.cfg.TimerMinJump); ok {
+		tr.Timer = &res
+	}
+	tr.ConsecLoss = detect.ConsecutiveLosses(tr.Catalog, tr.Transfer, a.cfg.ConsecutiveLossThreshold)
+	_, tr.ZeroAckBug = detect.ZeroAckBug(tr.Catalog)
+	return tr
+}
+
+// AnalyzeConnectionWithUpdates is AnalyzeConnection with the transfer end
+// estimated from an externally archived update stream (e.g. a Quagga
+// collector's MRT file via mct.FromMRT) instead of payload reassembly —
+// the paper's §II-A step (ii) pipeline.
+func (a *Analyzer) AnalyzeConnectionWithUpdates(c *flows.Connection, updates []mct.Update) *TransferReport {
+	end := c.Profile.End
+	var res *mct.Result
+	if r, ok := mct.FindEnd(updates, a.cfg.MCT); ok {
+		res = &r
+		end = r.End
+	} else if len(c.Data) > 0 {
+		end = c.Data[len(c.Data)-1].Time
+	}
+	tr := a.AnalyzeConnectionWithEnd(c, end)
+	tr.MCT = res
+	return tr
+}
+
+// reassembleEnd recovers the BGP stream and estimates the transfer end.
+func (a *Analyzer) reassembleEnd(c *flows.Connection, msgCount *int) (mct.Result, bool) {
+	res, err := reassembly.Reassemble(c)
+	if err != nil || len(res.Messages) == 0 {
+		return mct.Result{}, false
+	}
+	*msgCount = len(res.Messages)
+	times := make([]Micros, len(res.Messages))
+	msgs := make([]bgp.Message, len(res.Messages))
+	for i, m := range res.Messages {
+		times[i] = m.Time
+		msgs[i] = m.Msg
+	}
+	ups := mct.FromMessages(times, msgs)
+	if len(ups) == 0 {
+		return mct.Result{}, false
+	}
+	return mct.FindEnd(ups, a.cfg.MCT)
+}
+
+// decodeRecord converts one pcap record to a timed packet.
+func decodeRecord(rec pcapio.Record) (flows.TimedPacket, error) {
+	p, err := packet.Decode(rec.Data)
+	if err != nil {
+		return flows.TimedPacket{}, err
+	}
+	return flows.TimedPacket{Time: rec.TimeMicros, Pkt: p}, nil
+}

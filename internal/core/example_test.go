@@ -1,0 +1,38 @@
+package core_test
+
+import (
+	"fmt"
+
+	"tdat/internal/core"
+	"tdat/internal/factors"
+	"tdat/internal/series"
+	"tdat/internal/tracegen"
+)
+
+// The whole pipeline in a dozen lines: simulate a pathological transfer,
+// analyze its capture, read off the verdict.
+func ExampleAnalyzer() {
+	trace := tracegen.Run(tracegen.Scenario{
+		Kind:         tracegen.KindPaced, // a 200 ms update pacing timer
+		Seed:         1,
+		Routes:       6_000,
+		PacingTimer:  200_000,
+		PacingBudget: 24,
+	})
+
+	analyzer := core.New(core.Config{})
+	report := analyzer.AnalyzePackets(trace.Packets())
+	t := report.Transfers[0]
+
+	group, _ := t.Factors.Dominant()
+	fmt.Println("dominant group:", group)
+	fmt.Println("dominant factor:", t.Factors.DominantFactor[factors.GroupSender])
+	fmt.Printf("timer: %d ms\n", t.Timer.TimerMicros/1000)
+	fmt.Println("app-limited ranges non-empty:",
+		t.Catalog.Get(series.SendAppLimited).Len() > 0)
+	// Output:
+	// dominant group: sender
+	// dominant factor: bgp-sender-app
+	// timer: 200 ms
+	// app-limited ranges non-empty: true
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+
+	"tdat/internal/factors"
+	"tdat/internal/series"
+)
+
+// JSONReport is the machine-readable form of a TransferReport — what a
+// collector-side deployment would ship to a monitoring pipeline.
+type JSONReport struct {
+	Sender    string  `json:"sender"`
+	Receiver  string  `json:"receiver"`
+	StartSec  float64 `json:"start_sec"`
+	EndSec    float64 `json:"end_sec"`
+	Duration  float64 `json:"duration_sec"`
+	RTTMillis float64 `json:"rtt_ms"`
+	MSS       int     `json:"mss"`
+	MaxWindow int     `json:"max_adv_window"`
+
+	DataBytes   int64 `json:"data_bytes"`
+	DataPackets int   `json:"data_packets"`
+	Retransmits int   `json:"retransmits"`
+	GapFills    int   `json:"gap_fills"`
+	Reordered   int   `json:"reordered"`
+
+	// Factors holds the 8-factor ratio vector keyed by factor name.
+	Factors map[string]float64 `json:"factors"`
+	// Groups holds the 3-group ratios.
+	Groups map[string]float64 `json:"groups"`
+	// MajorGroups lists groups over the threshold, most limiting first.
+	MajorGroups []string `json:"major_groups"`
+	Threshold   float64  `json:"threshold"`
+
+	TimerMillis       float64 `json:"timer_ms,omitempty"`
+	TimerGaps         int     `json:"timer_gaps,omitempty"`
+	TimerDelaySec     float64 `json:"timer_delay_sec,omitempty"`
+	ConsecEpisodes    int     `json:"consecutive_loss_episodes,omitempty"`
+	ConsecMaxRun      int     `json:"consecutive_loss_max_run,omitempty"`
+	ConsecDelaySec    float64 `json:"consecutive_loss_delay_sec,omitempty"`
+	ZeroAckBug        bool    `json:"zero_ack_bug,omitempty"`
+	RecoveredMessages int     `json:"bgp_messages,omitempty"`
+
+	// Series maps every catalog series to its total covered seconds within
+	// the transfer window.
+	Series map[string]float64 `json:"series_sec"`
+}
+
+// JSON converts the report for serialization.
+func (t *TransferReport) JSON() *JSONReport {
+	p := t.Conn.Profile
+	out := &JSONReport{
+		Sender:      t.Conn.Sender.String(),
+		Receiver:    t.Conn.Receiver.String(),
+		StartSec:    float64(t.Transfer.Start) / 1e6,
+		EndSec:      float64(t.Transfer.End) / 1e6,
+		Duration:    float64(t.Duration()) / 1e6,
+		RTTMillis:   float64(p.RTT) / 1e3,
+		MSS:         p.MSS,
+		MaxWindow:   p.MaxAdvWindow,
+		DataBytes:   p.TotalDataBytes,
+		DataPackets: p.TotalDataPackets,
+		Retransmits: p.RetransmitCount,
+		GapFills:    p.GapFillCount,
+		Reordered:   p.ReorderCount,
+		Factors:     map[string]float64{},
+		Groups:      map[string]float64{},
+		Threshold:   t.Factors.Threshold,
+		ZeroAckBug:  t.ZeroAckBug,
+		Series:      map[string]float64{},
+	}
+	for f := factors.Factor(0); f <= factors.NetLoss; f++ {
+		out.Factors[f.String()] = t.Factors.V.At(f)
+	}
+	for g := factors.GroupSender; g <= factors.GroupNetwork; g++ {
+		out.Groups[g.String()] = t.Factors.G.At(g)
+	}
+	for _, g := range t.Factors.MajorGroups {
+		out.MajorGroups = append(out.MajorGroups, g.String())
+	}
+	if t.Timer != nil {
+		out.TimerMillis = float64(t.Timer.TimerMicros) / 1e3
+		out.TimerGaps = t.Timer.Gaps
+		out.TimerDelaySec = float64(t.Timer.InducedDelay) / 1e6
+	}
+	out.ConsecEpisodes = t.ConsecLoss.Episodes
+	out.ConsecMaxRun = t.ConsecLoss.MaxRun
+	out.ConsecDelaySec = float64(t.ConsecLoss.InducedDelay) / 1e6
+	out.RecoveredMessages = t.Messages
+	window := t.Transfer
+	for _, n := range series.All {
+		clipped := t.Catalog.Get(n).Query(window)
+		var total float64
+		for _, r := range clipped {
+			total += float64(r.Len())
+		}
+		out.Series[string(n)] = total / 1e6
+	}
+	return out
+}
+
+// WriteJSON serializes the report (indented) to w.
+func (t *TransferReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t.JSON())
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"tdat/internal/asciiplot"
+	"tdat/internal/factors"
+	"tdat/internal/series"
+)
+
+// WriteText renders a human-readable analysis of one transfer, including
+// the factor vectors and (optionally) the series lanes.
+func (t *TransferReport) WriteText(w io.Writer, plotSeries bool) error {
+	p := t.Conn.Profile
+	fmt.Fprintf(w, "connection %s -> %s\n", t.Conn.Sender, t.Conn.Receiver)
+	fmt.Fprintf(w, "  transfer: %.3fs - %.3fs (duration %.3fs)\n",
+		float64(t.Transfer.Start)/1e6, float64(t.Transfer.End)/1e6, float64(t.Duration())/1e6)
+	fmt.Fprintf(w, "  profile: rtt=%.2fms mss=%d maxwin=%d data=%dB/%dpkts retx=%d oos=%d reord=%d\n",
+		float64(p.RTT)/1e3, p.MSS, p.MaxAdvWindow,
+		p.TotalDataBytes, p.TotalDataPackets, p.RetransmitCount, p.GapFillCount, p.ReorderCount)
+	if t.MCT != nil {
+		fmt.Fprintf(w, "  mct: %d updates, %d unique prefixes\n", t.MCT.Updates, t.MCT.UniquePrefixes)
+	}
+	fmt.Fprintf(w, "  group ratios G=(sender, receiver, network) = %s\n", t.Factors.G)
+	fmt.Fprintf(w, "  factor ratios V = %s\n", t.Factors.V)
+	if t.Factors.Unknown() {
+		fmt.Fprintf(w, "  major: (none above %.0f%%)\n", t.Factors.Threshold*100)
+	} else {
+		fmt.Fprintf(w, "  major:")
+		for _, g := range t.Factors.MajorGroups {
+			fmt.Fprintf(w, " %s(%.0f%%, dominant=%s)",
+				g, t.Factors.G.At(g)*100, t.Factors.DominantFactor[g])
+		}
+		fmt.Fprintln(w)
+	}
+	if t.Timer != nil {
+		fmt.Fprintf(w, "  detected pacing timer: %.0fms over %d gaps (+%.2fs delay)\n",
+			float64(t.Timer.TimerMicros)/1e3, t.Timer.Gaps, float64(t.Timer.InducedDelay)/1e6)
+	}
+	if t.ConsecLoss.Episodes > 0 {
+		fmt.Fprintf(w, "  consecutive losses: %d episode(s), max run %d (+%.2fs delay)\n",
+			t.ConsecLoss.Episodes, t.ConsecLoss.MaxRun, float64(t.ConsecLoss.InducedDelay)/1e6)
+	}
+	if t.ZeroAckBug {
+		fmt.Fprintf(w, "  ZeroAckBug conflict detected (zero window ∩ upstream loss)\n")
+	}
+	// Per-wave loss annotations (paper §III-A: each wave records its
+	// packets and bytes), capped to keep the report readable.
+	for _, name := range []series.Name{series.DownstreamLoss, series.UpstreamLoss} {
+		stats := t.Catalog.RangeStats(name)
+		for i, s := range stats {
+			if i >= 4 {
+				fmt.Fprintf(w, "  %s: … %d more waves\n", name, len(stats)-i)
+				break
+			}
+			fmt.Fprintf(w, "  %s wave %.3fs-%.3fs: %d pkts / %dB (%d retx)\n",
+				name, float64(s.Range.Start)/1e6, float64(s.Range.End)/1e6,
+				s.DataPackets, s.DataBytes, s.Retransmits)
+		}
+	}
+	if !plotSeries {
+		return nil
+	}
+	rows := []asciiplot.Row{
+		{Label: "Transmission", Set: t.Catalog.Get(series.Transmission)},
+		{Label: "Outstanding", Set: t.Catalog.Get(series.Outstanding)},
+		{Label: "SendAppLimited", Set: t.Catalog.Get(series.SendAppLimited)},
+		{Label: "AdvBndOut", Set: t.Catalog.Get(series.AdvBndOut)},
+		{Label: "CwndBndOut", Set: t.Catalog.Get(series.CwndBndOut)},
+		{Label: "UpstreamLoss", Set: t.Catalog.Get(series.UpstreamLoss)},
+		{Label: "DownstreamLoss", Set: t.Catalog.Get(series.DownstreamLoss)},
+		{Label: "ZeroAdvWindow", Set: t.Catalog.Get(series.ZeroAdvWindow)},
+	}
+	return asciiplot.Series(w, t.Transfer, rows, 100)
+}
+
+// Summary returns a one-line classification of the transfer.
+func (t *TransferReport) Summary() string {
+	g, ratio := t.Factors.Dominant()
+	dom := factors.Factor(-1)
+	if f, ok := t.Factors.DominantFactor[g]; ok {
+		dom = f
+	}
+	return fmt.Sprintf("%s -> %s dur=%.2fs dominant=%s/%s (%.0f%%)",
+		t.Conn.Sender, t.Conn.Receiver, float64(t.Duration())/1e6, g, dom, ratio*100)
+}

@@ -1,0 +1,284 @@
+// Package detect implements T-DAT's known-problem detectors (paper §IV-B):
+// BGP pacing-timer gaps (knee-point inference on the idle-gap
+// distribution), consecutive packet losses, pathological peer-group
+// blocking (a cross-connection set intersection), and the ZeroAckBug
+// conflict series.
+package detect
+
+import (
+	"sort"
+
+	"tdat/internal/knee"
+	"tdat/internal/series"
+	"tdat/internal/timerange"
+)
+
+// Micros aliases the trace time unit.
+type Micros = timerange.Micros
+
+// TimerGapResult reports a detected BGP pacing timer.
+type TimerGapResult struct {
+	// TimerMicros is the inferred timer period.
+	TimerMicros Micros
+	// Gaps is how many idle gaps matched the timer plateau.
+	Gaps int
+	// InducedDelay is the total idle time attributable to the timer.
+	InducedDelay Micros
+}
+
+// TimerGaps infers a repetitive pacing timer from the SendAppLimited gap
+// length distribution (paper Fig 17) within window (empty = whole capture,
+// but callers should clip to the table-transfer period so post-transfer
+// keepalive silences do not masquerade as timers). minJump is the
+// knee-detection sharpness guard (≤0 selects 3×).
+func TimerGaps(cat *series.Catalog, window timerange.Range, minJump float64) (TimerGapResult, bool) {
+	if minJump <= 0 {
+		minJump = 3
+	}
+	app := clip(cat.Get(series.SendAppLimited), window)
+	ranges := app.Ranges()
+	// Each idle range ends when the pacing timer releases the next burst,
+	// so the burst-to-burst period is the spacing of consecutive range
+	// ends. (The range LENGTH under-estimates the timer by the ACK round
+	// trip, because the idle charge starts at the completing ACK.)
+	periods := make([]float64, 0, len(ranges))
+	for i := 1; i < len(ranges); i++ {
+		periods = append(periods, float64(ranges[i].End-ranges[i-1].End))
+	}
+	timer, ok := knee.GapKnee(periods, minJump)
+	if !ok {
+		// Degenerate plateau: when (nearly) every period sits at the same
+		// value, the sorted curve has no knee, yet the pacing timer is
+		// plainly there — e.g. one burst released per tick. Accept a
+		// tightly concentrated distribution as the timer itself.
+		timer, ok = flatPlateau(periods)
+		if !ok {
+			return TimerGapResult{}, false
+		}
+	}
+	if timer < 50_000 {
+		// Sub-50 ms periodicity is OS/scheduler granularity, not the
+		// 80–400 ms BGP pacing timers the paper's Fig 17 hunts.
+		return TimerGapResult{}, false
+	}
+	res := TimerGapResult{TimerMicros: Micros(timer)}
+	// Count the idle gaps the timer explains and the delay they induced:
+	// gap lengths run from the completing ACK to the next tick, so they
+	// fall at or just below the timer period.
+	lo, hi := timer*0.4, timer*1.1
+	for _, r := range ranges {
+		if g := float64(r.Len()); g >= lo && g <= hi {
+			res.Gaps++
+			res.InducedDelay += Micros(g)
+		}
+	}
+	if res.Gaps < 3 {
+		return TimerGapResult{}, false // a real timer repeats
+	}
+	return res, true
+}
+
+// flatPlateau accepts a gap distribution whose 10th and 90th percentiles
+// agree within 15% — a pure single-valued pacing timer — and returns its
+// median.
+func flatPlateau(gaps []float64) (float64, bool) {
+	if len(gaps) < 8 {
+		return 0, false
+	}
+	s := append([]float64(nil), gaps...)
+	sort.Float64s(s)
+	p10 := s[len(s)/10]
+	p90 := s[len(s)*9/10]
+	if p10 <= 0 || p90 > 1.15*p10 {
+		return 0, false
+	}
+	return s[len(s)/2], true
+}
+
+// ConsecutiveLossResult reports a burst-loss episode count.
+type ConsecutiveLossResult struct {
+	// Episodes is the number of runs of ≥ Threshold loss events.
+	Episodes int
+	// MaxRun is the longest run of consecutive loss events.
+	MaxRun int
+	// InducedDelay is the total recovery time of qualifying episodes.
+	InducedDelay Micros
+}
+
+// DefaultConsecutiveLossThreshold is the paper's conservative 8: enough
+// consecutive losses to collapse cwnd and ssthresh to the minimum.
+const DefaultConsecutiveLossThreshold = 8
+
+// ConsecutiveLosses unions all loss series and counts episodes of at least
+// threshold (≤0 selects 8) loss events in close succession. Loss events
+// within one merged recovery range — or in ranges chained at RTO scale
+// (timeout-driven recovery repairs one hole per backoff, seconds apart) —
+// belong to one episode.
+func ConsecutiveLosses(cat *series.Catalog, window timerange.Range, threshold int) ConsecutiveLossResult {
+	if threshold <= 0 {
+		threshold = DefaultConsecutiveLossThreshold
+	}
+	all := clip(timerange.UnionAll(
+		cat.Get(series.SendLocalLoss),
+		cat.Get(series.RecvLocalLoss),
+		cat.Get(series.NetworkLoss),
+	), window)
+	// Count loss events per merged range: retransmission + out-of-sequence
+	// arrivals inside it.
+	events := cat.Get(series.Retransmission).Union(cat.Get(series.OutOfSequence))
+	rtt := cat.Conn().Profile.RTT
+	if rtt <= 0 {
+		rtt = 1_000
+	}
+	chainGap := maxMicros(3*rtt, 3_000_000)
+
+	var res ConsecutiveLossResult
+	run := 0
+	var runDelay Micros
+	var prevEnd Micros = -1
+	flush := func() {
+		if run > res.MaxRun {
+			res.MaxRun = run
+		}
+		if run >= threshold {
+			res.Episodes++
+			res.InducedDelay += runDelay
+		}
+		run, runDelay = 0, 0
+	}
+	for _, r := range all.Ranges() {
+		if prevEnd >= 0 && r.Start-prevEnd > chainGap {
+			flush()
+		}
+		n := len(events.Query(r))
+		if n == 0 {
+			n = 1
+		}
+		run += n
+		runDelay += r.Len()
+		prevEnd = r.End
+	}
+	flush()
+	return res
+}
+
+// PeerGroupResult reports a pathological peer-group blocking episode.
+type PeerGroupResult struct {
+	// Blocked is the intersection of the healthy session's idle time with
+	// the faulty session's loss-recovery time.
+	Blocked *timerange.Set
+	// LongestPause is the longest single blocked period.
+	LongestPause Micros
+}
+
+// PeerGroupBlocking checks whether the healthy connection's long
+// application-limited pauses coincide with a sibling connection's
+// loss/retransmission agony — the paper's cross-connection intersection
+//
+//	healthy.SendAppLimited ∩ faulty.Loss
+//
+// restricted to pauses of at least minPause (≤0 selects 10 s) during which
+// the healthy connection exchanged at most keepalives.
+func PeerGroupBlocking(healthy, faulty *series.Catalog, minPause Micros) (PeerGroupResult, bool) {
+	if minPause <= 0 {
+		minPause = 10 * 1_000_000
+	}
+	// Long pauses only.
+	longIdle := timerange.NewSet()
+	for _, r := range healthy.Get(series.SendAppLimited).Ranges() {
+		if r.Len() >= minPause {
+			longIdle.Add(r)
+		}
+	}
+	if longIdle.Empty() {
+		return PeerGroupResult{}, false
+	}
+	faultyAgony := timerange.UnionAll(
+		faulty.Get(series.UpstreamLoss),
+		faulty.Get(series.DownstreamLoss),
+		faulty.Get(series.Outstanding), // unacked forever against a dead peer
+	)
+	blocked := longIdle.Intersect(faultyAgony)
+	if blocked.Empty() {
+		return PeerGroupResult{}, false
+	}
+	res := PeerGroupResult{Blocked: blocked}
+	for _, r := range blocked.Ranges() {
+		if r.Len() > res.LongestPause {
+			res.LongestPause = r.Len()
+		}
+	}
+	// A sliver of coincidental overlap (the sibling's healthy transfer
+	// brushing the pause's edge) is not blocking: the sibling's agony must
+	// explain a substantial share of a pause.
+	if res.LongestPause < minPause/2 {
+		return PeerGroupResult{}, false
+	}
+	return res, true
+}
+
+// PeerGroupBlockingAny checks healthy against every sibling in the group
+// and returns the sibling index whose agony best explains the pauses — the
+// paper notes groups range "from several to tens of members" and any one
+// failure drags down the rest.
+func PeerGroupBlockingAny(healthy *series.Catalog, siblings []*series.Catalog, minPause Micros) (PeerGroupResult, int, bool) {
+	best := -1
+	var bestRes PeerGroupResult
+	for i, sib := range siblings {
+		res, ok := PeerGroupBlocking(healthy, sib, minPause)
+		if !ok {
+			continue
+		}
+		if best < 0 || res.Blocked.Size() > bestRes.Blocked.Size() {
+			best, bestRes = i, res
+		}
+	}
+	if best < 0 {
+		return PeerGroupResult{}, -1, false
+	}
+	return bestRes, best, true
+}
+
+// ZeroAckBugResult quantifies the zero-window probe-discard bug signature.
+type ZeroAckBugResult struct {
+	// Conflict is ZeroAdvBndOut ∩ UpstreamLoss: retransmission agony while
+	// the receiver window is closed.
+	Conflict *timerange.Set
+}
+
+// ZeroAckBug returns the conflict series (paper §IV-B) when non-empty.
+func ZeroAckBug(cat *series.Catalog) (ZeroAckBugResult, bool) {
+	s := cat.Get(series.ZeroAckBug)
+	if s.Empty() {
+		return ZeroAckBugResult{}, false
+	}
+	return ZeroAckBugResult{Conflict: s.Clone()}, true
+}
+
+func maxMicros(a, b Micros) Micros {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// clip restricts s to window; an empty window means no restriction.
+func clip(s *timerange.Set, window timerange.Range) *timerange.Set {
+	if window.Empty() {
+		return s
+	}
+	return s.Intersect(timerange.NewSet(window))
+}
+
+// GapLengths returns the sorted SendAppLimited gap lengths within window —
+// the Fig 17 evaluation curve input, exposed for plotting. An empty window
+// means the whole capture.
+func GapLengths(cat *series.Catalog, window timerange.Range) []float64 {
+	app := clip(cat.Get(series.SendAppLimited), window)
+	out := make([]float64, 0, app.Len())
+	for _, r := range app.Ranges() {
+		out = append(out, float64(r.Len()))
+	}
+	sort.Float64s(out)
+	return out
+}

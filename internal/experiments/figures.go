@@ -1,0 +1,304 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"tdat/internal/detect"
+	"tdat/internal/factors"
+	"tdat/internal/knee"
+	"tdat/internal/stats"
+	"tdat/internal/tracegen"
+)
+
+// Fig3Result holds per-dataset duration CDFs.
+type Fig3Result struct {
+	Names [3]string
+	// P50 and P80 are the paper's headline percentiles (minutes for the
+	// Quagga/RV traces: 2.5 and 5 in the paper).
+	P50, P80 [3]float64
+	CDFs     [3][]stats.CDFPoint
+}
+
+// Fig3 prints the transfer-duration CDFs (paper Fig 3).
+func Fig3(w io.Writer, s *Suite) *Fig3Result {
+	header(w, "Figure 3: CDF of table transfer duration (seconds)")
+	res := &Fig3Result{}
+	for i, ds := range s.Datasets {
+		res.Names[i] = ds.Name
+		durs := durations(ds)
+		res.P50[i] = stats.Percentile(durs, 50)
+		res.P80[i] = stats.Percentile(durs, 80)
+		res.CDFs[i] = stats.CDF(durs)
+		fmt.Fprintf(w, "%-12s n=%-4d", ds.Name, len(durs))
+		for _, p := range []float64{10, 25, 50, 75, 80, 90, 99} {
+			fmt.Fprintf(w, "  p%.0f=%.1fs", p, stats.Percentile(durs, p))
+		}
+		fmt.Fprintln(w)
+	}
+	return res
+}
+
+func durations(ds *Dataset) []float64 {
+	out := make([]float64, len(ds.Transfers))
+	for i := range ds.Transfers {
+		out[i] = ds.Transfers[i].Duration()
+	}
+	return out
+}
+
+// Fig4Result holds stretch-ratio CDFs (paper Fig 4).
+type Fig4Result struct {
+	Names [3]string
+	// FracAbove2 is the fraction of router pairs stretched ≥2× (paper: 22%,
+	// 59%, 100%).
+	FracAbove2 [3]float64
+	Ratios     [3][]float64
+}
+
+// Fig4 computes per-router stretch ratios: slowest over fastest transfer of
+// the same router.
+func Fig4(w io.Writer, s *Suite) *Fig4Result {
+	header(w, "Figure 4: stretch of table transfers (slowest/fastest per router)")
+	res := &Fig4Result{}
+	for i, ds := range s.Datasets {
+		res.Names[i] = ds.Name
+		byRouter := map[int][]float64{}
+		for _, t := range ds.Transfers {
+			byRouter[t.Router.ID] = append(byRouter[t.Router.ID], t.Duration())
+		}
+		var ratios []float64
+		above2 := 0
+		for _, durs := range byRouter {
+			if len(durs) < 2 {
+				continue
+			}
+			r := stats.StretchRatio(durs)
+			if r <= 0 {
+				continue
+			}
+			ratios = append(ratios, r)
+			if r >= 2 {
+				above2++
+			}
+		}
+		sort.Float64s(ratios)
+		res.Ratios[i] = ratios
+		if len(ratios) > 0 {
+			res.FracAbove2[i] = float64(above2) / float64(len(ratios))
+		}
+		fmt.Fprintf(w, "%-12s routers=%-3d median=%.1fx p90=%.1fx frac(stretch≥2)=%0.0f%%\n",
+			ds.Name, len(ratios), stats.Percentile(ratios, 50),
+			stats.Percentile(ratios, 90), res.FracAbove2[i]*100)
+	}
+	return res
+}
+
+// Fig14Result holds the sender/receiver delay-ratio scatter (paper Fig 14).
+type Fig14Result struct {
+	Names [3]string
+	// Points are (Rs, Rr) pairs per dataset.
+	Points [3][][2]float64
+	// MeanRs/MeanRr summarize the clouds.
+	MeanRs, MeanRr [3]float64
+}
+
+// Fig14 prints the scatter of sender vs receiver group delay ratios.
+func Fig14(w io.Writer, s *Suite) *Fig14Result {
+	header(w, "Figure 14: sender-side vs receiver-side delay ratios")
+	res := &Fig14Result{}
+	for i, ds := range s.Datasets {
+		res.Names[i] = ds.Name
+		var sumS, sumR float64
+		for _, t := range ds.Transfers {
+			rs := t.Report.Factors.G.At(factors.GroupSender)
+			rr := t.Report.Factors.G.At(factors.GroupReceiver)
+			res.Points[i] = append(res.Points[i], [2]float64{rs, rr})
+			sumS += rs
+			sumR += rr
+		}
+		n := float64(len(ds.Transfers))
+		if n > 0 {
+			res.MeanRs[i], res.MeanRr[i] = sumS/n, sumR/n
+		}
+		fmt.Fprintf(w, "%-12s n=%-4d mean(Rs)=%.2f mean(Rr)=%.2f\n",
+			ds.Name, len(ds.Transfers), res.MeanRs[i], res.MeanRr[i])
+		// A coarse 2-D histogram stands in for the scatter plot.
+		var grid [5][5]int
+		for _, p := range res.Points[i] {
+			x := int(p[0] * 4.999)
+			y := int(p[1] * 4.999)
+			grid[y][x]++
+		}
+		for y := 4; y >= 0; y-- {
+			fmt.Fprintf(w, "  Rr %.1f |", float64(y)/5)
+			for x := 0; x < 5; x++ {
+				if grid[y][x] == 0 {
+					fmt.Fprintf(w, "   . ")
+				} else {
+					fmt.Fprintf(w, "%4d ", grid[y][x])
+				}
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "         Rs: 0.0  0.2  0.4  0.6  0.8\n")
+	}
+	return res
+}
+
+// Fig15Point is one concurrency level of the incast sweep.
+type Fig15Point struct {
+	Concurrent int
+	// BGPRatio is the mean receiver-app (small/zero window) delay ratio;
+	// TCPRatio the mean advertised-window (parameter) ratio.
+	BGPRatio, TCPRatio float64
+	// LocalLossRatio tracks receiver-local losses (shared queue overflow).
+	LocalLossRatio float64
+}
+
+// Fig15 sweeps the number of concurrent table transfers toward one
+// collector (paper Fig 15): with few transfers the TCP window binds; as
+// concurrency grows the BGP receiver process becomes the bottleneck.
+func Fig15(w io.Writer, seed int64, levels []int) []Fig15Point {
+	header(w, "Figure 15: effect of concurrent table transfers on the receiver")
+	if len(levels) == 0 {
+		levels = []int{1, 2, 4, 8, 16, 24}
+	}
+	var out []Fig15Point
+	for _, n := range levels {
+		traces := tracegen.RunIncast(seed, n, 30_000, 600, 3_000_000)
+		var pt Fig15Point
+		pt.Concurrent = n
+		cnt := 0
+		for _, tr := range traces {
+			rep := analyzeTrace(tr)
+			if rep == nil {
+				continue
+			}
+			pt.BGPRatio += rep.Factors.V.At(factors.ReceiverApp)
+			pt.TCPRatio += rep.Factors.V.At(factors.ReceiverWindow)
+			pt.LocalLossRatio += rep.Factors.V.At(factors.ReceiverLocalLoss)
+			cnt++
+		}
+		if cnt > 0 {
+			pt.BGPRatio /= float64(cnt)
+			pt.TCPRatio /= float64(cnt)
+			pt.LocalLossRatio /= float64(cnt)
+		}
+		out = append(out, pt)
+		fmt.Fprintf(w, "concurrent=%-3d recvBGP=%.2f recvTCPwindow=%.2f recvLocalLoss=%.2f\n",
+			pt.Concurrent, pt.BGPRatio, pt.TCPRatio, pt.LocalLossRatio)
+	}
+	return out
+}
+
+// Fig16Result groups duration CDFs by dominant delay factor (paper Fig 16).
+type Fig16Result struct {
+	// ByFactor maps factor → sorted durations (seconds), pooled across
+	// datasets.
+	ByFactor map[factors.Factor][]float64
+}
+
+// Fig16 prints duration percentiles per dominant factor.
+func Fig16(w io.Writer, s *Suite) *Fig16Result {
+	header(w, "Figure 16: table transfer duration by dominant delay factor")
+	res := &Fig16Result{ByFactor: map[factors.Factor][]float64{}}
+	for _, ds := range s.Datasets {
+		for _, t := range ds.Transfers {
+			rep := t.Report.Factors
+			if rep.Unknown() {
+				continue
+			}
+			g := rep.MajorGroups[0]
+			f := rep.DominantFactor[g]
+			res.ByFactor[f] = append(res.ByFactor[f], t.Duration())
+		}
+	}
+	order := []factors.Factor{
+		factors.ReceiverWindow, factors.SenderCwnd, factors.ReceiverApp,
+		factors.SenderApp, factors.ReceiverLocalLoss, factors.NetLoss,
+		factors.NetBandwidth,
+	}
+	for _, f := range order {
+		durs := res.ByFactor[f]
+		if len(durs) == 0 {
+			continue
+		}
+		sort.Float64s(durs)
+		fmt.Fprintf(w, "%-24s n=%-4d p50=%.1fs p90=%.1fs max=%.1fs\n",
+			f, len(durs), stats.Percentile(durs, 50), stats.Percentile(durs, 90),
+			durs[len(durs)-1])
+	}
+	return res
+}
+
+// Fig17Result reports inferred pacing timers per dataset (paper Fig 17).
+type Fig17Result struct {
+	Names [3]string
+	// Timers lists the distinct timer values (ms) seen in each dataset.
+	Timers [3][]int
+	// Detected counts transfers with a pronounced timer.
+	Detected [3]int
+}
+
+// Fig17 runs knee detection on every transfer's idle-gap distribution and
+// clusters the inferred timers.
+func Fig17(w io.Writer, s *Suite) *Fig17Result {
+	header(w, "Figure 17: inferred BGP pacing timers from gap distributions")
+	res := &Fig17Result{}
+	for i, ds := range s.Datasets {
+		res.Names[i] = ds.Name
+		counts := map[int]int{}
+		for _, t := range ds.Transfers {
+			if t.Report.Timer == nil {
+				continue
+			}
+			res.Detected[i]++
+			// Round to the nearest canonical bucket (10 ms grid).
+			ms := int((t.Report.Timer.TimerMicros + 5_000) / 10_000 * 10)
+			counts[ms]++
+		}
+		// Keep buckets covering ≥10% of detections: the dataset's timers.
+		var timers []int
+		for ms, c := range counts {
+			if c*10 >= res.Detected[i] {
+				timers = append(timers, ms)
+			}
+		}
+		sort.Ints(timers)
+		res.Timers[i] = timers
+		fmt.Fprintf(w, "%-12s detected=%-4d timers(ms)=%v\n", ds.Name, res.Detected[i], timers)
+	}
+	return res
+}
+
+// Fig17Gaps prints one example sorted-gap curve with its knee, mirroring
+// the paper's example plot.
+func Fig17Gaps(w io.Writer, s *Suite) {
+	header(w, "Figure 17 (example): sorted idle-gap curve with knee")
+	for _, ds := range s.Datasets {
+		for _, t := range ds.Transfers {
+			if t.Report.Timer == nil {
+				continue
+			}
+			gaps := detect.GapLengths(t.Report.Catalog, t.Report.Transfer)
+			pts := make([]knee.Point, len(gaps))
+			for i, g := range gaps {
+				pts[i] = knee.Point{X: float64(i), Y: g}
+			}
+			idx, _ := knee.Find(pts)
+			step := len(gaps)/12 + 1
+			for i := 0; i < len(gaps); i += step {
+				marker := ""
+				if idx >= i && idx < i+step {
+					marker = "   <-- knee"
+				}
+				fmt.Fprintf(w, "  gap[%3d] = %8.1f ms%s\n", i, gaps[i]/1000, marker)
+			}
+			fmt.Fprintf(w, "  inferred timer: %.0f ms\n", float64(t.Report.Timer.TimerMicros)/1000)
+			return
+		}
+	}
+	fmt.Fprintln(w, "(no timer-paced transfer found)")
+}

@@ -1,0 +1,451 @@
+// Package flows extracts TCP connections from timestamped packet captures
+// and derives the per-connection information T-DAT needs — the role
+// tcptrace plays in the paper's pipeline (§III-B): connection profiles
+// (start/end, RTT, MSS, maximum advertised window) and per-packet labels
+// (retransmission, out-of-sequence gap fill, reordering), plus the
+// upstream/downstream loss classification of §II-B2.
+package flows
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"tdat/internal/packet"
+	"tdat/internal/pcapio"
+	"tdat/internal/timerange"
+)
+
+// Micros aliases the trace time unit.
+type Micros = timerange.Micros
+
+// TimedPacket is one captured packet with its sniffer timestamp.
+type TimedPacket struct {
+	Time Micros
+	Pkt  *packet.Packet
+}
+
+// Endpoint identifies one side of a connection.
+type Endpoint struct {
+	Addr netip.Addr
+	Port uint16
+}
+
+// String implements fmt.Stringer.
+func (e Endpoint) String() string { return fmt.Sprintf("%s:%d", e.Addr, e.Port) }
+
+// Key identifies a connection by its two endpoints in a canonical order.
+type Key struct {
+	A, B Endpoint
+}
+
+// canonicalKey orders the endpoints deterministically.
+func canonicalKey(src, dst Endpoint) Key {
+	if src.Addr.Compare(dst.Addr) < 0 ||
+		(src.Addr == dst.Addr && src.Port < dst.Port) {
+		return Key{A: src, B: dst}
+	}
+	return Key{A: dst, B: src}
+}
+
+// DataKind labels a data-direction packet.
+type DataKind int
+
+// Data packet classifications.
+const (
+	// DataNew advances the stream with bytes never captured before.
+	DataNew DataKind = iota
+	// DataRetransmit carries bytes the sniffer already saw: the original
+	// reached the sniffer, so the loss (or its ACK's loss) happened
+	// downstream of it (paper Fig 7).
+	DataRetransmit
+	// DataGapFill carries bytes never captured that sit below the highest
+	// sequence seen: the original was lost upstream of the sniffer
+	// (paper Fig 8).
+	DataGapFill
+	// DataReordered is a gap fill attributable to in-network reordering
+	// rather than loss (filtered per Jaiswal et al. [17]).
+	DataReordered
+)
+
+// String implements fmt.Stringer.
+func (k DataKind) String() string {
+	switch k {
+	case DataNew:
+		return "new"
+	case DataRetransmit:
+		return "retransmit"
+	case DataGapFill:
+		return "gap-fill"
+	case DataReordered:
+		return "reordered"
+	default:
+		return "unknown"
+	}
+}
+
+// DataEvent is one sender→receiver payload (or SYN/FIN) packet.
+type DataEvent struct {
+	Time Micros
+	// Seq and SeqEnd are payload offsets relative to the sender's ISN+1.
+	Seq, SeqEnd int64
+	Len         int
+	IPID        uint16
+	Kind        DataKind
+	// Ack and Window echo the piggybacked acknowledgment state.
+	Ack    int64
+	Window int
+	// Payload references the captured bytes (nil for length-only traces);
+	// reassembly uses it to reconstruct the BGP stream.
+	Payload []byte
+}
+
+// AckEvent is one receiver→sender packet (pure ACK or receiver data).
+type AckEvent struct {
+	Time Micros
+	// Ack is the cumulative acknowledgment as a sender-stream offset.
+	Ack    int64
+	Window int
+	// Dup marks a duplicate ACK (same ack, no payload, no window change).
+	Dup bool
+	// PayloadLen is the receiver's own payload (keepalives etc.).
+	PayloadLen int
+}
+
+// Profile summarizes connection-level parameters (the tcptrace output the
+// analyzer consumes).
+type Profile struct {
+	Start Micros // first packet (SYN) time
+	End   Micros // last packet time
+	// RTT is the estimated sender-perceived round-trip time.
+	RTT Micros
+	// MSS is from the SYN options, or the largest observed segment.
+	MSS int
+	// MaxAdvWindow is the receiver's largest advertised window.
+	MaxAdvWindow int
+	// SynTime/SynAckTime/AckTime record the handshake at the sniffer.
+	SynTime, SynAckTime, HandshakeAckTime Micros
+	// Initiator reports whether the data sender also sent the first SYN.
+	InitiatorIsSender bool
+
+	TotalDataBytes   int64
+	TotalDataPackets int
+	RetransmitCount  int
+	GapFillCount     int
+	ReorderCount     int
+}
+
+// Connection is one extracted TCP connection oriented so that Sender is the
+// side contributing the bulk of the payload (the operational router in the
+// paper's setting).
+type Connection struct {
+	Sender   Endpoint
+	Receiver Endpoint
+	Profile  Profile
+
+	// Data are the Sender→Receiver packets in time order.
+	Data []DataEvent
+	// Acks are the Receiver→Sender packets in time order.
+	Acks []AckEvent
+
+	// UpstreamLoss and DownstreamLoss are the recovery periods attributed
+	// to losses before and after the sniffer respectively (§II-B2).
+	UpstreamLoss   *timerange.Set
+	DownstreamLoss *timerange.Set
+
+	// senderISN anchors relative sequence numbers.
+	senderISN   uint32
+	receiverISN uint32
+}
+
+// Span returns the connection's observation window.
+func (c *Connection) Span() timerange.Range {
+	return timerange.Range{Start: c.Profile.Start, End: c.Profile.End + 1}
+}
+
+// rawConn accumulates packets per canonical key before orientation.
+type rawConn struct {
+	key     Key
+	packets []TimedPacket
+	// payload bytes seen from each endpoint
+	bytesFromA, bytesFromB int64
+	synFrom                map[Endpoint]Micros
+	// synISN remembers each endpoint's SYN sequence number so a fresh SYN
+	// (new ISN) on a reused tuple can be told apart from a retransmitted
+	// one.
+	synISN     map[Endpoint]uint32
+	sawPayload bool
+}
+
+// Extract groups packets into connections and analyzes each with default
+// options. Connections are returned in order of first packet.
+func Extract(pkts []TimedPacket) []*Connection {
+	return ExtractOpts(pkts, DefaultOptions())
+}
+
+// ExtractOpts is Extract with explicit classification options.
+func ExtractOpts(pkts []TimedPacket, opts Options) []*Connection {
+	opts = opts.withDefaults()
+	sorted := append([]TimedPacket(nil), pkts...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Time < sorted[j].Time })
+
+	index := map[Key]*rawConn{}
+	var order []*rawConn
+	for _, tp := range sorted {
+		src := Endpoint{Addr: tp.Pkt.IP.Src, Port: tp.Pkt.TCP.SrcPort}
+		dst := Endpoint{Addr: tp.Pkt.IP.Dst, Port: tp.Pkt.TCP.DstPort}
+		k := canonicalKey(src, dst)
+		rc, ok := index[k]
+		if !ok {
+			rc = &rawConn{key: k, synFrom: map[Endpoint]Micros{}}
+			index[k] = rc
+			order = append(order, rc)
+		}
+		// Port reuse across session resets (the ISP_A-1 reset storm): a
+		// fresh SYN with a NEW initial sequence number on a tuple that
+		// already carried traffic starts a new connection; a SYN repeating
+		// the same ISN is just a retransmission of the old handshake.
+		if tp.Pkt.TCP.HasFlag(packet.FlagSYN) && !tp.Pkt.TCP.HasFlag(packet.FlagACK) &&
+			len(rc.packets) > 0 {
+			if isn, seen := rc.synISN[src]; !seen || isn != tp.Pkt.TCP.Seq {
+				if seen || rc.sawPayload {
+					rc = &rawConn{key: k, synFrom: map[Endpoint]Micros{}}
+					index[k] = rc
+					order = append(order, rc)
+				}
+			}
+		}
+		if tp.Pkt.TCP.HasFlag(packet.FlagSYN) && !tp.Pkt.TCP.HasFlag(packet.FlagACK) {
+			if rc.synISN == nil {
+				rc.synISN = map[Endpoint]uint32{}
+			}
+			if _, seen := rc.synISN[src]; !seen {
+				rc.synISN[src] = tp.Pkt.TCP.Seq
+			}
+		}
+		rc.packets = append(rc.packets, tp)
+		if n := int64(len(tp.Pkt.Payload)); n > 0 {
+			rc.sawPayload = true
+			if src == k.A {
+				rc.bytesFromA += n
+			} else {
+				rc.bytesFromB += n
+			}
+		}
+		if tp.Pkt.TCP.HasFlag(packet.FlagSYN) && !tp.Pkt.TCP.HasFlag(packet.FlagACK) {
+			if _, seen := rc.synFrom[src]; !seen {
+				rc.synFrom[src] = tp.Time
+			}
+		}
+	}
+
+	out := make([]*Connection, 0, len(order))
+	for _, rc := range order {
+		if c := analyze(rc, opts); c != nil {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// FromPcap decodes pcap records and extracts connections. Undecodable
+// records are counted and skipped (tcpdump drop artifacts).
+func FromPcap(records []pcapio.Record) ([]*Connection, int) {
+	var pkts []TimedPacket
+	skipped := 0
+	for _, r := range records {
+		p, err := packet.Decode(r.Data)
+		if err != nil {
+			skipped++
+			continue
+		}
+		pkts = append(pkts, TimedPacket{Time: r.TimeMicros, Pkt: p})
+	}
+	return Extract(pkts), skipped
+}
+
+// analyze orients a raw connection and derives events, labels, and profile.
+func analyze(rc *rawConn, opts Options) *Connection {
+	if len(rc.packets) == 0 {
+		return nil
+	}
+	// Sender = side with most payload; tie broken toward the SYN initiator,
+	// then endpoint order.
+	sender := rc.key.A
+	switch {
+	case rc.bytesFromB > rc.bytesFromA:
+		sender = rc.key.B
+	case rc.bytesFromB == rc.bytesFromA:
+		for ep := range rc.synFrom {
+			sender = ep
+			break
+		}
+		if len(rc.synFrom) > 1 {
+			// Both sent SYNs (normal): the earlier SYN wins.
+			var first Endpoint
+			var firstT Micros = timerange.MaxTime
+			for ep, t := range rc.synFrom {
+				if t < firstT {
+					first, firstT = ep, t
+				}
+			}
+			sender = first
+		}
+	}
+	receiver := rc.key.A
+	if sender == rc.key.A {
+		receiver = rc.key.B
+	}
+
+	c := &Connection{Sender: sender, Receiver: receiver}
+	c.Profile.Start = rc.packets[0].Time
+	c.Profile.End = rc.packets[len(rc.packets)-1].Time
+	if t, ok := rc.synFrom[sender]; ok {
+		c.Profile.InitiatorIsSender = true
+		c.Profile.SynTime = t
+	} else if len(rc.synFrom) > 0 {
+		for _, t := range rc.synFrom {
+			c.Profile.SynTime = t
+		}
+	}
+
+	extractISNs(c, rc.packets)
+	buildEvents(c, rc.packets)
+	classifyLosses(c, opts)
+	estimateRTT(c, rc.packets)
+	return c
+}
+
+// extractISNs finds initial sequence numbers and handshake timestamps.
+func extractISNs(c *Connection, pkts []TimedPacket) {
+	var haveSenderISN, haveReceiverISN bool
+	for _, tp := range pkts {
+		tcp := &tp.Pkt.TCP
+		src := Endpoint{Addr: tp.Pkt.IP.Src, Port: tcp.SrcPort}
+		isSyn := tcp.HasFlag(packet.FlagSYN)
+		switch {
+		case isSyn && src == c.Sender && !haveSenderISN:
+			c.senderISN = tcp.Seq
+			haveSenderISN = true
+			if mss, ok := tcp.MSS(); ok {
+				c.Profile.MSS = int(mss)
+			}
+		case isSyn && src == c.Receiver && !haveReceiverISN:
+			c.receiverISN = tcp.Seq
+			haveReceiverISN = true
+			if tcp.HasFlag(packet.FlagACK) {
+				c.Profile.SynAckTime = tp.Time
+			}
+			if mss, ok := tcp.MSS(); ok && (c.Profile.MSS == 0 || int(mss) < c.Profile.MSS) {
+				c.Profile.MSS = int(mss)
+			}
+		case !isSyn && haveSenderISN && haveReceiverISN && c.Profile.HandshakeAckTime == 0 &&
+			src == c.Sender && tcp.HasFlag(packet.FlagACK) && len(tp.Pkt.Payload) == 0:
+			c.Profile.HandshakeAckTime = tp.Time
+		}
+	}
+	if !haveSenderISN {
+		// Mid-stream capture: anchor on the first data packet.
+		for _, tp := range pkts {
+			if (Endpoint{Addr: tp.Pkt.IP.Src, Port: tp.Pkt.TCP.SrcPort}) == c.Sender {
+				c.senderISN = tp.Pkt.TCP.Seq - 1
+				break
+			}
+		}
+	}
+	if !haveReceiverISN {
+		for _, tp := range pkts {
+			if (Endpoint{Addr: tp.Pkt.IP.Src, Port: tp.Pkt.TCP.SrcPort}) == c.Receiver {
+				c.receiverISN = tp.Pkt.TCP.Seq - 1
+				break
+			}
+		}
+	}
+}
+
+// relSeq converts a wire sequence number to a payload offset past isn+1.
+func relSeq(seq, isn uint32) int64 { return int64(int32(seq - isn - 1)) }
+
+// buildEvents splits packets into Data and Ack event streams.
+func buildEvents(c *Connection, pkts []TimedPacket) {
+	for _, tp := range pkts {
+		tcp := &tp.Pkt.TCP
+		src := Endpoint{Addr: tp.Pkt.IP.Src, Port: tcp.SrcPort}
+		if src == c.Sender {
+			if len(tp.Pkt.Payload) == 0 {
+				continue // pure ACKs from the sender are not data events
+			}
+			off := relSeq(tcp.Seq, c.senderISN)
+			ev := DataEvent{
+				Time:    tp.Time,
+				Seq:     off,
+				SeqEnd:  off + int64(len(tp.Pkt.Payload)),
+				Len:     len(tp.Pkt.Payload),
+				IPID:    tp.Pkt.IP.ID,
+				Ack:     relSeq(tcp.Ack, c.receiverISN),
+				Window:  int(tcp.Window),
+				Payload: tp.Pkt.Payload,
+			}
+			c.Data = append(c.Data, ev)
+			c.Profile.TotalDataPackets++
+			c.Profile.TotalDataBytes += int64(ev.Len)
+		} else {
+			ack := relSeq(tcp.Ack, c.senderISN)
+			ev := AckEvent{
+				Time:       tp.Time,
+				Ack:        ack,
+				Window:     int(tcp.Window),
+				PayloadLen: len(tp.Pkt.Payload),
+			}
+			if n := len(c.Acks); n > 0 {
+				prev := c.Acks[n-1]
+				ev.Dup = ev.PayloadLen == 0 && prev.Ack == ack && prev.Window == ev.Window &&
+					!tcp.HasFlag(packet.FlagSYN) && !tcp.HasFlag(packet.FlagFIN)
+			}
+			c.Acks = append(c.Acks, ev)
+			if ev.Window > c.Profile.MaxAdvWindow {
+				c.Profile.MaxAdvWindow = ev.Window
+			}
+		}
+	}
+	if c.Profile.MSS == 0 {
+		for _, d := range c.Data {
+			if d.Len > c.Profile.MSS {
+				c.Profile.MSS = d.Len
+			}
+		}
+	}
+}
+
+// estimateRTT derives the sender-perceived RTT. At a receiver-side sniffer
+// the SYNACK→handshake-ACK spacing covers one full round trip; when the
+// handshake is missing we fall back to the median delay between an ACK and
+// the next new data it released.
+func estimateRTT(c *Connection, pkts []TimedPacket) {
+	if c.Profile.SynAckTime > 0 && c.Profile.HandshakeAckTime > c.Profile.SynAckTime {
+		c.Profile.RTT = c.Profile.HandshakeAckTime - c.Profile.SynAckTime
+		return
+	}
+	// Fallback: ack → next new-data arrival.
+	var samples []Micros
+	di := 0
+	for _, a := range c.Acks {
+		if a.Dup {
+			continue
+		}
+		for di < len(c.Data) && c.Data[di].Time <= a.Time {
+			di++
+		}
+		for j := di; j < len(c.Data) && j < di+4; j++ {
+			if c.Data[j].Kind == DataNew && c.Data[j].Seq >= a.Ack {
+				samples = append(samples, c.Data[j].Time-a.Time)
+				break
+			}
+		}
+	}
+	if len(samples) == 0 {
+		return
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	c.Profile.RTT = samples[len(samples)/2]
+}

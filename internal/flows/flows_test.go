@@ -1,0 +1,339 @@
+package flows
+
+import (
+	"net/netip"
+	"testing"
+
+	"tdat/internal/packet"
+)
+
+var (
+	senderEP   = Endpoint{Addr: netip.MustParseAddr("10.0.0.1"), Port: 179}
+	receiverEP = Endpoint{Addr: netip.MustParseAddr("10.0.0.2"), Port: 41000}
+)
+
+// builder assembles a synthetic capture of one connection.
+type builder struct {
+	pkts []TimedPacket
+	ipid uint16
+}
+
+func (b *builder) add(t Micros, from, to Endpoint, seq, ack uint32, flags uint8, win uint16, payload int) *packet.Packet {
+	b.ipid++
+	p := &packet.Packet{
+		IP: packet.IPv4{ID: b.ipid, Src: from.Addr, Dst: to.Addr},
+		TCP: packet.TCP{
+			SrcPort: from.Port, DstPort: to.Port,
+			Seq: seq, Ack: ack, Flags: flags, Window: win,
+		},
+		Payload: make([]byte, payload),
+	}
+	b.pkts = append(b.pkts, TimedPacket{Time: t, Pkt: p})
+	return p
+}
+
+// handshake emits SYN / SYNACK / ACK with the given ISNs and RTT pattern for
+// a receiver-side sniffer: SYN at t, SYNACK at t+d1, final ACK at
+// t+d1+rtt.
+func (b *builder) handshake(t Micros, rtt Micros, sISN, rISN uint32, mss uint16) {
+	syn := b.add(t, senderEP, receiverEP, sISN, 0, packet.FlagSYN, 65535, 0)
+	syn.TCP.SetMSS(mss)
+	synack := b.add(t+100, receiverEP, senderEP, rISN, sISN+1, packet.FlagSYN|packet.FlagACK, 65535, 0)
+	synack.TCP.SetMSS(mss)
+	b.add(t+100+rtt, senderEP, receiverEP, sISN+1, rISN+1, packet.FlagACK, 65535, 0)
+}
+
+func TestExtractSingleConnectionProfile(t *testing.T) {
+	b := &builder{}
+	b.handshake(1000, 10_000, 5000, 9000, 1460)
+	// Two data segments, acked.
+	b.add(20_000, senderEP, receiverEP, 5001, 9001, packet.FlagACK, 65535, 1460)
+	b.add(20_100, senderEP, receiverEP, 6461, 9001, packet.FlagACK, 65535, 1000)
+	b.add(20_500, receiverEP, senderEP, 9001, 7461, packet.FlagACK, 60000, 0)
+
+	conns := Extract(b.pkts)
+	if len(conns) != 1 {
+		t.Fatalf("extracted %d connections", len(conns))
+	}
+	c := conns[0]
+	if c.Sender != senderEP || c.Receiver != receiverEP {
+		t.Errorf("orientation: sender=%v receiver=%v", c.Sender, c.Receiver)
+	}
+	if c.Profile.RTT != 10_000 {
+		t.Errorf("RTT = %d, want 10000", c.Profile.RTT)
+	}
+	if c.Profile.MSS != 1460 {
+		t.Errorf("MSS = %d", c.Profile.MSS)
+	}
+	if c.Profile.MaxAdvWindow != 65535 {
+		t.Errorf("MaxAdvWindow = %d", c.Profile.MaxAdvWindow)
+	}
+	if !c.Profile.InitiatorIsSender {
+		t.Error("initiator should be the sender")
+	}
+	if len(c.Data) != 2 {
+		t.Fatalf("data events = %d", len(c.Data))
+	}
+	if c.Data[0].Seq != 0 || c.Data[0].SeqEnd != 1460 {
+		t.Errorf("first data offsets = [%d,%d)", c.Data[0].Seq, c.Data[0].SeqEnd)
+	}
+	if c.Data[1].Seq != 1460 || c.Data[1].SeqEnd != 2460 {
+		t.Errorf("second data offsets = [%d,%d)", c.Data[1].Seq, c.Data[1].SeqEnd)
+	}
+	if len(c.Acks) != 2 { // SYNACK + the data ack (sender-side packets are not ack events)
+		t.Fatalf("ack events = %d: %+v", len(c.Acks), c.Acks)
+	}
+	last := c.Acks[len(c.Acks)-1]
+	if last.Ack != 2460 || last.Window != 60000 {
+		t.Errorf("last ack = %+v", last)
+	}
+	if c.Profile.TotalDataBytes != 2460 || c.Profile.TotalDataPackets != 2 {
+		t.Errorf("profile totals = %+v", c.Profile)
+	}
+}
+
+func TestExtractSeparatesConnections(t *testing.T) {
+	b := &builder{}
+	b.handshake(0, 5_000, 100, 200, 1460)
+	other := Endpoint{Addr: netip.MustParseAddr("10.0.0.3"), Port: 179}
+	b.add(50, other, receiverEP, 1, 0, packet.FlagSYN, 65535, 0)
+	b.add(60, receiverEP, other, 1, 2, packet.FlagSYN|packet.FlagACK, 65535, 0)
+	conns := Extract(b.pkts)
+	if len(conns) != 2 {
+		t.Fatalf("extracted %d connections, want 2", len(conns))
+	}
+}
+
+func TestRetransmissionDownstreamLoss(t *testing.T) {
+	b := &builder{}
+	b.handshake(0, 10_000, 0, 0, 1460)
+	// Original captured at 20ms, retransmission of same bytes at 250ms.
+	b.add(20_000, senderEP, receiverEP, 1, 1, packet.FlagACK, 65535, 1460)
+	b.add(250_000, senderEP, receiverEP, 1, 1, packet.FlagACK, 65535, 1460)
+	c := Extract(b.pkts)[0]
+	if c.Data[0].Kind != DataNew || c.Data[1].Kind != DataRetransmit {
+		t.Errorf("kinds = %v, %v", c.Data[0].Kind, c.Data[1].Kind)
+	}
+	if c.Profile.RetransmitCount != 1 {
+		t.Errorf("RetransmitCount = %d", c.Profile.RetransmitCount)
+	}
+	if c.DownstreamLoss.Empty() {
+		t.Fatal("no downstream loss recorded")
+	}
+	r := c.DownstreamLoss.At(0)
+	if r.Start != 20_000 || r.End < 250_000 {
+		t.Errorf("downstream recovery range = %v", r)
+	}
+	if !c.UpstreamLoss.Empty() {
+		t.Errorf("unexpected upstream loss %v", c.UpstreamLoss)
+	}
+}
+
+func TestGapFillUpstreamLoss(t *testing.T) {
+	b := &builder{}
+	b.handshake(0, 10_000, 0, 0, 1460)
+	// Segment 2 arrives (opening a gap for segment 1), repair much later
+	// with a HIGHER IP ID (true retransmission).
+	b.add(20_000, senderEP, receiverEP, 1461, 1, packet.FlagACK, 65535, 1460)
+	b.add(250_000, senderEP, receiverEP, 1, 1, packet.FlagACK, 65535, 1460)
+	c := Extract(b.pkts)[0]
+	if c.Data[1].Kind != DataGapFill {
+		t.Errorf("repair kind = %v, want gap-fill", c.Data[1].Kind)
+	}
+	if c.UpstreamLoss.Empty() {
+		t.Fatal("no upstream loss recorded")
+	}
+	r := c.UpstreamLoss.At(0)
+	if r.Start != 20_000 || r.End < 250_000 {
+		t.Errorf("upstream recovery range = %v", r)
+	}
+	if !c.DownstreamLoss.Empty() {
+		t.Errorf("unexpected downstream loss %v", c.DownstreamLoss)
+	}
+}
+
+func TestReorderingFilteredByIPID(t *testing.T) {
+	b := &builder{}
+	b.handshake(0, 10_000, 0, 0, 1460)
+	// Build the late packet FIRST so it carries the lower IP ID, then swap
+	// arrival order: seg1 (low ID) arrives after seg2 (high ID) — classic
+	// reordering.
+	seg1 := b.add(20_500, senderEP, receiverEP, 1, 1, packet.FlagACK, 65535, 1460)
+	seg2 := b.add(20_000, senderEP, receiverEP, 1461, 1, packet.FlagACK, 65535, 1460)
+	_ = seg1
+	_ = seg2
+	c := Extract(b.pkts)[0]
+	var fill *DataEvent
+	for i := range c.Data {
+		if c.Data[i].Seq == 0 {
+			fill = &c.Data[i]
+		}
+	}
+	if fill == nil || fill.Kind != DataReordered {
+		t.Errorf("reordered packet classified as %v", fill.Kind)
+	}
+	if !c.UpstreamLoss.Empty() {
+		t.Errorf("reordering should not create loss ranges: %v", c.UpstreamLoss)
+	}
+	if c.Profile.ReorderCount != 1 {
+		t.Errorf("ReorderCount = %d", c.Profile.ReorderCount)
+	}
+}
+
+func TestDisableReorderFilterAblation(t *testing.T) {
+	b := &builder{}
+	b.handshake(0, 10_000, 0, 0, 1460)
+	b.add(20_500, senderEP, receiverEP, 1, 1, packet.FlagACK, 65535, 1460)
+	b.add(20_000, senderEP, receiverEP, 1461, 1, packet.FlagACK, 65535, 1460)
+	conns := ExtractOpts(b.pkts, Options{DisableReorderFilter: true})
+	if conns[0].UpstreamLoss.Empty() {
+		t.Error("with the filter disabled, reordering must count as upstream loss")
+	}
+}
+
+func TestDupAckDetection(t *testing.T) {
+	b := &builder{}
+	b.handshake(0, 10_000, 0, 0, 1460)
+	b.add(20_000, senderEP, receiverEP, 1, 1, packet.FlagACK, 65535, 1460)
+	b.add(21_000, receiverEP, senderEP, 1, 1461, packet.FlagACK, 64000, 0)
+	b.add(22_000, receiverEP, senderEP, 1, 1461, packet.FlagACK, 64000, 0) // dup
+	b.add(23_000, receiverEP, senderEP, 1, 1461, packet.FlagACK, 60000, 0) // window update, not dup
+	c := Extract(b.pkts)[0]
+	var dups int
+	for _, a := range c.Acks {
+		if a.Dup {
+			dups++
+		}
+	}
+	if dups != 1 {
+		t.Errorf("dup acks = %d, want 1", dups)
+	}
+}
+
+func TestOrientationByVolumeWithoutSyn(t *testing.T) {
+	// Mid-stream capture, no handshake: the payload-heavy side is Sender.
+	b := &builder{}
+	b.add(0, receiverEP, senderEP, 900, 5001, packet.FlagACK, 65535, 0)
+	b.add(100, senderEP, receiverEP, 5001, 901, packet.FlagACK, 65535, 1000)
+	b.add(200, senderEP, receiverEP, 6001, 901, packet.FlagACK, 65535, 1000)
+	c := Extract(b.pkts)[0]
+	if c.Sender != senderEP {
+		t.Errorf("sender = %v", c.Sender)
+	}
+	if len(c.Data) != 2 {
+		t.Errorf("data events = %d", len(c.Data))
+	}
+	// Relative offsets anchored at first data packet.
+	if c.Data[0].Seq != 0 {
+		t.Errorf("first data seq = %d", c.Data[0].Seq)
+	}
+	if c.Profile.RTT == 0 {
+		// RTT fallback may or may not produce a sample here; just ensure no
+		// panic. Nothing to assert strictly.
+		t.Log("no RTT estimate for handshake-less capture (acceptable)")
+	}
+}
+
+func TestMSSFallbackFromSegments(t *testing.T) {
+	b := &builder{}
+	// No SYN options: MSS inferred from the largest segment.
+	b.add(0, senderEP, receiverEP, 1, 1, packet.FlagACK, 65535, 536)
+	b.add(100, senderEP, receiverEP, 537, 1, packet.FlagACK, 65535, 512)
+	c := Extract(b.pkts)[0]
+	if c.Profile.MSS != 536 {
+		t.Errorf("MSS = %d, want 536", c.Profile.MSS)
+	}
+}
+
+func TestConsecutiveRetransmissionsMergeRanges(t *testing.T) {
+	b := &builder{}
+	b.handshake(0, 10_000, 0, 0, 1460)
+	b.add(20_000, senderEP, receiverEP, 1, 1, packet.FlagACK, 65535, 1460)
+	// Three RTO-spaced retransmissions of the same segment.
+	b.add(220_000, senderEP, receiverEP, 1, 1, packet.FlagACK, 65535, 1460)
+	b.add(620_000, senderEP, receiverEP, 1, 1, packet.FlagACK, 65535, 1460)
+	b.add(1_420_000, senderEP, receiverEP, 1, 1, packet.FlagACK, 65535, 1460)
+	c := Extract(b.pkts)[0]
+	if c.Profile.RetransmitCount != 3 {
+		t.Errorf("retransmits = %d", c.Profile.RetransmitCount)
+	}
+	if c.DownstreamLoss.Len() != 1 {
+		t.Fatalf("expected one merged recovery range, got %v", c.DownstreamLoss)
+	}
+	r := c.DownstreamLoss.At(0)
+	if r.Start != 20_000 || r.End < 1_420_000 {
+		t.Errorf("merged range = %v", r)
+	}
+}
+
+func TestSpanAndEndpointString(t *testing.T) {
+	b := &builder{}
+	b.handshake(5_000, 10_000, 0, 0, 1460)
+	c := Extract(b.pkts)[0]
+	sp := c.Span()
+	if sp.Start != 5_000 || sp.End <= sp.Start {
+		t.Errorf("span = %v", sp)
+	}
+	if senderEP.String() != "10.0.0.1:179" {
+		t.Errorf("endpoint string = %q", senderEP.String())
+	}
+}
+
+func TestDataKindString(t *testing.T) {
+	for k, want := range map[DataKind]string{
+		DataNew: "new", DataRetransmit: "retransmit", DataGapFill: "gap-fill",
+		DataReordered: "reordered", DataKind(9): "unknown",
+	} {
+		if k.String() != want {
+			t.Errorf("DataKind(%d) = %q", k, k.String())
+		}
+	}
+}
+
+func TestPortReuseSplitsConnections(t *testing.T) {
+	// The ISP_A-1 reset storm: a session dies by RST and the router redials
+	// with the SAME 4-tuple. A fresh SYN (new ISN) must start a second
+	// connection instead of corrupting the first one's sequence space.
+	b := &builder{}
+	b.handshake(0, 10_000, 1000, 2000, 1460)
+	b.add(20_000, senderEP, receiverEP, 1001, 2001, packet.FlagACK, 65535, 1460)
+	b.add(30_000, receiverEP, senderEP, 2001, 2461, packet.FlagACK, 65535, 0)
+	b.add(40_000, senderEP, receiverEP, 2461, 2001, packet.FlagRST|packet.FlagACK, 0, 0)
+	// Redial: same tuple, brand-new ISNs.
+	b.handshake(1_000_000, 10_000, 777000, 888000, 1460)
+	b.add(1_020_000, senderEP, receiverEP, 777001, 888001, packet.FlagACK, 65535, 1460)
+	b.add(1_030_000, receiverEP, senderEP, 888001, 778461, packet.FlagACK, 65535, 0)
+
+	conns := Extract(b.pkts)
+	if len(conns) != 2 {
+		t.Fatalf("extracted %d connections, want 2 (port reuse split)", len(conns))
+	}
+	for i, c := range conns {
+		if c.Profile.RTT != 10_000 {
+			t.Errorf("conn %d RTT = %d", i, c.Profile.RTT)
+		}
+		if len(c.Data) != 1 || c.Data[0].Seq != 0 {
+			t.Errorf("conn %d data = %+v", i, c.Data)
+		}
+		if c.Profile.RetransmitCount+c.Profile.GapFillCount != 0 {
+			t.Errorf("conn %d phantom loss labels: %+v", i, c.Profile)
+		}
+	}
+	if conns[0].Profile.Start >= conns[1].Profile.Start {
+		t.Error("connections out of order")
+	}
+}
+
+func TestRetransmittedSYNDoesNotSplit(t *testing.T) {
+	// A SYN retransmission (same ISN) is one connection, not two.
+	b := &builder{}
+	b.add(0, senderEP, receiverEP, 1000, 0, packet.FlagSYN, 65535, 0)
+	b.add(1_000_000, senderEP, receiverEP, 1000, 0, packet.FlagSYN, 65535, 0) // retx
+	b.add(1_000_100, receiverEP, senderEP, 2000, 1001, packet.FlagSYN|packet.FlagACK, 65535, 0)
+	b.add(1_010_000, senderEP, receiverEP, 1001, 2001, packet.FlagACK, 65535, 0)
+	b.add(1_020_000, senderEP, receiverEP, 1001, 2001, packet.FlagACK, 65535, 500)
+	conns := Extract(b.pkts)
+	if len(conns) != 1 {
+		t.Fatalf("extracted %d connections, want 1 (SYN retransmission)", len(conns))
+	}
+}

@@ -1,0 +1,128 @@
+// Package knee implements the L-method of Salvador & Chan ("Determining the
+// number of clusters/segments in hierarchical clustering/segmentation
+// algorithms", ICTAI 2004), which T-DAT uses to find the knee of a
+// sorted-gap-length curve and thereby infer BGP pacing-timer values
+// (paper §IV-B, Fig 17).
+//
+// The L-method fits two straight lines to the left and right portions of an
+// evaluation curve and picks the split point minimizing the total weighted
+// RMSE; the split is the knee.
+package knee
+
+import (
+	"math"
+	"sort"
+)
+
+// Point is one sample of the evaluation graph.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// fitRMSE returns the root-mean-square error of the least-squares line
+// through pts.
+func fitRMSE(pts []Point) float64 {
+	n := float64(len(pts))
+	if len(pts) < 2 {
+		return 0
+	}
+	var sx, sy, sxx, sxy float64
+	for _, p := range pts {
+		sx += p.X
+		sy += p.Y
+		sxx += p.X * p.X
+		sxy += p.X * p.Y
+	}
+	den := n*sxx - sx*sx
+	var slope, icept float64
+	if den != 0 {
+		slope = (n*sxy - sx*sy) / den
+		icept = (sy - slope*sx) / n
+	} else {
+		icept = sy / n
+	}
+	var se float64
+	for _, p := range pts {
+		d := p.Y - (slope*p.X + icept)
+		se += d * d
+	}
+	return math.Sqrt(se / n)
+}
+
+// Find locates the knee of the curve and returns its index; ok is false when
+// the curve is too short (< 4 points) to split.
+func Find(pts []Point) (idx int, ok bool) {
+	n := len(pts)
+	if n < 4 {
+		return 0, false
+	}
+	best := math.Inf(1)
+	bestIdx := -1
+	// Split c is the last index of the left segment; both segments need at
+	// least two points.
+	for c := 1; c < n-2; c++ {
+		left := pts[:c+1]
+		right := pts[c+1:]
+		lw := float64(len(left)) / float64(n)
+		rw := float64(len(right)) / float64(n)
+		total := lw*fitRMSE(left) + rw*fitRMSE(right)
+		if total < best {
+			best = total
+			bestIdx = c
+		}
+	}
+	if bestIdx < 0 {
+		return 0, false
+	}
+	return bestIdx, true
+}
+
+// KneeValue runs Find and returns the X value at the knee.
+func KneeValue(pts []Point) (float64, bool) {
+	idx, ok := Find(pts)
+	if !ok {
+		return 0, false
+	}
+	return pts[idx].X, true
+}
+
+// GapKnee sorts gap lengths ascending, builds the evaluation curve
+// (rank → gap length), and returns the knee gap value — the inferred timer.
+// It reports ok=false when there are too few gaps or the curve has no
+// meaningful bend (the knee explains < minJump× the median gap).
+func GapKnee(gaps []float64, minJump float64) (float64, bool) {
+	if len(gaps) < 8 {
+		return 0, false
+	}
+	s := append([]float64(nil), gaps...)
+	sort.Float64s(s)
+	pts := make([]Point, len(s))
+	for i, g := range s {
+		pts[i] = Point{X: float64(i), Y: g}
+	}
+	idx, ok := Find(pts)
+	if !ok {
+		return 0, false
+	}
+	// Report the characteristic plateau value: the median of the gaps above
+	// the knee, which is more robust than the exact knee sample.
+	tail := s[idx+1:]
+	if len(tail) == 0 {
+		return 0, false
+	}
+	tailMed := tail[len(tail)/2]
+	below := s[:idx+1]
+	belowMed := below[len(below)/2]
+	// A real pacing timer produces a sharp step: the plateau must stand well
+	// clear of the gaps below the knee. A smooth (RTT-dominated)
+	// distribution has tailMed ≈ belowMed and is rejected. The floor keeps
+	// sub-100 µs transmission jitter from faking a step.
+	if belowMed < 100 {
+		belowMed = 100
+	}
+	if tailMed < minJump*belowMed {
+		return 0, false
+	}
+	return tailMed, true
+}

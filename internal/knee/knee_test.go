@@ -1,0 +1,112 @@
+package knee
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFindOnSharpElbow(t *testing.T) {
+	// y = 0 for x < 50, then y rises steeply: knee near 50.
+	var pts []Point
+	for i := 0; i < 100; i++ {
+		y := 0.0
+		if i >= 50 {
+			y = float64(i-50) * 10
+		}
+		pts = append(pts, Point{X: float64(i), Y: y})
+	}
+	idx, ok := Find(pts)
+	if !ok {
+		t.Fatal("no knee found")
+	}
+	if idx < 40 || idx > 60 {
+		t.Errorf("knee index = %d, want ≈50", idx)
+	}
+}
+
+func TestFindTooShort(t *testing.T) {
+	if _, ok := Find([]Point{{0, 0}, {1, 1}, {2, 2}}); ok {
+		t.Error("found knee in 3 points")
+	}
+}
+
+func TestKneeValue(t *testing.T) {
+	pts := []Point{{0, 0}, {1, 0}, {2, 0}, {3, 0}, {4, 100}, {5, 200}, {6, 300}}
+	v, ok := KneeValue(pts)
+	if !ok {
+		t.Fatal("no knee")
+	}
+	if v < 2 || v > 4 {
+		t.Errorf("knee X = %v, want ≈3", v)
+	}
+}
+
+func TestGapKneeDetectsTimer(t *testing.T) {
+	// Paced sender: ~50% sub-millisecond intra-burst gaps, ~50% gaps at the
+	// 200 ms timer with jitter.
+	rnd := rand.New(rand.NewSource(1))
+	var gaps []float64
+	for i := 0; i < 60; i++ {
+		gaps = append(gaps, rnd.Float64()*800)               // 0–0.8 ms
+		gaps = append(gaps, 200_000+rnd.Float64()*8000-4000) // ≈200 ms ±4 ms
+	}
+	timer, ok := GapKnee(gaps, 3)
+	if !ok {
+		t.Fatal("timer not detected")
+	}
+	if timer < 180_000 || timer > 220_000 {
+		t.Errorf("timer = %v µs, want ≈200000", timer)
+	}
+}
+
+func TestGapKneeRejectsSmoothDistribution(t *testing.T) {
+	// RTT-dominated gaps around 10 ms with mild noise: no timer step.
+	rnd := rand.New(rand.NewSource(2))
+	var gaps []float64
+	for i := 0; i < 100; i++ {
+		gaps = append(gaps, 9_000+rnd.Float64()*2_000)
+	}
+	if timer, ok := GapKnee(gaps, 3); ok {
+		t.Errorf("false timer %v detected in smooth distribution", timer)
+	}
+}
+
+func TestGapKneeRejectsTinyInput(t *testing.T) {
+	if _, ok := GapKnee([]float64{1, 2, 3}, 3); ok {
+		t.Error("detected timer in 3 gaps")
+	}
+}
+
+func TestGapKneeMinorityTimer(t *testing.T) {
+	// Even when timer gaps are only ~30% of the distribution, the step
+	// should be found.
+	rnd := rand.New(rand.NewSource(3))
+	var gaps []float64
+	for i := 0; i < 70; i++ {
+		gaps = append(gaps, rnd.Float64()*1000)
+	}
+	for i := 0; i < 30; i++ {
+		gaps = append(gaps, 100_000+rnd.Float64()*4000)
+	}
+	timer, ok := GapKnee(gaps, 3)
+	if !ok {
+		t.Fatal("timer not detected")
+	}
+	if timer < 90_000 || timer > 110_000 {
+		t.Errorf("timer = %v, want ≈100000", timer)
+	}
+}
+
+func TestFitRMSEPerfectLine(t *testing.T) {
+	pts := []Point{{0, 1}, {1, 3}, {2, 5}, {3, 7}}
+	if got := fitRMSE(pts); got > 1e-9 {
+		t.Errorf("RMSE of perfect line = %v", got)
+	}
+	if got := fitRMSE(pts[:1]); got != 0 {
+		t.Errorf("RMSE of single point = %v", got)
+	}
+	// Vertical degenerate input must not divide by zero.
+	if got := fitRMSE([]Point{{1, 0}, {1, 10}}); got < 0 {
+		t.Errorf("degenerate RMSE = %v", got)
+	}
+}

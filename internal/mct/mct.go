@@ -1,0 +1,166 @@
+// Package mct estimates the end of a BGP routing-table transfer from a
+// stream of archived updates — the Minimum Collection Time algorithm of
+// Zhang et al. [36] as adapted by the paper (§II-A): the TCP connection
+// start pins the transfer start, and MCT finds the instant by which the
+// initial table has been (re)announced.
+//
+// The adaptation here follows the original's intuition: during a table
+// transfer the sender streams monotonically growing sets of distinct
+// prefixes back-to-back; the transfer ends at the last update after which
+// (i) essentially no new prefixes appear for a guard window, or (ii) the
+// update stream goes quiet for longer than the inter-update timescale seen
+// so far.
+package mct
+
+import (
+	"net/netip"
+	"sort"
+
+	"tdat/internal/bgp"
+	"tdat/internal/mrt"
+	"tdat/internal/timerange"
+)
+
+// Micros aliases the trace time unit.
+type Micros = timerange.Micros
+
+// Update is one timed BGP update for MCT purposes.
+type Update struct {
+	Time Micros
+	// Prefixes are the NLRI announcements in the update.
+	Prefixes []netip.Prefix
+}
+
+// Config tunes the estimator; zero values select defaults.
+type Config struct {
+	// QuietGap ends the transfer when no update arrives for this long
+	// (default 30 s — table transfers stream continuously at much finer
+	// granularity, while post-transfer updates are sparse).
+	QuietGap Micros
+	// NoveltyWindow is the trailing window over which the novelty rule is
+	// evaluated (default 10 s).
+	NoveltyWindow Micros
+	// MinNovelty is the fraction of a trailing window's announcements that
+	// must be previously unseen prefixes for the transfer to be considered
+	// still in progress (default 0.05).
+	MinNovelty float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.QuietGap == 0 {
+		c.QuietGap = 30 * 1_000_000
+	}
+	if c.NoveltyWindow == 0 {
+		c.NoveltyWindow = 10 * 1_000_000
+	}
+	if c.MinNovelty == 0 {
+		c.MinNovelty = 0.05
+	}
+	return c
+}
+
+// Result describes the identified transfer.
+type Result struct {
+	// End is the estimated transfer end time (the completing update's
+	// timestamp).
+	End Micros
+	// Updates is how many updates belong to the transfer.
+	Updates int
+	// UniquePrefixes is the distinct prefix count announced by then.
+	UniquePrefixes int
+}
+
+// FindEnd locates the transfer end in updates (which must be time-sorted;
+// they are sorted defensively). ok is false for an empty stream.
+func FindEnd(updates []Update, cfg Config) (Result, bool) {
+	cfg = cfg.withDefaults()
+	if len(updates) == 0 {
+		return Result{}, false
+	}
+	ups := append([]Update(nil), updates...)
+	sort.SliceStable(ups, func(i, j int) bool { return ups[i].Time < ups[j].Time })
+
+	seen := map[netip.Prefix]struct{}{}
+	type point struct {
+		time    Micros
+		total   int // announcements in this update
+		novel   int // previously unseen prefixes in this update
+		cumulen int // unique prefixes after this update
+	}
+	points := make([]point, len(ups))
+	for i, u := range ups {
+		novel := 0
+		for _, p := range u.Prefixes {
+			if _, ok := seen[p]; !ok {
+				seen[p] = struct{}{}
+				novel++
+			}
+		}
+		points[i] = point{time: u.Time, total: len(u.Prefixes), novel: novel, cumulen: len(seen)}
+	}
+
+	// Scan forward: the transfer continues while updates keep arriving
+	// densely and keep contributing new prefixes.
+	endIdx := 0
+	for i := 1; i < len(points); i++ {
+		gap := points[i].time - points[i-1].time
+		if gap > cfg.QuietGap {
+			break
+		}
+		// Trailing-window novelty: fraction of announcements that are new.
+		wStart := points[i].time - cfg.NoveltyWindow
+		total, novel := 0, 0
+		for j := i; j >= 0 && points[j].time >= wStart; j-- {
+			total += points[j].total
+			novel += points[j].novel
+		}
+		if total > 0 && float64(novel)/float64(total) < cfg.MinNovelty {
+			// The stream has stopped revealing table content: end at the
+			// last update that contributed something new.
+			break
+		}
+		endIdx = i
+	}
+	// Extend endIdx to the last update that added novelty at or before it.
+	for endIdx > 0 && points[endIdx].novel == 0 {
+		endIdx--
+	}
+	return Result{
+		End:            points[endIdx].time,
+		Updates:        endIdx + 1,
+		UniquePrefixes: points[endIdx].cumulen,
+	}, true
+}
+
+// FromMRT converts a collector's MRT archive into MCT updates — the
+// Quagga-collector pipeline of paper §II-A, where the transfer end comes
+// from the BGP archive rather than payload reassembly.
+func FromMRT(records []mrt.Record) []Update {
+	var out []Update
+	for _, r := range records {
+		m, err := r.Message()
+		if err != nil {
+			continue
+		}
+		u, ok := m.(*bgp.Update)
+		if !ok || len(u.NLRI) == 0 {
+			continue
+		}
+		out = append(out, Update{Time: r.TimeMicros, Prefixes: u.NLRI})
+	}
+	return out
+}
+
+// FromMessages converts reassembled/archived BGP messages to MCT updates,
+// skipping non-update messages.
+func FromMessages(times []Micros, msgs []bgp.Message) []Update {
+	var out []Update
+	for i, m := range msgs {
+		u, ok := m.(*bgp.Update)
+		if !ok || len(u.NLRI) == 0 {
+			continue
+		}
+		out = append(out, Update{Time: times[i], Prefixes: u.NLRI})
+	}
+	return out
+}

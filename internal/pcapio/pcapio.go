@@ -1,0 +1,198 @@
+// Package pcapio reads and writes classic libpcap capture files
+// (https://wiki.wireshark.org/Development/LibpcapFileFormat) with
+// microsecond timestamps and the Ethernet link type, which is all the
+// simulator emits and the analyzer consumes. Big- and little-endian files
+// are both read; files are written little-endian.
+package pcapio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Magic numbers for microsecond-resolution pcap files.
+const (
+	magicLE = 0xA1B2C3D4 // written by this package
+	magicBE = 0xD4C3B2A1 // byte-swapped input
+)
+
+// LinkTypeEthernet is the DLT value for Ethernet frames.
+const LinkTypeEthernet = 1
+
+// DefaultSnapLen is the snapshot length written into file headers: whole
+// packets are captured, as in the paper's tcpdump setup ("the whole packet,
+// including the headers and data, is captured").
+const DefaultSnapLen = 65535
+
+// Errors returned by the reader.
+var (
+	ErrBadMagic  = errors.New("pcapio: not a pcap file")
+	ErrTruncated = errors.New("pcapio: truncated file")
+	ErrLinkType  = errors.New("pcapio: unsupported link type")
+)
+
+// Record is one captured packet: a timestamp in microseconds since the epoch
+// and the captured bytes. OrigLen records the original wire length, which
+// exceeds len(Data) only if the capture was truncated by a snap length.
+type Record struct {
+	TimeMicros int64
+	OrigLen    int
+	Data       []byte
+}
+
+// Writer writes pcap records to an underlying stream.
+type Writer struct {
+	w       *bufio.Writer
+	snapLen int
+	started bool
+}
+
+// NewWriter creates a Writer. The file header is emitted lazily on the first
+// Write (or on Flush) so an unused writer leaves the stream untouched.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w), snapLen: DefaultSnapLen}
+}
+
+func (w *Writer) writeHeader() error {
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], magicLE)
+	binary.LittleEndian.PutUint16(hdr[4:6], 2) // major
+	binary.LittleEndian.PutUint16(hdr[6:8], 4) // minor
+	binary.LittleEndian.PutUint32(hdr[16:20], uint32(w.snapLen))
+	binary.LittleEndian.PutUint32(hdr[20:24], LinkTypeEthernet)
+	_, err := w.w.Write(hdr[:])
+	return err
+}
+
+// WritePacket appends one record. The packet is written in full (no
+// snap-length truncation on output).
+func (w *Writer) WritePacket(timeMicros int64, data []byte) error {
+	if !w.started {
+		if err := w.writeHeader(); err != nil {
+			return fmt.Errorf("pcapio: writing file header: %w", err)
+		}
+		w.started = true
+	}
+	var hdr [16]byte
+	sec := timeMicros / 1_000_000
+	usec := timeMicros % 1_000_000
+	if usec < 0 { // normalize for pre-epoch timestamps
+		sec--
+		usec += 1_000_000
+	}
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(sec))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(usec))
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(data)))
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(len(data)))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("pcapio: writing record header: %w", err)
+	}
+	if _, err := w.w.Write(data); err != nil {
+		return fmt.Errorf("pcapio: writing record data: %w", err)
+	}
+	return nil
+}
+
+// Flush writes any buffered data (and the file header, if no packet has been
+// written yet, so that an empty capture is still a valid pcap file).
+func (w *Writer) Flush() error {
+	if !w.started {
+		if err := w.writeHeader(); err != nil {
+			return err
+		}
+		w.started = true
+	}
+	return w.w.Flush()
+}
+
+// Reader reads pcap records from an underlying stream.
+type Reader struct {
+	r        *bufio.Reader
+	order    binary.ByteOrder
+	linkType uint32
+	snapLen  uint32
+}
+
+// NewReader parses the file header and returns a Reader positioned at the
+// first record.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var hdr [24]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: file header: %v", ErrTruncated, err)
+	}
+	var order binary.ByteOrder
+	switch binary.LittleEndian.Uint32(hdr[0:4]) {
+	case magicLE:
+		order = binary.LittleEndian
+	case magicBE:
+		order = binary.BigEndian
+	default:
+		return nil, fmt.Errorf("%w: magic 0x%08x", ErrBadMagic, binary.LittleEndian.Uint32(hdr[0:4]))
+	}
+	rd := &Reader{
+		r:        br,
+		order:    order,
+		snapLen:  order.Uint32(hdr[16:20]),
+		linkType: order.Uint32(hdr[20:24]),
+	}
+	if rd.linkType != LinkTypeEthernet {
+		return nil, fmt.Errorf("%w: %d", ErrLinkType, rd.linkType)
+	}
+	return rd, nil
+}
+
+// SnapLen returns the snapshot length declared in the file header.
+func (r *Reader) SnapLen() int { return int(r.snapLen) }
+
+// Next returns the next record, or io.EOF at a clean end of file. A file
+// that ends mid-record returns ErrTruncated, which callers treat as the
+// paper treats tcpdump drop gaps: the trailing partial data is excluded.
+func (r *Reader) Next() (Record, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("%w: record header: %v", ErrTruncated, err)
+	}
+	sec := int64(r.order.Uint32(hdr[0:4]))
+	usec := int64(r.order.Uint32(hdr[4:8]))
+	capLen := r.order.Uint32(hdr[8:12])
+	origLen := r.order.Uint32(hdr[12:16])
+	if capLen > r.snapLen+65535 { // sanity bound against corrupt headers
+		return Record{}, fmt.Errorf("pcapio: implausible capture length %d", capLen)
+	}
+	data := make([]byte, capLen)
+	if _, err := io.ReadFull(r.r, data); err != nil {
+		return Record{}, fmt.Errorf("%w: record data: %v", ErrTruncated, err)
+	}
+	return Record{
+		TimeMicros: sec*1_000_000 + usec,
+		OrigLen:    int(origLen),
+		Data:       data,
+	}, nil
+}
+
+// ReadAll drains the reader into a slice. Trailing truncation is reported
+// alongside the records read so far.
+func ReadAll(r io.Reader) ([]Record, error) {
+	rd, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	var out []Record
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}

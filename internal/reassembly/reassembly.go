@@ -1,0 +1,129 @@
+// Package reassembly reconstructs the sender→receiver TCP byte stream of an
+// extracted connection, tolerating out-of-order delivery and
+// retransmissions, and extracts the BGP messages it carries. This is the
+// core of the paper's pcap2bgp side tool (§II-A): for vendor collectors
+// that keep no MRT archive, it recovers the BGP message stream (with
+// arrival timestamps) straight from the packet trace.
+package reassembly
+
+import (
+	"fmt"
+	"sort"
+
+	"tdat/internal/bgp"
+	"tdat/internal/flows"
+	"tdat/internal/timerange"
+)
+
+// Message is one BGP message recovered from the stream, stamped with the
+// arrival time of the packet that completed it.
+type Message struct {
+	Time timerange.Micros
+	Msg  bgp.Message
+	Raw  []byte
+}
+
+// Result is the reassembly outcome for one connection.
+type Result struct {
+	Messages []Message
+	// StreamBytes is the number of contiguous stream bytes recovered from
+	// offset zero.
+	StreamBytes int64
+	// MissingRanges lists sequence ranges never captured (tcpdump drops or
+	// pre-capture history); decoding stops at the first persistent hole so
+	// framing is never guessed.
+	MissingRanges []timerange.Range
+}
+
+// span records when the stream bytes up to end first became available.
+type span struct {
+	end  int64
+	time timerange.Micros
+}
+
+// Reassemble rebuilds the byte stream of c and splits it into BGP messages.
+func Reassemble(c *flows.Connection) (*Result, error) {
+	type seg struct {
+		data []byte
+		time timerange.Micros
+	}
+	segs := map[int64]seg{} // start offset → first-arrival segment
+	covered := timerange.NewSet()
+	var limit int64
+	for _, d := range c.Data {
+		if d.Len == 0 {
+			continue
+		}
+		// First arrival wins: retransmissions carry identical bytes.
+		if _, ok := segs[d.Seq]; !ok {
+			payload := d.Payload
+			if payload == nil {
+				payload = make([]byte, d.Len) // length-only traces
+			}
+			segs[d.Seq] = seg{data: payload, time: d.Time}
+		}
+		covered.Add(timerange.R(d.Seq, d.SeqEnd))
+		if d.SeqEnd > limit {
+			limit = d.SeqEnd
+		}
+	}
+
+	res := &Result{}
+	if limit == 0 {
+		return res, nil
+	}
+	contig := int64(0)
+	if covered.Len() > 0 && covered.At(0).Start == 0 {
+		contig = covered.At(0).End
+	}
+	res.StreamBytes = contig
+	res.MissingRanges = covered.Complement(timerange.R(0, limit)).Ranges()
+
+	// Linearize the contiguous prefix, remembering per-segment arrival
+	// boundaries for message timestamping.
+	stream := make([]byte, contig)
+	spans := make([]span, 0, len(segs))
+	for off, s := range segs {
+		if off >= contig {
+			continue
+		}
+		end := off + int64(len(s.data))
+		if end > contig {
+			end = contig
+		}
+		copy(stream[off:end], s.data[:end-off])
+		spans = append(spans, span{end: end, time: s.time})
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].end < spans[j].end })
+
+	// Split into BGP messages.
+	msgs, consumed, err := bgp.SplitStream(stream)
+	if err != nil {
+		return res, fmt.Errorf("reassembly: BGP framing at offset %d: %w", consumed, err)
+	}
+	off := int64(0)
+	for _, m := range msgs {
+		length := int64(uint16(stream[off+16])<<8 | uint16(stream[off+17]))
+		raw := append([]byte(nil), stream[off:off+length]...)
+		res.Messages = append(res.Messages, Message{
+			Time: timeAt(spans, off+length),
+			Msg:  m,
+			Raw:  raw,
+		})
+		off += length
+	}
+	return res, nil
+}
+
+// timeAt returns the arrival time of the segment containing stream position
+// pos-1, i.e. when the message ending at pos became complete.
+func timeAt(spans []span, pos int64) timerange.Micros {
+	i := sort.Search(len(spans), func(i int) bool { return spans[i].end >= pos })
+	if i < len(spans) {
+		return spans[i].time
+	}
+	if len(spans) > 0 {
+		return spans[len(spans)-1].time
+	}
+	return 0
+}

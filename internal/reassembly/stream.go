@@ -1,0 +1,140 @@
+package reassembly
+
+import (
+	"errors"
+	"fmt"
+
+	"tdat/internal/bgp"
+	"tdat/internal/packet"
+	"tdat/internal/timerange"
+)
+
+// ErrBufferLimit reports that a stream buffered too much out-of-order or
+// undecoded data (a capture hole that never fills).
+var ErrBufferLimit = errors.New("reassembly: buffer limit exceeded")
+
+// DefaultStreamLimit bounds per-stream buffering (out-of-order plus
+// undecoded contiguous bytes).
+const DefaultStreamLimit = 4 << 20
+
+// Stream is the online (single-pass) reassembler behind pcap2bgp's live
+// mode: feed it one direction's packets in capture order and it emits each
+// BGP message as soon as the bytes completing it arrive, tolerating
+// out-of-order delivery and retransmissions.
+type Stream struct {
+	emit func(Message)
+	// Limit bounds buffered bytes (0 selects DefaultStreamLimit).
+	Limit int
+
+	haveISN bool
+	isn     uint32
+	next    int64            // next expected payload offset
+	ooo     map[int64][]byte // out-of-order segments by offset
+	oooLen  int
+	buf     []byte // contiguous bytes not yet framed
+}
+
+// NewStream creates a Stream delivering completed messages to emit.
+func NewStream(emit func(Message)) *Stream {
+	return &Stream{emit: emit, ooo: map[int64][]byte{}}
+}
+
+// Packet feeds one sender-direction packet captured at time t. A SYN pins
+// the initial sequence number; without one, the first payload packet
+// anchors the stream (mid-capture start).
+func (s *Stream) Packet(t timerange.Micros, p *packet.Packet) error {
+	if p.TCP.HasFlag(packet.FlagSYN) {
+		s.haveISN = true
+		s.isn = p.TCP.Seq
+		return nil
+	}
+	if len(p.Payload) == 0 {
+		return nil
+	}
+	if !s.haveISN {
+		s.haveISN = true
+		s.isn = p.TCP.Seq - 1
+	}
+	off := int64(int32(p.TCP.Seq - s.isn - 1))
+	return s.segment(t, off, p.Payload)
+}
+
+// segment integrates payload at stream offset off.
+func (s *Stream) segment(t timerange.Micros, off int64, payload []byte) error {
+	end := off + int64(len(payload))
+	if end <= s.next {
+		return nil // pure retransmission of delivered bytes
+	}
+	if off > s.next {
+		// Hold out of order (first copy wins).
+		if _, dup := s.ooo[off]; !dup {
+			cp := append([]byte(nil), payload...)
+			s.ooo[off] = cp
+			s.oooLen += len(cp)
+			if s.oooLen+len(s.buf) > s.limit() {
+				return fmt.Errorf("%w: %d bytes held at a hole before offset %d",
+					ErrBufferLimit, s.oooLen, s.next)
+			}
+		}
+		return nil
+	}
+	// Overlapping or contiguous: append the new part.
+	s.buf = append(s.buf, payload[s.next-off:]...)
+	s.next = end
+	// Drain any now-contiguous held segments.
+	for {
+		found := false
+		for o, seg := range s.ooo {
+			segEnd := o + int64(len(seg))
+			if segEnd <= s.next {
+				delete(s.ooo, o)
+				s.oooLen -= len(seg)
+				found = true
+				break
+			}
+			if o <= s.next {
+				s.buf = append(s.buf, seg[s.next-o:]...)
+				s.next = segEnd
+				delete(s.ooo, o)
+				s.oooLen -= len(seg)
+				found = true
+				break
+			}
+		}
+		if !found {
+			break
+		}
+	}
+	return s.frame(t)
+}
+
+// frame splits completed BGP messages out of the contiguous buffer.
+func (s *Stream) frame(t timerange.Micros) error {
+	msgs, consumed, err := bgp.SplitStream(s.buf)
+	if err != nil {
+		return fmt.Errorf("reassembly: online framing: %w", err)
+	}
+	off := 0
+	for _, m := range msgs {
+		length := int(uint16(s.buf[off+16])<<8 | uint16(s.buf[off+17]))
+		raw := append([]byte(nil), s.buf[off:off+length]...)
+		off += length
+		s.emit(Message{Time: t, Msg: m, Raw: raw})
+	}
+	s.buf = append(s.buf[:0], s.buf[consumed:]...)
+	if len(s.buf)+s.oooLen > s.limit() {
+		return fmt.Errorf("%w: %d undecodable bytes buffered", ErrBufferLimit, len(s.buf))
+	}
+	return nil
+}
+
+// PendingHole reports whether the stream is stalled behind a sequence hole
+// and how many bytes wait beyond it.
+func (s *Stream) PendingHole() (bool, int) { return s.oooLen > 0, s.oooLen }
+
+func (s *Stream) limit() int {
+	if s.Limit > 0 {
+		return s.Limit
+	}
+	return DefaultStreamLimit
+}

@@ -1,0 +1,184 @@
+package reassembly
+
+import (
+	"errors"
+	"testing"
+
+	"tdat/internal/bgp"
+	"tdat/internal/flows"
+	"tdat/internal/packet"
+)
+
+// feedStream pushes the builder's sender-direction packets through a Stream
+// in slice order and returns the emitted messages.
+func feedStream(t *testing.T, pkts []flows.TimedPacket) ([]Message, error) {
+	t.Helper()
+	var msgs []Message
+	s := NewStream(func(m Message) { msgs = append(msgs, m) })
+	for _, tp := range pkts {
+		if tp.Pkt.IP.Src != sndEP.Addr {
+			continue
+		}
+		if err := s.Packet(tp.Time, tp.Pkt); err != nil {
+			return msgs, err
+		}
+	}
+	return msgs, nil
+}
+
+func TestStreamInOrderEmitsIncrementally(t *testing.T) {
+	stream := bgpStream(t, 20)
+	pkts := packetsFor(stream, 300, func(i int) flows.Micros { return flows.Micros(i) * 1000 })
+	var msgs []Message
+	s := NewStream(func(m Message) { msgs = append(msgs, m) })
+	emittedAfterHalf := 0
+	for i, tp := range pkts {
+		if err := s.Packet(tp.Time, tp.Pkt); err != nil {
+			t.Fatal(err)
+		}
+		if i == len(pkts)/2 {
+			emittedAfterHalf = len(msgs)
+		}
+	}
+	if len(msgs) != 22 {
+		t.Fatalf("messages = %d, want 22", len(msgs))
+	}
+	if emittedAfterHalf == 0 || emittedAfterHalf == len(msgs) {
+		t.Errorf("no incremental emission: %d after half, %d total", emittedAfterHalf, len(msgs))
+	}
+	// Message completion times must be non-decreasing.
+	for i := 1; i < len(msgs); i++ {
+		if msgs[i].Time < msgs[i-1].Time {
+			t.Fatal("emission times regressed")
+		}
+	}
+}
+
+func TestStreamOutOfOrderAndRetransmission(t *testing.T) {
+	stream := bgpStream(t, 30)
+	pkts := packetsFor(stream, 200, func(i int) flows.Micros { return flows.Micros(i) * 1000 })
+	// Swap two packets and duplicate another.
+	pkts[2], pkts[3] = pkts[3], pkts[2]
+	dup := *pkts[5].Pkt
+	var reordered []flows.TimedPacket
+	reordered = append(reordered, pkts...)
+	reordered = append(reordered, flows.TimedPacket{Time: 999_000, Pkt: &dup})
+
+	msgs, err := feedStream(t, reordered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 32 {
+		t.Errorf("messages = %d, want 32", len(msgs))
+	}
+	updates := 0
+	for _, m := range msgs {
+		if _, ok := m.Msg.(*bgp.Update); ok {
+			updates++
+		}
+	}
+	if updates != 30 {
+		t.Errorf("updates = %d", updates)
+	}
+}
+
+func TestStreamReportsPendingHole(t *testing.T) {
+	stream := bgpStream(t, 10)
+	pkts := packetsFor(stream, 100, func(i int) flows.Micros { return flows.Micros(i) })
+	s := NewStream(func(Message) {})
+	// Skip packet 1: a permanent hole.
+	for i, tp := range pkts {
+		if i == 1 {
+			continue
+		}
+		if err := s.Packet(tp.Time, tp.Pkt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stalled, held := s.PendingHole()
+	if !stalled || held == 0 {
+		t.Errorf("stalled=%v held=%d", stalled, held)
+	}
+}
+
+func TestStreamBufferLimit(t *testing.T) {
+	stream := bgpStream(t, 60)
+	pkts := packetsFor(stream, 100, func(i int) flows.Micros { return flows.Micros(i) })
+	s := NewStream(func(Message) {})
+	s.Limit = 512
+	// Pin the ISN with a SYN so the skipped first segment leaves a real
+	// hole that everything else queues behind.
+	syn := &packet.Packet{
+		IP:  packet.IPv4{Src: sndEP.Addr, Dst: rcvEP.Addr},
+		TCP: packet.TCP{SrcPort: sndEP.Port, DstPort: rcvEP.Port, Seq: 1000, Flags: packet.FlagSYN},
+	}
+	if err := s.Packet(0, syn); err != nil {
+		t.Fatal(err)
+	}
+	var err error
+	for i, tp := range pkts {
+		if i == 0 {
+			continue // hole at the very front: everything buffers
+		}
+		if err = s.Packet(tp.Time, tp.Pkt); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrBufferLimit) {
+		t.Errorf("err = %v, want ErrBufferLimit", err)
+	}
+}
+
+func TestStreamMidCaptureAnchor(t *testing.T) {
+	// No SYN: the first data packet anchors the stream.
+	stream := bgpStream(t, 5)
+	var msgs []Message
+	s := NewStream(func(m Message) { msgs = append(msgs, m) })
+	p := &packet.Packet{
+		IP:      packet.IPv4{Src: sndEP.Addr, Dst: rcvEP.Addr},
+		TCP:     packet.TCP{SrcPort: sndEP.Port, DstPort: rcvEP.Port, Seq: 5001, Flags: packet.FlagACK},
+		Payload: stream,
+	}
+	if err := s.Packet(10, p); err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 7 {
+		t.Errorf("messages = %d, want 7", len(msgs))
+	}
+}
+
+func TestStreamGarbageReportsFramingError(t *testing.T) {
+	s := NewStream(func(Message) {})
+	p := &packet.Packet{
+		IP:      packet.IPv4{Src: sndEP.Addr, Dst: rcvEP.Addr},
+		TCP:     packet.TCP{Seq: 1001, Flags: packet.FlagACK},
+		Payload: make([]byte, 64),
+	}
+	if err := s.Packet(1, p); err == nil {
+		t.Error("garbage stream framed without error")
+	}
+}
+
+func TestStreamMatchesOfflineReassembly(t *testing.T) {
+	// Property: online and offline reassembly recover the same messages.
+	stream := bgpStream(t, 25)
+	pkts := packetsFor(stream, 150, func(i int) flows.Micros { return flows.Micros(i) * 500 })
+	pkts[4], pkts[5] = pkts[5], pkts[4]
+
+	online, err := feedStream(t, pkts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline, err := Reassemble(extractOne(t, pkts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(online) != len(offline.Messages) {
+		t.Fatalf("online %d vs offline %d messages", len(online), len(offline.Messages))
+	}
+	for i := range online {
+		if string(online[i].Raw) != string(offline.Messages[i].Raw) {
+			t.Fatalf("message %d differs between online and offline", i)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package series
+
+import (
+	"sort"
+
+	"tdat/internal/flows"
+	"tdat/internal/timerange"
+)
+
+// RangeStat annotates one range of a series with the traffic it contains —
+// the paper's per-wave bookkeeping ("each wave records the actual number of
+// retransmitted packets and bytes within itself", §III-A), which turns a
+// high-level observation into a pointer back at the raw trace.
+type RangeStat struct {
+	Range timerange.Range
+	// DataPackets and DataBytes count sender data packets captured inside
+	// the range.
+	DataPackets int
+	DataBytes   int
+	// Retransmits counts how many of those were retransmissions or
+	// out-of-sequence repairs.
+	Retransmits int
+	// Acks counts receiver ACK arrivals inside the range (shifted times).
+	Acks int
+}
+
+// RangeStats computes annotations for every range of the named series.
+func (c *Catalog) RangeStats(n Name) []RangeStat {
+	ranges := c.Get(n).Ranges()
+	out := make([]RangeStat, len(ranges))
+	for i, r := range ranges {
+		out[i].Range = r
+	}
+	if len(out) == 0 {
+		return out
+	}
+	// Data events are time-sorted; locate each event's covering range with
+	// a forward cursor.
+	locate := func(t Micros, from int) int {
+		i := from
+		for i < len(out) && out[i].Range.End <= t {
+			i++
+		}
+		if i < len(out) && out[i].Range.Contains(t) {
+			return i
+		}
+		return -1
+	}
+	cursor := 0
+	for _, d := range c.conn.Data {
+		for cursor < len(out) && out[cursor].Range.End <= d.Time {
+			cursor++
+		}
+		if i := locate(d.Time, cursor); i >= 0 {
+			out[i].DataPackets++
+			out[i].DataBytes += d.Len
+			if d.Kind == flows.DataRetransmit || d.Kind == flows.DataGapFill {
+				out[i].Retransmits++
+			}
+		}
+	}
+	// Shifted acks may be slightly out of order after flight shifting; sort
+	// a copy of the arrival times.
+	times := make([]Micros, len(c.acks))
+	for i, a := range c.acks {
+		times[i] = a.Time
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	cursor = 0
+	for _, t := range times {
+		for cursor < len(out) && out[cursor].Range.End <= t {
+			cursor++
+		}
+		if i := locate(t, cursor); i >= 0 {
+			out[i].Acks++
+		}
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+// This file documents the full 34-series catalog (paper §III-C). Rule
+// classes: E = extraction (straight from packet information), I =
+// interpretation (deployment-specific renaming), O = operation (heuristics
+// and set algebra over other series). The eight series marked F back the
+// conclusive delay factors (§III-D / internal/factors).
+//
+//	#  Series            Class  Definition
+//	-- ----------------- -----  ------------------------------------------
+//	 1 Transmission        E    data packets on the wire (per-packet ranges
+//	                            scaled by the bottleneck serialization unit)
+//	 2 AckArrival          E    ACK arrival instants (after the sniffer-
+//	                            location shift)
+//	 3 DupAck              E    duplicate-ACK instants
+//	 4 Retransmission      E    retransmitted data packets (bytes the
+//	                            sniffer had already captured)
+//	 5 OutOfSequence       E    gap-filling packets (bytes never captured)
+//	 6 Reordering          E    gap fills explained by in-network
+//	                            reordering (IP-ID / arrival-lag filter)
+//	 7 UpstreamLoss        E    recovery periods of losses before the
+//	                            sniffer (gap open → repair arrival)
+//	 8 DownstreamLoss      E    recovery periods of losses after the
+//	                            sniffer (original capture → retransmission)
+//	 9 Outstanding         E    ≥1 byte sent and unacknowledged
+//	10 AdvWindow           E    the advertised-window timeline
+//	11 ZeroAdvWindow       E    advertised window == 0
+//	12 SmallAdvWindow      E    advertised window < 3·MSS (includes zero)
+//	13 LargeAdvWindow      E    advertised window ≥ max − 3·MSS
+//	14 MidAdvWindow        E    neither small nor large
+//	15 SynHandshake        E    SYN → handshake-completing ACK
+//	16 Idle                E    transmission gaps longer than the RTT
+//	17 Quiet               E    no packets in either direction for > RTT
+//	18 KeepaliveOnly       E    runs of keepalive-sized (≤100 B) data only
+//	19 ActiveTransfer      E    first data packet → last packet
+//	20 SendLocalLoss      I,F   = UpstreamLoss when the sniffer is at the
+//	                            sender; empty at a receiver-side sniffer
+//	21 RecvLocalLoss      I,F   = DownstreamLoss at a receiver-side sniffer
+//	22 NetworkLoss        I,F   the loss direction not attributable to the
+//	                            local end (= UpstreamLoss at the receiver)
+//	23 SendAppLimited     O,F   sender idle between flights though windows
+//	                            were open: per flight pair, the gap minus
+//	                            ACK-clocked, window-bound, loss, zero-
+//	                            window, and wire-busy time
+//	24 AdvBndOut           O    flights whose peak outstanding reached the
+//	                            tightest advertised window (within 3·MSS),
+//	                            extended over the wait for the next release
+//	25 CwndBndOut         O,F   full-segment flights launched immediately
+//	                            on their predecessor's completion ACK
+//	26 SmallAdvBndOut     O,F   AdvBndOut below the maximum window, plus
+//	                            zero-window stalls — the receiver app
+//	27 LargeAdvBndOut     O,F   AdvBndOut at the fully open window — the
+//	                            TCP parameter
+//	28 ZeroAdvBndOut       O    zero windows while the transfer is active
+//	29 BandwidthLimited   O,F   arrival gaps proportional to packet wire
+//	                            size over ≥5-packet runs spanning ≥ RTT
+//	                            (cadences ≈RTT or >4·RTT excluded)
+//	30 LossRecovery        O    UpstreamLoss ∪ DownstreamLoss
+//	31 ZeroAckBug          O    dilate(ZeroAdvBndOut, 2·RTT) ∩ UpstreamLoss
+//	                            — the router probe-discard bug conflict
+//	32 SenderLimited       O    SendAppLimited ∪ CwndBndOut ∪ SendLocalLoss
+//	33 ReceiverLimited     O    SmallAdvBndOut ∪ LargeAdvBndOut ∪
+//	                            RecvLocalLoss
+//	34 NetworkLimited      O    BandwidthLimited ∪ NetworkLoss
+
+package series

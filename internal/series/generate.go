@@ -1,0 +1,557 @@
+package series
+
+import (
+	"tdat/internal/flows"
+	"tdat/internal/timerange"
+)
+
+// rtt returns the connection RTT with a floor so thresholds stay sane on
+// handshake-less captures.
+func (c *Catalog) rtt() Micros {
+	if r := c.conn.Profile.RTT; r > 0 {
+		return r
+	}
+	return 1_000
+}
+
+func (c *Catalog) mss() int {
+	if m := c.conn.Profile.MSS; m > 0 {
+		return m
+	}
+	return 1460
+}
+
+// serUnit estimates per-packet serialization time from the tightest spacing
+// of full-size back-to-back segments (the bottleneck clock).
+func (c *Catalog) serUnit() Micros {
+	mss := c.mss()
+	best := Micros(0)
+	data := c.conn.Data
+	for i := 1; i < len(data); i++ {
+		if data[i-1].Len != mss || data[i].Len != mss {
+			continue
+		}
+		if d := data[i].Time - data[i-1].Time; d > 0 && (best == 0 || d < best) {
+			best = d
+		}
+	}
+	if best == 0 || best > c.rtt() {
+		return 1
+	}
+	return best
+}
+
+// extract builds the base series straight from packet information
+// (rule class 1, §III-C1).
+func (c *Catalog) extract() {
+	data := c.conn.Data
+	acks := c.acks
+	ser := c.serUnit()
+	mss := c.mss()
+	rtt := c.rtt()
+
+	trans := timerange.NewSet()
+	retx := timerange.NewSet()
+	oos := timerange.NewSet()
+	reord := timerange.NewSet()
+	ackArr := timerange.NewSet()
+	dup := timerange.NewSet()
+
+	serFor := func(l int) Micros {
+		s := ser * Micros(l) / Micros(mss)
+		if s <= 0 {
+			s = 1
+		}
+		return s
+	}
+	for _, d := range data {
+		r := timerange.R(d.Time, d.Time+serFor(d.Len))
+		trans.Add(r)
+		switch d.Kind {
+		case flows.DataRetransmit:
+			retx.Add(r)
+		case flows.DataGapFill:
+			oos.Add(r)
+		case flows.DataReordered:
+			reord.Add(r)
+		}
+	}
+	for _, a := range acks {
+		ackArr.Add(timerange.R(a.Time, a.Time+1))
+		if a.Dup {
+			dup.Add(timerange.R(a.Time, a.Time+1))
+		}
+	}
+	c.set(Transmission, trans)
+	c.set(Retransmission, retx)
+	c.set(OutOfSequence, oos)
+	c.set(Reordering, reord)
+	c.set(AckArrival, ackArr)
+	c.set(DupAck, dup)
+	c.set(UpstreamLoss, c.conn.UpstreamLoss.Clone())
+	c.set(DownstreamLoss, c.conn.DownstreamLoss.Clone())
+
+	// Active transfer window.
+	active := timerange.NewSet()
+	if len(data) > 0 {
+		end := data[len(data)-1].Time
+		if n := len(acks); n > 0 && acks[n-1].Time > end {
+			end = acks[n-1].Time
+		}
+		active.Add(timerange.R(data[0].Time, end+1))
+	}
+	c.set(ActiveTransfer, active)
+
+	// Handshake.
+	hs := timerange.NewSet()
+	if p := c.conn.Profile; p.SynTime > 0 && p.HandshakeAckTime > p.SynTime {
+		hs.Add(timerange.R(p.SynTime, p.HandshakeAckTime))
+	}
+	c.set(SynHandshake, hs)
+
+	// Advertised-window timeline, bucketed into zero/small/large/mid. The
+	// window between two ACKs is the earlier ACK's advertisement.
+	advAll := timerange.NewSet()
+	zero := timerange.NewSet()
+	small := timerange.NewSet()
+	large := timerange.NewSet()
+	mid := timerange.NewSet()
+	smallCut := c.cfg.SmallWindowMSS * mss
+	largeCut := c.conn.Profile.MaxAdvWindow - c.cfg.LargeWindowMarginMSS*mss
+	if largeCut < smallCut {
+		largeCut = smallCut
+	}
+	horizon := Micros(0)
+	if b, ok := active.Bounds(); ok {
+		horizon = b.End
+	}
+	for i, a := range acks {
+		end := horizon
+		if i+1 < len(acks) {
+			end = acks[i+1].Time
+		}
+		if end <= a.Time {
+			continue
+		}
+		r := timerange.R(a.Time, end)
+		advAll.Add(r)
+		switch {
+		case a.Window == 0:
+			zero.Add(r)
+		case a.Window < smallCut:
+			small.Add(r)
+		case a.Window >= largeCut:
+			large.Add(r)
+		default:
+			mid.Add(r)
+		}
+	}
+	// Zero windows are also "small" (the receiver app is the bottleneck in
+	// both); keep the buckets unioned the way the factor mapping uses them.
+	small = small.Union(zero)
+	c.set(AdvWindow, advAll)
+	c.set(ZeroAdvWindow, zero)
+	c.set(SmallAdvWindow, small)
+	c.set(LargeAdvWindow, large)
+	c.set(MidAdvWindow, mid)
+
+	// Outstanding periods: from the data packet that makes sequence space
+	// unacknowledged until the (shifted) ACK that clears it. The per-packet
+	// outstanding level feeds the bandwidth detector.
+	out := timerange.NewSet()
+	c.outLevels = make([]int, len(data))
+	var maxEnd, lastAck int64
+	var openStart Micros = -1
+	di, ai := 0, 0
+	for di < len(data) || ai < len(acks) {
+		if ai >= len(acks) || (di < len(data) && data[di].Time <= acks[ai].Time) {
+			d := data[di]
+			if d.SeqEnd > maxEnd {
+				maxEnd = d.SeqEnd
+			}
+			c.outLevels[di] = int(maxEnd - lastAck)
+			di++
+			if maxEnd > lastAck && openStart < 0 {
+				openStart = d.Time
+			}
+		} else {
+			a := acks[ai]
+			ai++
+			if a.Ack > lastAck {
+				lastAck = a.Ack
+			}
+			if lastAck >= maxEnd && openStart >= 0 {
+				out.Add(timerange.R(openStart, a.Time))
+				openStart = -1
+			}
+		}
+	}
+	if openStart >= 0 && horizon > openStart {
+		out.Add(timerange.R(openStart, horizon))
+	}
+	c.set(Outstanding, out)
+
+	// Idle: transmission gaps longer than the RTT. Quiet: gaps with no
+	// packets in either direction.
+	idle := timerange.NewSet()
+	for _, g := range trans.Gaps() {
+		if g.Len() > rtt {
+			idle.Add(g)
+		}
+	}
+	c.set(Idle, idle)
+	quiet := timerange.NewSet()
+	everything := trans.Union(ackArr)
+	for _, g := range everything.Gaps() {
+		if g.Len() > rtt {
+			quiet.Add(g)
+		}
+	}
+	c.set(Quiet, quiet)
+
+	// KeepaliveOnly: maximal runs of small-payload data packets.
+	ka := timerange.NewSet()
+	runStart := -1
+	for i := range data {
+		if data[i].Len <= c.cfg.KeepalivePayloadMax {
+			if runStart < 0 {
+				runStart = i
+			}
+			continue
+		}
+		if runStart >= 0 && i-runStart >= 2 {
+			ka.Add(timerange.R(data[runStart].Time, data[i-1].Time+1))
+		}
+		runStart = -1
+	}
+	if runStart >= 0 && len(data)-runStart >= 2 {
+		ka.Add(timerange.R(data[runStart].Time, data[len(data)-1].Time+1))
+	}
+	c.set(KeepaliveOnly, ka)
+
+	c.buildFlights()
+	c.set(BandwidthLimited, c.detectBandwidth())
+}
+
+// detectBandwidth finds periods where arrivals are clocked by the
+// bottleneck link. The signature that separates a saturated wire from an
+// application pacing itself at a fixed period is that inter-arrival gaps
+// track each packet's wire size: draining a bottleneck queue at R bytes/sec
+// spaces a packet wirelen/R behind its predecessor, small packets close
+// behind big ones — an application timer releases on the clock regardless
+// of size. Runs of ≥ BandwidthRunLen packets matching that proportionality
+// and spanning at least one RTT are bandwidth-limited.
+func (c *Catalog) detectBandwidth() *timerange.Set {
+	data := c.conn.Data
+	mss := c.mss()
+	rtt := c.rtt()
+	bw := timerange.NewSet()
+	// Serialization time of one full segment, from the tightest MSS-MSS
+	// spacing observed (the bottleneck clock).
+	serMSS := Micros(0)
+	for i := 1; i < len(data); i++ {
+		if data[i].Len != mss || data[i-1].Len != mss {
+			continue
+		}
+		if g := data[i].Time - data[i-1].Time; g > 0 && (serMSS == 0 || g < serMSS) {
+			serMSS = g
+		}
+	}
+	if serMSS < 100 {
+		// The wire moves a full segment in under 100 µs: whatever limits
+		// this connection, it is not the bottleneck bandwidth.
+		return bw
+	}
+	const hdrLen = 54 // Ethernet + IP + TCP
+	wireMSS := Micros(mss + hdrLen)
+
+	runStart := -1
+	flush := func(end int) {
+		defer func() { runStart = -1 }()
+		if runStart < 0 || end-runStart+1 < c.cfg.BandwidthRunLen {
+			return
+		}
+		r := timerange.R(data[runStart].Time, data[end].Time+1)
+		if r.Len() < rtt {
+			return
+		}
+		// Uniform gaps alone are ambiguous. Two cadences are excluded:
+		// ≈RTT (one-window-per-round ACK clocking) and anything beyond a
+		// few RTTs (a wire that slow is indistinguishable from — and in
+		// BGP practice almost always is — application pacing).
+		avgGap := r.Len() / Micros(end-runStart)
+		if avgGap >= rtt*3/5 && avgGap <= rtt*8/5 {
+			return
+		}
+		if avgGap > 4*rtt {
+			return
+		}
+		bw.Add(r)
+	}
+	for i := 1; i < len(data); i++ {
+		gap := data[i].Time - data[i-1].Time
+		expected := serMSS * Micros(data[i].Len+hdrLen) / wireMSS
+		ok := gap > 0 && expected > 0 &&
+			gap >= expected*3/5 && gap <= expected*17/10
+		if ok {
+			if runStart < 0 {
+				runStart = i - 1
+			}
+			continue
+		}
+		flush(i - 1)
+	}
+	flush(len(data) - 1)
+	return bw
+}
+
+// interpret applies the deployment mapping (rule class 2, §III-C2).
+func (c *Catalog) interpret() {
+	up := c.Get(UpstreamLoss)
+	down := c.Get(DownstreamLoss)
+	switch c.cfg.Sniffer {
+	case AtReceiver:
+		c.set(RecvLocalLoss, down.Clone())
+		c.set(SendLocalLoss, timerange.NewSet())
+		c.set(NetworkLoss, up.Clone())
+	case AtSender:
+		c.set(SendLocalLoss, up.Clone())
+		c.set(RecvLocalLoss, timerange.NewSet())
+		c.set(NetworkLoss, down.Clone())
+	}
+}
+
+// operate derives the behavioural series (rule class 3, §III-C3).
+func (c *Catalog) operate() {
+	data := c.conn.Data
+	mss := c.mss()
+	immediate := c.cfg.ImmediateACK
+	if immediate == 0 {
+		immediate = maxMicros(2_000, c.rtt()/8)
+	}
+
+	// Send-application-limited (paper: "the idle period between the moment
+	// the sender receives the ACKs and sends the following data packets").
+	// Evaluated per flight pair (f, g): the inter-flight gap is the app's
+	// fault unless f filled the receiver window (window-bound wait), g
+	// followed f's completion ACK immediately (ACK clocking), or the gap is
+	// loss recovery.
+	appLim := timerange.NewSet()
+	slackB := c.cfg.WindowSlackMSS * mss
+	if len(data) > 0 {
+		// Pre-first-data idle: OPEN/route-generation processing after the
+		// TCP handshake is sender-application time.
+		pre := c.conn.Profile.HandshakeAckTime
+		if pre == 0 {
+			pre = c.conn.Profile.Start
+		}
+		if data[0].Time-pre > c.cfg.AppIdleThreshold {
+			appLim.Add(timerange.R(pre, data[0].Time))
+		}
+	}
+	for i := 1; i < len(c.Flights); i++ {
+		f, g := &c.Flights[i-1], &c.Flights[i]
+		if g.First-f.Last <= c.cfg.AppIdleThreshold {
+			continue
+		}
+		if f.MaxOut > 0 && f.WinMin-f.MaxOut < slackB {
+			continue // the sender was blocked on the receiver window
+		}
+		if f.AckTime > 0 && g.First >= f.AckTime && g.First-f.AckTime <= immediate {
+			continue // ACK-clocked: congestion-window bound, not the app
+		}
+		start := f.Last + 1
+		// The paper charges idle "from the moment the sender receives the
+		// ACKs" — but only a window-constrained sender was actually waiting
+		// for them. A flight that left room for another full segment could
+		// have kept sending at once, so its idle starts at its last packet
+		// (otherwise a delayed ACK on an odd-sized tail would eat the
+		// application's idle time).
+		if f.MaxOut+mss > f.WinMin && f.AckTime > start && f.AckTime < g.First {
+			start = f.AckTime
+		}
+		if g.First-start > c.cfg.AppIdleThreshold {
+			appLim.Add(timerange.R(start, g.First))
+		}
+	}
+	// Loss-recovery periods are the transport's fault, zero-window periods
+	// the receiver's, and bottleneck-drain periods the wire's — none counts
+	// as application idle.
+	loss := c.Get(UpstreamLoss).Union(c.Get(DownstreamLoss))
+	c.set(LossRecovery, loss)
+	c.set(SendAppLimited, appLim.
+		Subtract(loss).
+		Subtract(c.Get(ZeroAdvWindow)).
+		Subtract(c.Get(BandwidthLimited)))
+
+	// Flight-level window boundedness. Only flights that contain at least
+	// one full segment qualify: a window-bound sender stops at full
+	// segments, while an application-limited one flushes a sub-MSS tail.
+	adv := timerange.NewSet()
+	cwnd := timerange.NewSet()
+	slack := c.cfg.WindowSlackMSS * mss
+	rtt := c.rtt()
+	for i := range c.Flights {
+		f := &c.Flights[i]
+		end := f.AckTime
+		if end == 0 {
+			end = f.Last + 2*rtt
+		}
+		if f.MaxOut > 0 && f.WinMin-f.MaxOut < slack {
+			// A window-filling flight is receiver-bound for its whole wait:
+			// until the receiver's next release lets the following flight
+			// go, however long that takes. This applies to sub-MSS flights
+			// too — a receiver dribbling sub-segment window updates is
+			// silly-window territory, squarely the receiver's fault.
+			f.AdvBounded = true
+			if i+1 < len(c.Flights) && c.Flights[i+1].First > end {
+				end = c.Flights[i+1].First
+			}
+			adv.Add(timerange.R(f.First, end))
+			continue
+		}
+		// Only flights with at least one full segment can be congestion-
+		// window clocked: an application-limited sender flushes a sub-MSS
+		// Nagle tail instead.
+		if f.MaxLen < mss {
+			continue
+		}
+		// For congestion-window clocking the completion ACK is due within
+		// about an RTT; waiting longer (a delayed ACK on an odd segment) is
+		// not the congestion window's doing — cap the charged period.
+		if end > f.Last+2*rtt {
+			end = f.Last + 2*rtt
+		}
+		r := timerange.R(f.First, end)
+		// Cwnd-bounded: the flight followed its predecessor's completion
+		// immediately (ACK clocking) without being receiver-window bound.
+		// Flights launched before that completion (delayed ACKs in flight)
+		// are not ACK-clocked.
+		if i > 0 {
+			prev := c.Flights[i-1]
+			if prev.AckTime > 0 && f.First >= prev.AckTime && f.First-prev.AckTime <= immediate {
+				f.CwndBounded = true
+				cwnd.Add(r)
+			}
+		}
+	}
+	c.set(AdvBndOut, adv)
+	c.set(CwndBndOut, cwnd)
+
+	// Set algebra (rule 4).
+	active := c.Get(ActiveTransfer)
+	zeroBnd := c.Get(ZeroAdvWindow).Intersect(active)
+	c.set(ZeroAdvBndOut, zeroBnd)
+	// Bounding at the fully open (maximum) window is the TCP parameter's
+	// doing; bounding at anything less — small or mid — means the receiver
+	// application is not draining its buffer (paper Table IV's "BGP
+	// receiver app" vs "TCP advertised window" split).
+	largeBnd := c.Get(AdvBndOut).Intersect(c.Get(LargeAdvWindow))
+	c.set(LargeAdvBndOut, largeBnd)
+	smallBnd := c.Get(AdvBndOut).Subtract(largeBnd).Union(zeroBnd)
+	c.set(SmallAdvBndOut, smallBnd)
+	// The probe-discard bug's loss recovery begins moments after the zero
+	// window reopens (the race happens at the reopening), so the conflict
+	// check dilates each zero-window range by a couple of RTTs before
+	// intersecting with the upstream-loss recovery periods.
+	guard := 2 * c.rtt()
+	dilated := timerange.NewSet()
+	for _, r := range zeroBnd.Ranges() {
+		dilated.Add(timerange.R(r.Start, r.End+guard))
+	}
+	c.set(ZeroAckBug, dilated.Intersect(c.Get(UpstreamLoss)))
+
+	// Factor-group unions (§III-D).
+	c.set(SenderLimited, timerange.UnionAll(
+		c.Get(SendAppLimited), c.Get(CwndBndOut), c.Get(SendLocalLoss)))
+	c.set(ReceiverLimited, timerange.UnionAll(
+		c.Get(SmallAdvBndOut), c.Get(LargeAdvBndOut), c.Get(RecvLocalLoss)))
+	c.set(NetworkLimited, timerange.UnionAll(
+		c.Get(BandwidthLimited), c.Get(NetworkLoss)))
+}
+
+// buildFlights groups data packets into flights and records their window
+// context and acknowledgment completion.
+func (c *Catalog) buildFlights() {
+	data := c.conn.Data
+	acks := c.acks
+	if len(data) == 0 {
+		return
+	}
+	gap := maxMicros(c.rtt()/2, 1_000)
+
+	var flights []Flight
+	var cur *Flight
+	var maxEnd, lastAck int64
+	ai := 0
+	for _, d := range data {
+		// Advance ack state to this packet's time.
+		for ai < len(acks) && acks[ai].Time <= d.Time {
+			if acks[ai].Ack > lastAck {
+				lastAck = acks[ai].Ack
+			}
+			ai++
+		}
+		window := c.conn.Profile.MaxAdvWindow
+		if ai > 0 {
+			window = acks[ai-1].Window
+		}
+		if cur == nil || d.Time-cur.Last > gap {
+			flights = append(flights, Flight{
+				First:         d.Time,
+				Last:          d.Time,
+				WindowAtStart: window,
+				WinMin:        window,
+			})
+			cur = &flights[len(flights)-1]
+		}
+		cur.Last = d.Time
+		cur.Packets++
+		if d.Len > cur.MaxLen {
+			cur.MaxLen = d.Len
+		}
+		if d.SeqEnd > maxEnd {
+			maxEnd = d.SeqEnd
+		}
+		cur.MaxEnd = maxEnd
+		if out := int(maxEnd - lastAck); out > cur.MaxOut {
+			cur.MaxOut = out
+		}
+	}
+	// Completion ACK per flight.
+	ai = 0
+	for i := range flights {
+		f := &flights[i]
+		for ai < len(acks) && (acks[ai].Time < f.Last || acks[ai].Ack < f.MaxEnd) {
+			ai++
+		}
+		if ai < len(acks) {
+			f.AckTime = acks[ai].Time
+		}
+	}
+	// Tightest window seen while each flight ran (until the next flight
+	// starts): a receiver that briefly advertises a small window is the
+	// real bound even if a later update reopened it.
+	ai = 0
+	for i := range flights {
+		f := &flights[i]
+		horizon := timerange.MaxTime
+		if i+1 < len(flights) {
+			horizon = flights[i+1].First
+		}
+		for ai < len(acks) && acks[ai].Time < horizon {
+			if acks[ai].Time >= f.First && acks[ai].Window < f.WinMin {
+				f.WinMin = acks[ai].Window
+			}
+			ai++
+		}
+	}
+	c.Flights = flights
+}
+
+func maxMicros(a, b Micros) Micros {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,178 @@
+// Package sim provides the deterministic discrete-event engine under the
+// network/TCP/BGP simulator. Time is virtual, in microseconds; events fire
+// in timestamp order with FIFO tie-breaking, and all randomness flows from a
+// single seeded source so that every synthetic trace is reproducible.
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+
+	"tdat/internal/timerange"
+)
+
+// Micros re-exports the simulator time unit.
+type Micros = timerange.Micros
+
+// Engine is a discrete-event scheduler. The zero value is not usable; use
+// New.
+type Engine struct {
+	now    Micros
+	seq    uint64
+	events eventHeap
+	rng    *rand.Rand
+}
+
+// New creates an engine whose clock starts at startTime and whose randomness
+// derives from seed.
+func New(startTime Micros, seed int64) *Engine {
+	return &Engine{now: startTime, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Micros { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Timer is a handle to a scheduled event that can be canceled.
+type Timer struct{ ev *event }
+
+// Stop cancels the timer if it has not fired. It reports whether the call
+// prevented the event from firing.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.canceled || t.ev.fired {
+		return false
+	}
+	t.ev.canceled = true
+	return true
+}
+
+// Active reports whether the timer is still pending.
+func (t *Timer) Active() bool {
+	return t != nil && t.ev != nil && !t.ev.canceled && !t.ev.fired
+}
+
+// At schedules fn to run at absolute time t. Scheduling in the past runs at
+// the current time (immediately on the next Step).
+func (e *Engine) At(t Micros, fn func()) *Timer {
+	if t < e.now {
+		t = e.now
+	}
+	ev := &event{time: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d microseconds from now.
+func (e *Engine) After(d Micros, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Step runs the next pending event, advancing the clock to its timestamp.
+// It reports whether an event ran.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.time
+		ev.fired = true
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or the clock would pass
+// until; it returns the number of events executed. Events scheduled exactly
+// at until still run. On return the clock stands at until (bounded-run
+// semantics), so repeated chunked calls always make progress even when no
+// event falls inside a chunk.
+func (e *Engine) Run(until Micros) int {
+	n := 0
+	for len(e.events) > 0 {
+		// Peek to avoid advancing past the horizon.
+		next := e.events[0]
+		if next.canceled {
+			heap.Pop(&e.events)
+			continue
+		}
+		if next.time > until {
+			break
+		}
+		e.Step()
+		n++
+	}
+	if until > e.now {
+		e.now = until
+	}
+	return n
+}
+
+// RunAll executes events until none remain and returns the count. Guarded by
+// maxEvents to surface accidental event storms; a non-positive maxEvents
+// means no limit.
+func (e *Engine) RunAll(maxEvents int) int {
+	n := 0
+	for e.Step() {
+		n++
+		if maxEvents > 0 && n >= maxEvents {
+			return n
+		}
+	}
+	return n
+}
+
+// Pending returns the number of scheduled (non-canceled) events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.events {
+		if !ev.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+type event struct {
+	time     Micros
+	seq      uint64
+	fn       func()
+	canceled bool
+	fired    bool
+	index    int
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := New(0, 1)
+	var order []int
+	e.At(30, func() { order = append(order, 3) })
+	e.At(10, func() { order = append(order, 1) })
+	e.At(20, func() { order = append(order, 2) })
+	e.RunAll(0)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if e.Now() != 30 {
+		t.Errorf("Now = %d, want 30", e.Now())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	e := New(0, 1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.RunAll(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	e := New(100, 1)
+	var fired Micros
+	e.After(50, func() { fired = e.Now() })
+	e.RunAll(0)
+	if fired != 150 {
+		t.Errorf("fired at %d, want 150", fired)
+	}
+}
+
+func TestPastSchedulingClamps(t *testing.T) {
+	e := New(1000, 1)
+	var fired Micros = -1
+	e.At(5, func() { fired = e.Now() })
+	e.RunAll(0)
+	if fired != 1000 {
+		t.Errorf("fired at %d, want clamped to 1000", fired)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	e := New(0, 1)
+	fired := false
+	tm := e.After(10, func() { fired = true })
+	if !tm.Active() {
+		t.Error("timer should be active before firing")
+	}
+	if !tm.Stop() {
+		t.Error("Stop should report cancellation")
+	}
+	if tm.Active() {
+		t.Error("timer should be inactive after Stop")
+	}
+	if tm.Stop() {
+		t.Error("second Stop should report false")
+	}
+	e.RunAll(0)
+	if fired {
+		t.Error("canceled timer fired")
+	}
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	e := New(0, 1)
+	tm := e.After(1, func() {})
+	e.RunAll(0)
+	if tm.Stop() {
+		t.Error("Stop after fire should report false")
+	}
+	if tm.Active() {
+		t.Error("fired timer reports active")
+	}
+}
+
+func TestRunHorizon(t *testing.T) {
+	e := New(0, 1)
+	var fired []Micros
+	for _, tt := range []Micros{10, 20, 30, 40} {
+		tt := tt
+		e.At(tt, func() { fired = append(fired, tt) })
+	}
+	n := e.Run(25)
+	if n != 2 || len(fired) != 2 {
+		t.Errorf("ran %d events, fired %v", n, fired)
+	}
+	if e.Pending() != 2 {
+		t.Errorf("pending = %d, want 2", e.Pending())
+	}
+	// Events at exactly the horizon run.
+	n = e.Run(30)
+	if n != 1 || fired[len(fired)-1] != 30 {
+		t.Errorf("horizon-inclusive run: n=%d fired=%v", n, fired)
+	}
+}
+
+func TestRunAllEventStormGuard(t *testing.T) {
+	e := New(0, 1)
+	var reschedule func()
+	reschedule = func() { e.After(1, reschedule) }
+	e.After(1, reschedule)
+	n := e.RunAll(100)
+	if n != 100 {
+		t.Errorf("guard stopped after %d events, want 100", n)
+	}
+}
+
+func TestCascadingEvents(t *testing.T) {
+	// Events scheduled from within events run at correct times.
+	e := New(0, 1)
+	var times []Micros
+	e.At(10, func() {
+		times = append(times, e.Now())
+		e.After(5, func() { times = append(times, e.Now()) })
+		e.At(12, func() { times = append(times, e.Now()) })
+	})
+	e.RunAll(0)
+	if len(times) != 3 || times[0] != 10 || times[1] != 12 || times[2] != 15 {
+		t.Errorf("times = %v", times)
+	}
+}
+
+func TestDeterministicRand(t *testing.T) {
+	a := New(0, 42).Rand().Int63()
+	b := New(0, 42).Rand().Int63()
+	if a != b {
+		t.Error("same seed produced different random streams")
+	}
+	c := New(0, 43).Rand().Int63()
+	if a == c {
+		t.Error("different seeds produced identical first values (suspicious)")
+	}
+}
+
+func TestPendingSkipsCanceled(t *testing.T) {
+	e := New(0, 1)
+	tm := e.After(10, func() {})
+	e.After(20, func() {})
+	tm.Stop()
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestNilTimerStopSafe(t *testing.T) {
+	var tm *Timer
+	if tm.Stop() || tm.Active() {
+		t.Error("nil timer should be inert")
+	}
+}
+
+func TestRunAdvancesClockPastQuietChunks(t *testing.T) {
+	// Regression: Run(until) must land the clock on until even when no
+	// event falls inside the chunk — otherwise chunked callers recompute
+	// the same horizon forever (the upstream-loss livelock).
+	e := New(0, 5)
+	fired := false
+	e.At(10_000_000, func() { fired = true })
+	for i := 0; i < 3; i++ {
+		e.Run(e.Now() + 1_000_000)
+	}
+	if e.Now() != 3_000_000 {
+		t.Errorf("clock = %d, want 3000000", e.Now())
+	}
+	if fired {
+		t.Error("event fired early")
+	}
+	for !fired && e.Now() < 20_000_000 {
+		e.Run(e.Now() + 1_000_000)
+	}
+	if !fired || e.Now() != 10_000_000 {
+		t.Errorf("fired=%v clock=%d", fired, e.Now())
+	}
+}

@@ -1,0 +1,156 @@
+// Package tcpsim implements a discrete-event TCP endpoint with Reno
+// congestion control — slow start, congestion avoidance, fast
+// retransmit/recovery, RFC 6298 retransmission timeouts with exponential
+// backoff — plus receiver flow control with delayed ACKs, zero-window
+// probing, and the zero-window probe-discard bug the paper found in
+// operational routers (§IV-B "ZeroAckBug").
+//
+// The model is the one T-DAT assumes: window-based congestion control in the
+// Tahoe/Reno/NewReno family. Endpoints exchange packet.Packet values through
+// netem links under a sim.Engine, and applications drive them through
+// Write/Read plus callbacks, which is how bgpsim layers BGP speakers on top.
+package tcpsim
+
+import (
+	"net/netip"
+
+	"tdat/internal/sim"
+)
+
+// Micros aliases the simulator time unit.
+type Micros = sim.Micros
+
+// Config holds per-endpoint TCP parameters. NewEndpoint applies defaults for
+// zero fields.
+type Config struct {
+	// Addr and Port identify the local end.
+	Addr netip.Addr
+	Port uint16
+
+	// MSS is the maximum segment size in bytes (default 1460).
+	MSS int
+	// RecvBuf is the receive buffer size, i.e. the maximum advertised
+	// window (default 65535). The paper contrasts ISP_A's 65 KB with
+	// RouteViews' 16 KB.
+	RecvBuf int
+	// SendBuf is the send socket buffer capacity (default 65536). A full
+	// send buffer back-pressures the application, which is what couples
+	// peer-group members together in bgpsim.
+	SendBuf int
+	// InitialCwnd is the initial congestion window in segments (default 2).
+	InitialCwnd int
+	// InitialSsthresh is the initial slow-start threshold in bytes
+	// (default 65535).
+	InitialSsthresh int
+
+	// MinRTO and MaxRTO clamp the retransmission timeout (defaults 1 s per
+	// RFC 6298 — anything below the 200 ms delayed-ACK timer provokes
+	// spurious retransmissions — and 60 s).
+	MinRTO Micros
+	MaxRTO Micros
+	// RTOBackoff is the timeout multiplier applied per consecutive
+	// retransmission (default 2.0). RouteViews-style aggressive backoff is
+	// modeled with larger values.
+	RTOBackoff float64
+
+	// DelayedAckTimeout is the delayed-ACK timer (default 200 ms;
+	// 0 keeps the default, use DisableDelayedAck to ack every segment).
+	DelayedAckTimeout Micros
+	// DisableDelayedAck forces an ACK for every received segment.
+	DisableDelayedAck bool
+
+	// NoDelay disables Nagle coalescing of sub-MSS segments.
+	NoDelay bool
+
+	// ZeroWindowProbeBug enables the router bug from paper §IV-B: when an
+	// ACK reopens the window before a pending zero-window probe is
+	// transmitted, the endpoint discards the outgoing segment, forcing an
+	// RTO-driven retransmission (observed as upstream loss during
+	// zero-window periods).
+	ZeroWindowProbeBug bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MSS == 0 {
+		c.MSS = 1460
+	}
+	if c.RecvBuf == 0 {
+		c.RecvBuf = 65535
+	}
+	if c.SendBuf == 0 {
+		c.SendBuf = 65536
+	}
+	if c.InitialCwnd == 0 {
+		c.InitialCwnd = 2
+	}
+	if c.InitialSsthresh == 0 {
+		c.InitialSsthresh = 65535
+	}
+	if c.MinRTO == 0 {
+		c.MinRTO = 1_000_000
+	}
+	if c.MaxRTO == 0 {
+		c.MaxRTO = 60 * 1000 * 1000
+	}
+	if c.RTOBackoff == 0 {
+		c.RTOBackoff = 2.0
+	}
+	if c.DelayedAckTimeout == 0 {
+		c.DelayedAckTimeout = 200 * 1000
+	}
+	return c
+}
+
+// State is the connection state (simplified TCP state machine).
+type State int
+
+// Connection states.
+const (
+	StateClosed State = iota
+	StateListen
+	StateSynSent
+	StateSynReceived
+	StateEstablished
+	StateFinWait
+	StateCloseWait
+	StateDead // endpoint crashed: drops all input, emits nothing
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateListen:
+		return "listen"
+	case StateSynSent:
+		return "syn-sent"
+	case StateSynReceived:
+		return "syn-received"
+	case StateEstablished:
+		return "established"
+	case StateFinWait:
+		return "fin-wait"
+	case StateCloseWait:
+		return "close-wait"
+	case StateDead:
+		return "dead"
+	default:
+		return "unknown"
+	}
+}
+
+// Stats counts endpoint-level events for assertions and scenario debugging.
+type Stats struct {
+	SegmentsSent     int
+	SegmentsReceived int
+	BytesSent        int64
+	BytesReceived    int64
+	Retransmits      int
+	FastRetransmits  int
+	Timeouts         int
+	DupAcksSent      int
+	ZeroWindowAcks   int
+	ProbesSent       int
+	BugDrops         int
+}

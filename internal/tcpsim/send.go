@@ -1,0 +1,300 @@
+package tcpsim
+
+import "tdat/internal/packet"
+
+// This file holds the sender half: segment pacing under the congestion and
+// advertised windows, Reno congestion control, RFC 6298 retransmission
+// timeouts, zero-window persist probing, and the probe-discard bug.
+
+// trySend transmits as much buffered data as both windows allow.
+func (e *Endpoint) trySend() {
+	if e.state != StateEstablished && e.state != StateCloseWait {
+		return
+	}
+	wnd := int64(e.cwnd)
+	if pw := int64(e.peerWnd); pw < wnd {
+		wnd = pw
+	}
+	dataEnd := e.sndUna + int64(len(e.sndBuf))
+	for e.sndNxt < dataEnd && e.sndNxt-e.sndUna < wnd {
+		seg := int64(e.cfg.MSS)
+		if rem := dataEnd - e.sndNxt; rem < seg {
+			seg = rem
+		}
+		if room := wnd - (e.sndNxt - e.sndUna); room < seg {
+			seg = room
+		}
+		if seg <= 0 {
+			break
+		}
+		// Nagle's algorithm: while data is outstanding, hold back sub-MSS
+		// segments caused by the application dribbling small writes (BGP
+		// updates are ~60–130 bytes); they coalesce into full segments on
+		// the next ACK or write.
+		if !e.cfg.NoDelay && int(seg) < e.cfg.MSS && rem(dataEnd, e.sndNxt) < int64(e.cfg.MSS) &&
+			e.sndNxt > e.sndUna {
+			break
+		}
+		e.sendSegment(e.sndNxt, int(seg))
+		e.sndNxt += seg
+	}
+	if e.sndNxt > e.sndUna {
+		if !e.rtoTimer.Active() {
+			e.armRTO()
+		}
+	}
+	// Zero-window deadlock: data pending, nothing in flight, window closed.
+	if e.peerWnd == 0 && e.sndNxt == e.sndUna && e.sndNxt < dataEnd {
+		e.armPersist()
+	}
+}
+
+// sendSegment emits payload [off, off+n) from the send buffer. The
+// probe-discard bug, when armed, consumes the transmission silently: the
+// stream position advances but no packet reaches the network, so the
+// segment can only be repaired by a retransmission timeout — exactly the
+// repetitive-retransmission signature of paper §IV-B.
+func (e *Endpoint) sendSegment(off int64, n int) {
+	start := off - e.sndUna
+	payload := e.sndBuf[start : start+int64(n)]
+	if e.bugDropArmed {
+		e.bugDropArmed = false
+		e.stats.BugDrops++
+		return
+	}
+	if !e.timing {
+		e.timing = true
+		e.timedEnd = off + int64(n)
+		e.timedAt = e.eng.Now()
+	}
+	flags := uint8(packet.FlagACK)
+	if off+int64(n) == e.sndUna+int64(len(e.sndBuf)) {
+		flags |= packet.FlagPSH
+	}
+	e.emit(flags, e.wireSeq(off), e.wireAck(), payload, false)
+}
+
+// retransmitFirst resends one MSS starting at sndUna.
+func (e *Endpoint) retransmitFirst() {
+	if e.sndNxt == e.sndUna || len(e.sndBuf) == 0 {
+		return
+	}
+	n := int64(e.cfg.MSS)
+	if fl := e.sndNxt - e.sndUna; fl < n {
+		n = fl
+	}
+	e.timing = false // Karn's algorithm: never time retransmitted data
+	e.emit(packet.FlagACK|packet.FlagPSH, e.wireSeq(e.sndUna), e.wireAck(), e.sndBuf[:n], true)
+}
+
+// processAck handles the acknowledgment and window fields of an incoming
+// segment.
+func (e *Endpoint) processAck(tcp *packet.TCP) {
+	ackOff := e.ackToOff(tcp.Ack)
+	oldWnd := e.peerWnd
+	e.peerWnd = int(tcp.Window)
+
+	// A window reopening cancels the persist probe; under the router bug
+	// the race corrupts the next outgoing segment (paper §IV-B).
+	if oldWnd == 0 && e.peerWnd > 0 {
+		if e.persistTimer.Active() {
+			e.persistTimer.Stop()
+			if e.cfg.ZeroWindowProbeBug {
+				e.bugDropArmed = true
+			}
+		}
+	}
+
+	if e.finSentAt >= 0 && e.state == StateFinWait && ackOff > e.finSentAt {
+		// Our FIN is acknowledged: the active close completes (TIME-WAIT is
+		// not modeled; captures end with the connection).
+		e.state = StateClosed
+		e.stopTimers()
+		return
+	}
+	switch {
+	case ackOff > e.sndUna && ackOff <= e.sndNxt:
+		e.onNewAck(ackOff)
+	case ackOff == e.sndUna && e.sndNxt > e.sndUna:
+		// Potential duplicate ACK: no data, no window change.
+		if e.peerWnd == oldWnd {
+			e.onDupAck()
+		}
+	}
+	e.trySend()
+}
+
+func (e *Endpoint) onNewAck(ackOff int64) {
+	acked := ackOff - e.sndUna
+	e.sndBuf = e.sndBuf[acked:]
+	e.sndUna = ackOff
+	if e.sndNxt < e.sndUna {
+		e.sndNxt = e.sndUna
+	}
+	e.dupAcks = 0
+	e.rtoShift = 0
+
+	if e.timing && ackOff >= e.timedEnd {
+		e.rttSampleRaw(e.eng.Now() - e.timedAt)
+		e.timing = false
+	}
+
+	if e.inRecovery {
+		// Classic Reno: leave recovery on the first new ACK.
+		e.inRecovery = false
+		e.cwnd = e.ssthresh
+	} else {
+		// Appropriate byte counting (RFC 3465): growth is bounded by the
+		// bytes this ACK actually covered, so streams of tinygram ACKs
+		// cannot inflate the window MSS-per-ACK.
+		credit := float64(acked)
+		if credit > float64(e.cfg.MSS) {
+			credit = float64(e.cfg.MSS)
+		}
+		if e.cwnd < e.ssthresh {
+			e.cwnd += credit // slow start
+		} else {
+			e.cwnd += credit * float64(e.cfg.MSS) / e.cwnd // congestion avoidance
+		}
+	}
+
+	if e.sndNxt > e.sndUna {
+		e.armRTO()
+	} else {
+		e.rtoTimer.Stop()
+	}
+	if e.OnSendSpace != nil && acked > 0 {
+		e.OnSendSpace()
+	}
+	e.maybeSendFIN()
+}
+
+func (e *Endpoint) onDupAck() {
+	e.dupAcks++
+	switch {
+	case e.dupAcks == 3:
+		flight := float64(e.sndNxt - e.sndUna)
+		e.ssthresh = maxf(flight/2, float64(2*e.cfg.MSS))
+		e.stats.FastRetransmits++
+		e.retransmitFirst()
+		e.cwnd = e.ssthresh + float64(3*e.cfg.MSS)
+		e.inRecovery = true
+		e.recoverPoint = e.sndNxt
+		e.armRTO()
+	case e.dupAcks > 3 && e.inRecovery:
+		e.cwnd += float64(e.cfg.MSS) // window inflation per extra dup ACK
+	}
+}
+
+// currentRTO returns the timeout with backoff applied.
+func (e *Endpoint) currentRTO() Micros {
+	rto := e.rtoBase
+	if rto == 0 {
+		rto = 3_000_000 // RFC 6298 initial RTO before any sample
+	}
+	for i := 0; i < e.rtoShift; i++ {
+		rto = Micros(float64(rto) * e.cfg.RTOBackoff)
+		if rto >= e.cfg.MaxRTO {
+			return e.cfg.MaxRTO
+		}
+	}
+	return clampMicros(rto, e.cfg.MinRTO, e.cfg.MaxRTO)
+}
+
+func (e *Endpoint) armRTO() {
+	e.rtoTimer.Stop()
+	e.rtoTimer = e.eng.After(e.currentRTO(), e.onRTO)
+}
+
+func (e *Endpoint) onRTO() {
+	switch e.state {
+	case StateSynSent, StateSynReceived:
+		e.rtoShift++
+		e.stats.Timeouts++
+		e.synRetx = true
+		e.sendSyn(e.state == StateSynReceived)
+		e.armRTO()
+		return
+	case StateEstablished, StateCloseWait:
+	default:
+		return
+	}
+	if e.sndNxt == e.sndUna {
+		return // everything acked in the meantime
+	}
+	e.stats.Timeouts++
+	flight := float64(e.sndNxt - e.sndUna)
+	e.ssthresh = maxf(flight/2, float64(2*e.cfg.MSS))
+	e.cwnd = float64(e.cfg.MSS)
+	e.inRecovery = false
+	e.dupAcks = 0
+	e.retransmitFirst()
+	e.rtoShift++
+	e.armRTO()
+}
+
+// armPersist schedules a zero-window probe.
+func (e *Endpoint) armPersist() {
+	if e.persistTimer.Active() {
+		return
+	}
+	if e.persistBackoff == 0 {
+		e.persistBackoff = e.currentRTO()
+	}
+	e.persistTimer = e.eng.After(e.persistBackoff, e.onPersist)
+}
+
+func (e *Endpoint) onPersist() {
+	if e.peerWnd > 0 || e.sndNxt > e.sndUna || e.Unsent() == 0 {
+		e.persistBackoff = 0
+		return
+	}
+	// Probe with one byte of new data; the receiver cannot accept it while
+	// its buffer is full but will answer with its current window.
+	e.stats.ProbesSent++
+	start := e.sndNxt - e.sndUna
+	e.emit(packet.FlagACK, e.wireSeq(e.sndNxt), e.wireAck(), e.sndBuf[start:start+1], false)
+	e.persistBackoff = clampMicros(e.persistBackoff*2, e.cfg.MinRTO, e.cfg.MaxRTO)
+	e.persistTimer = e.eng.After(e.persistBackoff, e.onPersist)
+}
+
+// rttSampleRaw folds a measured round-trip sample into SRTT/RTTVAR and the
+// base RTO (RFC 6298 §2).
+func (e *Endpoint) rttSampleRaw(sample Micros) {
+	if sample < 0 {
+		return
+	}
+	r := float64(sample)
+	if e.srtt == 0 {
+		e.srtt = r
+		e.rttvar = r / 2
+	} else {
+		diff := e.srtt - r
+		if diff < 0 {
+			diff = -diff
+		}
+		e.rttvar = 0.75*e.rttvar + 0.25*diff
+		e.srtt = 0.875*e.srtt + 0.125*r
+	}
+	e.rtoBase = clampMicros(Micros(e.srtt+maxf(1000, 4*e.rttvar)), e.cfg.MinRTO, e.cfg.MaxRTO)
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func clampMicros(v, lo, hi Micros) Micros {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// rem returns the bytes remaining after position pos.
+func rem(dataEnd, pos int64) int64 { return dataEnd - pos }

@@ -1,0 +1,39 @@
+package timerange_test
+
+import (
+	"fmt"
+
+	"tdat/internal/timerange"
+)
+
+// The paper's central trick: every TCP behaviour is a set of time ranges,
+// so cross-behaviour questions become set algebra.
+func ExampleSet() {
+	// When was the sender idle?
+	idle := timerange.NewSet(
+		timerange.R(100, 300),
+		timerange.R(500, 900),
+	)
+	// When was the receiver's window closed?
+	zeroWindow := timerange.NewSet(timerange.R(250, 600))
+
+	// Idle that the zero window explains vs. idle that needs another story.
+	explained := idle.Intersect(zeroWindow)
+	unexplained := idle.Subtract(zeroWindow)
+
+	fmt.Println("idle:       ", idle, "size", idle.Size())
+	fmt.Println("explained:  ", explained, "size", explained.Size())
+	fmt.Println("unexplained:", unexplained, "size", unexplained.Size())
+	// Output:
+	// idle:        {[100,300) [500,900)} size 600
+	// explained:   {[250,300) [500,600)} size 150
+	// unexplained: {[100,250) [600,900)} size 450
+}
+
+func ExampleSet_Complement() {
+	transmitting := timerange.NewSet(timerange.R(0, 10), timerange.R(40, 50))
+	gaps := transmitting.Complement(timerange.R(0, 100))
+	fmt.Println(gaps)
+	// Output:
+	// {[10,40) [50,100)}
+}

@@ -1,0 +1,92 @@
+// Package timerange implements the time-range ordered-set data structure at
+// the heart of T-DAT (paper §III-A).
+//
+// Every analyzer event — a retransmission episode, an idle period, a window
+// change — is represented as a half-open time range [Start, End) in
+// microseconds. Events of the same kind are collected into a Set: an ordered
+// collection of non-overlapping, non-adjacent ranges supporting union,
+// intersection, subtraction, complement, range queries, and a Size (total
+// covered duration) used to compute delay ratios.
+package timerange
+
+import (
+	"fmt"
+	"math"
+)
+
+// Micros is a timestamp or duration in microseconds. The paper converts
+// tcpdump second-based timestamps to microseconds and stores them as big
+// integers; an int64 covers ±292k years and needs no big-int machinery.
+type Micros = int64
+
+const (
+	// Millisecond is one millisecond expressed in Micros.
+	Millisecond Micros = 1_000
+	// Second is one second expressed in Micros.
+	Second Micros = 1_000_000
+
+	// MaxTime is the largest representable instant, used as the upper bound
+	// for complements over an unbounded horizon.
+	MaxTime Micros = math.MaxInt64
+	// MinTime is the smallest representable instant.
+	MinTime Micros = math.MinInt64
+)
+
+// Range is a half-open interval [Start, End) in microseconds.
+// A Range with End <= Start is empty.
+type Range struct {
+	Start Micros
+	End   Micros
+}
+
+// R constructs a Range. It is a convenience for literals in tests and rules.
+func R(start, end Micros) Range { return Range{Start: start, End: end} }
+
+// Empty reports whether the range covers no time.
+func (r Range) Empty() bool { return r.End <= r.Start }
+
+// Len returns the covered duration (zero for empty ranges).
+func (r Range) Len() Micros {
+	if r.Empty() {
+		return 0
+	}
+	return r.End - r.Start
+}
+
+// Contains reports whether instant t lies within [Start, End).
+func (r Range) Contains(t Micros) bool { return t >= r.Start && t < r.End }
+
+// Overlaps reports whether r and o share any instant.
+func (r Range) Overlaps(o Range) bool {
+	if r.Empty() || o.Empty() {
+		return false
+	}
+	return r.Start < o.End && o.Start < r.End
+}
+
+// Adjacent reports whether r and o abut exactly (share an endpoint but no
+// instant). Adjacent ranges coalesce under union.
+func (r Range) Adjacent(o Range) bool {
+	if r.Empty() || o.Empty() {
+		return false
+	}
+	return r.End == o.Start || o.End == r.Start
+}
+
+// Intersect returns the overlap of r and o (possibly empty).
+func (r Range) Intersect(o Range) Range {
+	s := max(r.Start, o.Start)
+	e := min(r.End, o.End)
+	if e < s {
+		e = s
+	}
+	return Range{Start: s, End: e}
+}
+
+// Clamp restricts r to the window w.
+func (r Range) Clamp(w Range) Range { return r.Intersect(w) }
+
+// String renders the range as "[start,end)" in microseconds.
+func (r Range) String() string {
+	return fmt.Sprintf("[%d,%d)", r.Start, r.End)
+}

@@ -1,0 +1,476 @@
+package tracegen
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+
+	"tdat/internal/timerange"
+
+	"tdat/internal/bgp"
+	"tdat/internal/bgpsim"
+	"tdat/internal/netem"
+	"tdat/internal/packet"
+	"tdat/internal/sim"
+	"tdat/internal/tcpsim"
+)
+
+// WeightedKind is one entry in a dataset's scenario mix.
+type WeightedKind struct {
+	Weight   float64
+	Scenario Scenario
+}
+
+// Router models one operational router's stable characteristics across its
+// repeated table transfers (distance to the collector, table size).
+type Router struct {
+	ID     int
+	RTT    Micros
+	Routes int
+}
+
+// DatasetProfile describes one of the paper's traces at reproduction scale.
+type DatasetProfile struct {
+	Name      string
+	Transfers int
+	Routers   int
+	BaseSeed  int64
+	// Mix is normalized internally.
+	Mix []WeightedKind
+	// CollectorRecvBuf overrides the collector's receive buffer for every
+	// scenario that doesn't set its own (ISP_A 65535 vs RouteViews 16384).
+	CollectorRecvBuf int
+	// RTOBackoff lets a profile model aggressive RTO growth (RouteViews).
+	RTOBackoff float64
+	// UseArchive marks Quagga-style collectors whose MRT archive pins the
+	// transfer end; vendor-style collectors need payload reassembly.
+	UseArchive bool
+}
+
+// Transfer is one generated transfer with its provenance.
+type Transfer struct {
+	Index  int
+	Router Router
+	Trace  *Trace
+}
+
+// Generate synthesizes the dataset, invoking cb per transfer (streaming, so
+// memory stays bounded at large scales).
+func (p DatasetProfile) Generate(cb func(t Transfer)) {
+	rnd := rand.New(rand.NewSource(p.BaseSeed))
+	routers := make([]Router, p.Routers)
+	for i := range routers {
+		routers[i] = Router{
+			ID:     i,
+			RTT:    Micros(2_000 + rnd.Intn(28_000)), // 2–30 ms
+			Routes: 8_000 + rnd.Intn(16_000),         // table size per router
+		}
+	}
+	total := 0.0
+	for _, m := range p.Mix {
+		total += m.Weight
+	}
+	for i := 0; i < p.Transfers; i++ {
+		r := routers[rnd.Intn(len(routers))]
+		// Weighted scenario pick.
+		x := rnd.Float64() * total
+		sc := p.Mix[len(p.Mix)-1].Scenario
+		for _, m := range p.Mix {
+			if x < m.Weight {
+				sc = m.Scenario
+				break
+			}
+			x -= m.Weight
+		}
+		sc.Seed = p.BaseSeed + int64(i)*7919
+		sc.RTT = r.RTT
+		sc.Routes = r.Routes
+		tr := RunWithProfile(sc, p)
+		cb(Transfer{Index: i, Router: r, Trace: tr})
+	}
+}
+
+// RunWithProfile is Run with the profile-wide TCP overrides (RTO backoff,
+// default collector buffer) applied.
+func RunWithProfile(sc Scenario, p DatasetProfile) *Trace {
+	return runScenario(sc, p.RTOBackoff, p.CollectorRecvBuf)
+}
+
+// Paper-profile constructors. Transfer counts are scaled from the paper's
+// (10396 / 436 / 94) so the whole suite runs in minutes on one core;
+// pass the scale knobs the experiments use.
+
+// ISPAVendor models the ISP_A vendor-collector trace: frequent resets
+// (vendor bug), 65 KB windows, sender-side pathologies dominant.
+func ISPAVendor(transfers, routers int, seed int64) DatasetProfile {
+	return DatasetProfile{
+		Name: "ISPA-Vendor", Transfers: transfers, Routers: routers, BaseSeed: seed,
+		CollectorRecvBuf: 65535,
+		Mix: []WeightedKind{
+			{0.38, Scenario{Kind: KindPaced, PacingTimer: 200_000, PacingBudget: 24}},
+			{0.10, Scenario{Kind: KindPaced, PacingTimer: 400_000, PacingBudget: 48}},
+			{0.17, Scenario{Kind: KindClean}},
+			{0.22, Scenario{Kind: KindSlowReceiver, CollectorRate: 30_000}},
+			{0.06, Scenario{Kind: KindSmallWindow, RecvBuf: 65535}},
+			{0.03, Scenario{Kind: KindUpstreamLoss, LossRate: 0.04}},
+			{0.015, Scenario{Kind: KindDownstreamLoss, LossRate: 0.04}},
+			{0.015, Scenario{Kind: KindDownstreamLoss, LossEpisode: timerange.R(300_000, 1_500_000)}},
+			{0.008, Scenario{Kind: KindZeroAckBug}},
+			{0.002, Scenario{Kind: KindBandwidth}},
+		},
+	}
+}
+
+// ISPAQuagga models the ISP_A Quagga-collector trace: fewer transfers,
+// sender- or receiver-bound, 100/200 ms timers.
+func ISPAQuagga(transfers, routers int, seed int64) DatasetProfile {
+	return DatasetProfile{
+		Name: "ISPA-Quagga", Transfers: transfers, Routers: routers, BaseSeed: seed,
+		CollectorRecvBuf: 65535,
+		UseArchive:       true,
+		Mix: []WeightedKind{
+			{0.25, Scenario{Kind: KindPaced, PacingTimer: 100_000, PacingBudget: 32}},
+			{0.15, Scenario{Kind: KindPaced, PacingTimer: 200_000, PacingBudget: 24}},
+			{0.12, Scenario{Kind: KindClean}},
+			{0.34, Scenario{Kind: KindSlowReceiver, CollectorRate: 20_000}},
+			{0.08, Scenario{Kind: KindSmallWindow, RecvBuf: 65535}},
+			{0.02, Scenario{Kind: KindUpstreamLoss, LossRate: 0.04}},
+			{0.015, Scenario{Kind: KindDownstreamLoss, LossRate: 0.03}},
+			{0.015, Scenario{Kind: KindUpstreamLoss, LossEpisode: timerange.R(300_000, 1_500_000)}},
+			{0.01, Scenario{Kind: KindBandwidth}},
+		},
+	}
+}
+
+// RouteViews models the RV trace: eBGP distances, a 16 KB advertised
+// window, aggressive RTO backoff, and more network loss.
+func RouteViews(transfers, routers int, seed int64) DatasetProfile {
+	return DatasetProfile{
+		Name: "RouteViews", Transfers: transfers, Routers: routers, BaseSeed: seed,
+		CollectorRecvBuf: 16384,
+		RTOBackoff:       3.0,
+		Mix: []WeightedKind{
+			{0.18, Scenario{Kind: KindPaced, PacingTimer: 80_000, PacingBudget: 24}},
+			{0.10, Scenario{Kind: KindPaced, PacingTimer: 400_000, PacingBudget: 48}},
+			{0.26, Scenario{Kind: KindClean}},
+			{0.26, Scenario{Kind: KindSmallWindow, RecvBuf: 16384}},
+			{0.10, Scenario{Kind: KindUpstreamLoss, LossRate: 0.06}},
+			{0.04, Scenario{Kind: KindUpstreamLoss, LossEpisode: timerange.R(300_000, 2_000_000)}},
+			{0.06, Scenario{Kind: KindDownstreamLoss, LossRate: 0.05}},
+		},
+	}
+}
+
+// PeerGroupResult carries the two coupled traces of a blocking scenario.
+type PeerGroupResult struct {
+	Healthy *Trace // the surviving (Quagga) session
+	Faulty  *Trace // the killed (vendor) session
+	// KillAt and HoldExpiry are the ground-truth t1 and t2 of paper Fig 9.
+	KillAt     Micros
+	HoldExpiry Micros
+}
+
+// RunPeerGroup reproduces paper Fig 9: two collectors in one peer group;
+// the vendor collector dies mid-transfer and blocks the healthy session
+// until the hold timer removes it.
+func RunPeerGroup(seed int64, routes int, killAt, hold Micros) *PeerGroupResult {
+	eng := sim.New(0, seed)
+	table := Table(eng.Rand(), routes, 4)
+
+	mk := func(collAddr string) bgpsim.ConnSpec {
+		return bgpsim.ConnSpec{
+			RouterAddr:    netip.MustParseAddr("10.0.0.1"),
+			CollectorAddr: netip.MustParseAddr(collAddr),
+			RouterTCP:     tcpsim.Config{SendBuf: 16384},
+			Path: netem.PathConfig{
+				UpstreamDelay:   4_000,
+				DownstreamDelay: 200,
+			},
+		}
+	}
+	connA := bgpsim.Dial(eng, mk("10.0.0.2"), 7018)
+	connB := bgpsim.Dial(eng, mk("10.0.0.3"), 7018)
+
+	speaker := bgpsim.NewSpeaker(eng, bgpsim.SpeakerConfig{
+		AS:                7018,
+		HoldTime:          hold,
+		KeepaliveInterval: hold / 3,
+		GroupQueueSlack:   8,
+		PacingInterval:    50_000,
+		PacingBudget:      6,
+	})
+	speaker.Table = table
+	group := speaker.NewPeerGroup()
+	speaker.AddSession(connA.RouterPeer, group)
+	speaker.AddSession(connB.RouterPeer, group)
+
+	hostA := bgpsim.NewCollectorHost(eng, bgpsim.CollectorConfig{})
+	csA := hostA.AddSession(connA.CollectorPeer, 7018)
+	hostB := bgpsim.NewCollectorHost(eng, bgpsim.CollectorConfig{Kind: bgpsim.KindVendor})
+	csB := hostB.AddSession(connB.CollectorPeer, 7018)
+
+	var holdExpiry Micros
+	prev := connB.RouterPeer.OnDown
+	connB.RouterPeer.OnDown = func(r string) {
+		holdExpiry = eng.Now()
+		if prev != nil {
+			prev(r)
+		}
+	}
+	eng.At(killAt, func() { connB.CollectorPeer.Endpoint().Kill() })
+	eng.Run(hold*3 + 600_000_000)
+
+	collect := func(conn *bgpsim.Conn, cs *bgpsim.CollectorSession) *Trace {
+		tr := &Trace{Captures: conn.Sniffer().Captures(), Archive: cs.Archive()}
+		for _, e := range tr.Archive {
+			if m, err := bgp.Parse(e.Raw); err == nil {
+				if u, ok := m.(*bgp.Update); ok {
+					tr.RoutesDelivered += len(u.NLRI)
+				}
+			}
+		}
+		if n := len(tr.Archive); n > 0 {
+			tr.GroundDuration = tr.Archive[n-1].Time
+		}
+		return tr
+	}
+	return &PeerGroupResult{
+		Healthy:    collect(connA, csA),
+		Faulty:     collect(connB, csB),
+		KillAt:     killAt,
+		HoldExpiry: holdExpiry,
+	}
+}
+
+// RunPeerGroupN is RunPeerGroup with n members: members 1..n-1 stay
+// healthy, member 0 ("the vendor box") is killed at killAt and blocks the
+// entire group until its hold timer evicts it — the amplification the
+// paper warns about ("the effect of this problem would be amplified by the
+// number of routers in the group").
+func RunPeerGroupN(seed int64, n, routes int, killAt, hold Micros) []*Trace {
+	if n < 2 {
+		n = 2
+	}
+	eng := sim.New(0, seed)
+	table := Table(eng.Rand(), routes, 4)
+
+	speaker := bgpsim.NewSpeaker(eng, bgpsim.SpeakerConfig{
+		AS:                7018,
+		HoldTime:          hold,
+		KeepaliveInterval: hold / 3,
+		GroupQueueSlack:   8,
+		PacingInterval:    50_000,
+		PacingBudget:      6,
+	})
+	speaker.Table = table
+	group := speaker.NewPeerGroup()
+
+	type memberConn struct {
+		conn *bgpsim.Conn
+		cs   *bgpsim.CollectorSession
+	}
+	members := make([]memberConn, n)
+	for i := 0; i < n; i++ {
+		spec := bgpsim.ConnSpec{
+			RouterAddr:    netip.MustParseAddr("10.0.0.1"),
+			CollectorAddr: netip.AddrFrom4([4]byte{10, 0, 2, byte(i + 1)}),
+			RouterTCP:     tcpsim.Config{SendBuf: 16384},
+			Path: netem.PathConfig{
+				UpstreamDelay:   4_000,
+				DownstreamDelay: 200,
+			},
+		}
+		conn := bgpsim.Dial(eng, spec, 7018)
+		speaker.AddSession(conn.RouterPeer, group)
+		kind := bgpsim.CollectorConfig{}
+		if i == 0 {
+			kind.Kind = bgpsim.KindVendor
+		}
+		host := bgpsim.NewCollectorHost(eng, kind)
+		members[i] = memberConn{conn: conn, cs: host.AddSession(conn.CollectorPeer, 7018)}
+	}
+	eng.At(killAt, func() { members[0].conn.CollectorPeer.Endpoint().Kill() })
+	eng.Run(hold*3 + 600_000_000)
+
+	out := make([]*Trace, n)
+	for i, m := range members {
+		tr := &Trace{Captures: m.conn.Sniffer().Captures(), Archive: m.cs.Archive()}
+		for _, e := range tr.Archive {
+			if msg, err := bgp.Parse(e.Raw); err == nil {
+				if u, ok := msg.(*bgp.Update); ok {
+					tr.RoutesDelivered += len(u.NLRI)
+				}
+			}
+		}
+		if len(tr.Archive) > 0 {
+			tr.GroundDuration = tr.Archive[len(tr.Archive)-1].Time
+		}
+		out[i] = tr
+	}
+	return out
+}
+
+// RunIncast reproduces the concurrent-transfer scenarios (paper Fig 7 and
+// Fig 15): n routers start table transfers to one collector host at the
+// same time; their data funnels through one shared drop-tail queue in front
+// of the collector (the receiver interface), and the collector's processing
+// budget is shared. It returns one trace per connection.
+func RunIncast(seed int64, n, routes int, sharedQueue int, collectorRate int64) []*Trace {
+	eng := sim.New(0, seed)
+	collAddr := netip.MustParseAddr("10.0.0.200")
+
+	// Collector endpoints, demuxed by destination port.
+	eps := map[uint16]*tcpsim.Endpoint{}
+	demux := func(p *packet.Packet) {
+		if ep, ok := eps[p.TCP.DstPort]; ok {
+			ep.Deliver(p)
+		}
+	}
+	shared := netem.NewLink(eng, demux)
+	shared.Rate = 10_000_000 // 10 MB/s receiver interface
+	shared.Delay = 100
+	shared.QueueCap = sharedQueue
+
+	host := bgpsim.NewCollectorHost(eng, bgpsim.CollectorConfig{TotalRate: collectorRate})
+
+	type wire struct {
+		conn  *connParts
+		csess *bgpsim.CollectorSession
+	}
+	wires := make([]wire, 0, n)
+	for i := 0; i < n; i++ {
+		w := buildIncastConn(eng, i, collAddr, shared, eps)
+		table := Table(eng.Rand(), routes, 4)
+		speaker := bgpsim.NewSpeaker(eng, bgpsim.SpeakerConfig{AS: uint16(100 + i)})
+		speaker.Table = table
+		speaker.AddSession(w.routerPeer, nil)
+		cs := host.AddSession(w.collectorPeer, uint16(100+i))
+		wires = append(wires, wire{conn: w, csess: cs})
+	}
+	eng.Run(1_800_000_000)
+
+	out := make([]*Trace, 0, n)
+	for _, w := range wires {
+		tr := &Trace{
+			Captures:    w.conn.sniffer.Captures(),
+			Archive:     w.csess.Archive(),
+			RouterStats: w.conn.routerPeer.Endpoint().Stats(),
+		}
+		for _, e := range tr.Archive {
+			if m, err := bgp.Parse(e.Raw); err == nil {
+				if u, ok := m.(*bgp.Update); ok {
+					tr.RoutesDelivered += len(u.NLRI)
+				}
+			}
+		}
+		if n := len(tr.Archive); n > 0 {
+			tr.GroundDuration = tr.Archive[n-1].Time
+		}
+		out = append(out, tr)
+	}
+	return out
+}
+
+// connParts is the hand-wired topology of one incast connection.
+type connParts struct {
+	routerPeer    *bgpsim.Peer
+	collectorPeer *bgpsim.Peer
+	sniffer       *netem.Sniffer
+}
+
+// buildIncastConn wires router i → own upstream link → own sniffer tap →
+// the shared downstream link; ACKs return over a private reverse path.
+func buildIncastConn(eng *sim.Engine, i int, collAddr netip.Addr, shared *netem.Link, eps map[uint16]*tcpsim.Endpoint) *connParts {
+	routerAddr := netip.AddrFrom4([4]byte{10, 0, 1, byte(i + 1)})
+	collPort := uint16(41000 + i)
+
+	var routerEP, collectorEP *tcpsim.Endpoint
+	sniffer := netem.NewSniffer(eng)
+
+	up := netem.NewLink(eng, sniffer.Tap(netem.DirData, shared.Send))
+	up.Delay = Micros(15_000 + i%7*1_000)
+
+	ack := netem.NewLink(eng, func(p *packet.Packet) { routerEP.Deliver(p) })
+	ack.Delay = up.Delay + 100
+
+	routerEP = tcpsim.NewEndpoint(eng, tcpsim.Config{Addr: routerAddr, Port: 179},
+		func(p *packet.Packet) { up.Send(p) })
+	collectorEP = tcpsim.NewEndpoint(eng, tcpsim.Config{Addr: collAddr, Port: collPort},
+		tcpsim.Handler(sniffer.Tap(netem.DirAck, ack.Send)))
+	collectorEP.Listen()
+	eps[collPort] = collectorEP
+
+	routerPeer := bgpsim.NewPeer(eng, routerEP, fmt.Sprintf("router-%d", i), uint16(100+i), true)
+	collectorPeer := bgpsim.NewPeer(eng, collectorEP, "collector", 65000, false)
+	routerEP.Connect(collAddr, collPort)
+	return &connParts{routerPeer: routerPeer, collectorPeer: collectorPeer, sniffer: sniffer}
+}
+
+// RunWithReset reproduces the ISP_A-1 vendor bug (paper §II-B: "frequent
+// BGP session resets"): the transfer is killed by a RST mid-flight and the
+// router immediately redials on the SAME 4-tuple, so one capture carries
+// two table transfers back to back.
+func RunWithReset(sc Scenario, resetAt Micros) *Trace {
+	sc = sc.withDefaults()
+	eng := sim.New(0, sc.Seed)
+	table := Table(eng.Rand(), sc.Routes, sc.RoutesPerGroup)
+	routerAddr := netip.MustParseAddr("10.0.0.1")
+	collAddr := netip.MustParseAddr("10.0.0.2")
+
+	// Rebindable endpoints behind stable handlers, so both connection
+	// generations share one path and one sniffer.
+	var routerEP, collectorEP *tcpsim.Endpoint
+	path := netem.NewPath(eng, netem.PathConfig{
+		UpstreamDelay:   sc.RTT / 2,
+		DownstreamDelay: sc.RTT / 16,
+	},
+		func(p *packet.Packet) { collectorEP.Deliver(p) },
+		func(p *packet.Packet) { routerEP.Deliver(p) },
+	)
+
+	scfg := bgpsim.SpeakerConfig{AS: 7018}
+	if sc.Kind == KindPaced {
+		scfg.PacingInterval = sc.PacingTimer
+		scfg.PacingBudget = sc.PacingBudget
+	}
+	speaker := bgpsim.NewSpeaker(eng, scfg)
+	speaker.Table = table
+	host := bgpsim.NewCollectorHost(eng, bgpsim.CollectorConfig{})
+
+	var csessions []*bgpsim.CollectorSession
+	dial := func() {
+		routerEP = tcpsim.NewEndpoint(eng, tcpsim.Config{Addr: routerAddr, Port: 179},
+			tcpsim.Handler(path.DataIn))
+		collectorEP = tcpsim.NewEndpoint(eng, tcpsim.Config{Addr: collAddr, Port: 41000},
+			tcpsim.Handler(path.AckIn))
+		collectorEP.Listen()
+		routerPeer := bgpsim.NewPeer(eng, routerEP, "router", 7018, true)
+		collectorPeer := bgpsim.NewPeer(eng, collectorEP, "collector", 65000, false)
+		speaker.AddSession(routerPeer, nil)
+		csessions = append(csessions, host.AddSession(collectorPeer, 7018))
+		routerEP.Connect(collAddr, 41000)
+	}
+	dial()
+	eng.At(resetAt, func() {
+		routerEP.Abort()
+		collectorEP.Kill() // the old listener must not swallow the new SYN
+		eng.After(200_000, dial)
+	})
+	eng.Run(sc.Horizon)
+
+	tr := &Trace{Kind: sc.Kind, Captures: path.Sniffer.Captures()}
+	for _, cs := range csessions {
+		tr.Archive = append(tr.Archive, cs.Archive()...)
+		for _, e := range cs.Archive() {
+			if m, err := bgp.Parse(e.Raw); err == nil {
+				if u, ok := m.(*bgp.Update); ok {
+					tr.RoutesDelivered += len(u.NLRI)
+				}
+			}
+		}
+	}
+	if len(tr.Archive) > 0 {
+		tr.GroundDuration = tr.Archive[len(tr.Archive)-1].Time
+	}
+	return tr
+}

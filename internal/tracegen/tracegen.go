@@ -1,0 +1,423 @@
+// Package tracegen synthesizes the datasets the experiments run on. It
+// stands in for the paper's proprietary inputs (ISP_A and RouteViews
+// tcpdump + MRT archives): each Scenario wires a bgpsim router and
+// collector over a netem path with one pathology dialed in, runs the
+// discrete-event simulation, and returns the sniffer capture, the
+// collector archive, and the scenario ground truth. Dataset profiles mix
+// scenarios with weights chosen to mirror the paper's three traces.
+package tracegen
+
+import (
+	"math/rand"
+	"net/netip"
+
+	"tdat/internal/bgp"
+	"tdat/internal/bgpsim"
+	"tdat/internal/flows"
+	"tdat/internal/netem"
+	"tdat/internal/sim"
+	"tdat/internal/tcpsim"
+	"tdat/internal/timerange"
+)
+
+// Micros aliases the simulator time unit.
+type Micros = sim.Micros
+
+// Table synthesizes a routing table of n routes with one shared attribute
+// set per routesPerGroup consecutive routes; AS-path lengths follow the
+// short-tailed distribution of real tables (2–7 hops).
+func Table(rnd *rand.Rand, n, routesPerGroup int) []bgp.Route {
+	if routesPerGroup <= 0 {
+		routesPerGroup = 4
+	}
+	routes := make([]bgp.Route, 0, n)
+	var attrs *bgp.PathAttrs
+	for i := 0; i < n; i++ {
+		if i%routesPerGroup == 0 || attrs == nil {
+			pathLen := 2 + rnd.Intn(6)
+			path := make([]uint16, pathLen)
+			for j := range path {
+				path[j] = uint16(rnd.Intn(64000) + 1)
+			}
+			attrs = &bgp.PathAttrs{
+				Origin:  uint8(rnd.Intn(3)),
+				ASPath:  path,
+				NextHop: netip.AddrFrom4([4]byte{10, 9, byte(rnd.Intn(250)), byte(rnd.Intn(250) + 1)}),
+			}
+			if rnd.Intn(3) == 0 {
+				attrs.HasMED, attrs.MED = true, uint32(rnd.Intn(500))
+			}
+		}
+		bits := 24
+		switch rnd.Intn(6) {
+		case 0:
+			bits = 16
+		case 1:
+			bits = 22
+		case 2:
+			bits = 20
+		}
+		addr := netip.AddrFrom4([4]byte{byte(20 + i>>16), byte(i >> 8), byte(i), 0})
+		routes = append(routes, bgp.Route{
+			Prefix: netip.PrefixFrom(addr, bits).Masked(),
+			Attrs:  attrs,
+		})
+	}
+	return routes
+}
+
+// Kind labels the dialed-in pathology of a scenario — the simulator's
+// ground truth against which the analyzer's verdict is scored.
+type Kind int
+
+// Scenario kinds.
+const (
+	// KindClean is a healthy fast transfer (mildly cwnd/app limited).
+	KindClean Kind = iota
+	// KindPaced throttles the sender with an update pacing timer.
+	KindPaced
+	// KindSlowReceiver throttles the collector's processing rate.
+	KindSlowReceiver
+	// KindSmallWindow caps the collector's receive buffer (RouteViews'
+	// 16 KB vs ISP_A's 64 KB).
+	KindSmallWindow
+	// KindUpstreamLoss drops packets on the sender side of the sniffer.
+	KindUpstreamLoss
+	// KindDownstreamLoss drops packets between sniffer and collector
+	// (receiver-local).
+	KindDownstreamLoss
+	// KindBandwidth squeezes the upstream link rate.
+	KindBandwidth
+	// KindZeroAckBug enables the router's zero-window probe-discard bug
+	// against a slow reader.
+	KindZeroAckBug
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindClean:
+		return "clean"
+	case KindPaced:
+		return "paced"
+	case KindSlowReceiver:
+		return "slow-receiver"
+	case KindSmallWindow:
+		return "small-window"
+	case KindUpstreamLoss:
+		return "upstream-loss"
+	case KindDownstreamLoss:
+		return "downstream-loss"
+	case KindBandwidth:
+		return "bandwidth"
+	case KindZeroAckBug:
+		return "zero-ack-bug"
+	default:
+		return "unknown"
+	}
+}
+
+// Scenario is one table-transfer run.
+type Scenario struct {
+	Kind   Kind
+	Seed   int64
+	Routes int
+	// RoutesPerGroup controls update packing granularity (default 4).
+	RoutesPerGroup int
+	// PacingTimer/PacingBudget configure KindPaced (default 200 ms / 24).
+	PacingTimer  Micros
+	PacingBudget int
+	// CollectorRate configures KindSlowReceiver in bytes/sec (default 25k).
+	CollectorRate int64
+	// RecvBuf configures KindSmallWindow (default 16384).
+	RecvBuf int
+	// LossRate configures the loss kinds (default 0.05).
+	LossRate float64
+	// LossEpisode optionally scripts a loss window instead of i.i.d. loss.
+	LossEpisode timerange.Range
+	// UpstreamRate configures KindBandwidth in bytes/sec (default 40k).
+	UpstreamRate int64
+	// RTT is the round-trip propagation (default 8 ms).
+	RTT Micros
+	// Horizon bounds the simulation (default 1200 s).
+	Horizon Micros
+}
+
+func (s Scenario) withDefaults() Scenario {
+	if s.Routes == 0 {
+		s.Routes = 12_000
+	}
+	if s.RoutesPerGroup == 0 {
+		s.RoutesPerGroup = 4
+	}
+	if s.PacingTimer == 0 {
+		s.PacingTimer = 200_000
+	}
+	if s.PacingBudget == 0 {
+		s.PacingBudget = 24
+	}
+	if s.CollectorRate == 0 {
+		s.CollectorRate = 25_000
+	}
+	if s.RecvBuf == 0 {
+		s.RecvBuf = 16384
+	}
+	if s.LossRate == 0 {
+		s.LossRate = 0.05
+	}
+	if s.UpstreamRate == 0 {
+		s.UpstreamRate = 40_000
+	}
+	if s.RTT == 0 {
+		s.RTT = 8_000
+	}
+	if s.Horizon == 0 {
+		s.Horizon = 1_200_000_000
+	}
+	return s
+}
+
+// Trace is one scenario's output.
+type Trace struct {
+	Kind Kind
+	// Captures is the sniffer's view of the connection.
+	Captures []netem.Capture
+	// Archive is the collector-side BGP message log (MRT content).
+	Archive []bgpsim.ArchiveEntry
+	// GroundDuration is the true transfer time: TCP connect to the last
+	// archived update.
+	GroundDuration Micros
+	// RoutesDelivered counts prefixes that reached the collector app.
+	RoutesDelivered int
+	// RouterStats snapshots the sender TCP endpoint counters.
+	RouterStats tcpsim.Stats
+}
+
+// Packets converts the capture for the flows layer.
+func (t *Trace) Packets() []flows.TimedPacket {
+	out := make([]flows.TimedPacket, len(t.Captures))
+	for i, c := range t.Captures {
+		out[i] = flows.TimedPacket{Time: c.Time, Pkt: c.Pkt}
+	}
+	return out
+}
+
+// Run executes one scenario.
+func Run(sc Scenario) *Trace { return runScenario(sc, 0, 0) }
+
+// runScenario is Run with dataset-profile overrides: an RTO backoff factor
+// for both endpoints and a default collector receive buffer for kinds that
+// do not pick their own.
+func runScenario(sc Scenario, rtoBackoff float64, collectorBuf int) *Trace {
+	sc = sc.withDefaults()
+	eng := sim.New(0, sc.Seed)
+	table := Table(eng.Rand(), sc.Routes, sc.RoutesPerGroup)
+
+	spec := bgpsim.ConnSpec{
+		RouterAddr:    netip.MustParseAddr("10.0.0.1"),
+		CollectorAddr: netip.MustParseAddr("10.0.0.2"),
+		Path: netem.PathConfig{
+			UpstreamDelay:   sc.RTT / 2,
+			DownstreamDelay: sc.RTT / 16,
+		},
+	}
+	scfg := bgpsim.SpeakerConfig{AS: 7018}
+	ccfg := bgpsim.CollectorConfig{}
+
+	switch sc.Kind {
+	case KindClean:
+		// Mild pacing keeps even the clean case realistic (routers never
+		// blast at line rate) without dominating the transfer.
+		scfg.PacingInterval = 20_000
+		scfg.PacingBudget = 32
+	case KindPaced:
+		scfg.PacingInterval = sc.PacingTimer
+		scfg.PacingBudget = sc.PacingBudget
+	case KindSlowReceiver:
+		ccfg.TotalRate = sc.CollectorRate
+	case KindSmallWindow:
+		spec.CollectorTCP.RecvBuf = sc.RecvBuf
+	case KindUpstreamLoss:
+		if !sc.LossEpisode.Empty() {
+			spec.Path.UpstreamHook = netem.LossEpisodes(sc.LossEpisode)
+		} else {
+			spec.Path.UpstreamLoss = sc.LossRate
+		}
+	case KindDownstreamLoss:
+		if !sc.LossEpisode.Empty() {
+			spec.Path.DownstreamHook = netem.LossEpisodes(sc.LossEpisode)
+		} else {
+			spec.Path.DownstreamLoss = sc.LossRate
+		}
+	case KindBandwidth:
+		spec.Path.UpstreamRate = sc.UpstreamRate
+	case KindZeroAckBug:
+		spec.RouterTCP.ZeroWindowProbeBug = true
+		spec.CollectorTCP.RecvBuf = 8192
+		ccfg.TotalRate = sc.CollectorRate
+		ccfg.ProcessInterval = 400_000 // coarse scheduling: bursty reads
+	}
+
+	if collectorBuf != 0 && spec.CollectorTCP.RecvBuf == 0 {
+		spec.CollectorTCP.RecvBuf = collectorBuf
+	}
+	if rtoBackoff > 0 {
+		spec.RouterTCP.RTOBackoff = rtoBackoff
+		spec.CollectorTCP.RTOBackoff = rtoBackoff
+	}
+	conn := bgpsim.Dial(eng, spec, 7018)
+	speaker := bgpsim.NewSpeaker(eng, scfg)
+	speaker.Table = table
+	sess := speaker.AddSession(conn.RouterPeer, nil)
+	queued := -1
+	sess.OnTransferQueued = func(n, _ int) { queued = n }
+	host := bgpsim.NewCollectorHost(eng, ccfg)
+	csess := host.AddSession(conn.CollectorPeer, 7018)
+
+	// Run in chunks and stop shortly after the collector has processed the
+	// whole table — keepalive timers keep the event queue alive forever, so
+	// the horizon alone never terminates the run, and a long keepalive tail
+	// would pollute the capture.
+	const chunk = 5_000_000
+	for eng.Now() < sc.Horizon {
+		until := eng.Now() + chunk
+		if until > sc.Horizon {
+			until = sc.Horizon
+		}
+		eng.Run(until)
+		if queued >= 0 && len(csess.Archive()) >= queued {
+			eng.Run(eng.Now() + 1_000_000) // drain trailing ACKs
+			break
+		}
+	}
+
+	tr := &Trace{
+		Kind:        sc.Kind,
+		Captures:    conn.Sniffer().Captures(),
+		Archive:     csess.Archive(),
+		RouterStats: conn.RouterPeer.Endpoint().Stats(),
+	}
+	for _, e := range tr.Archive {
+		if m, err := bgp.Parse(e.Raw); err == nil {
+			if u, ok := m.(*bgp.Update); ok {
+				tr.RoutesDelivered += len(u.NLRI)
+			}
+		}
+	}
+	if n := len(tr.Archive); n > 0 {
+		tr.GroundDuration = tr.Archive[n-1].Time
+	}
+	return tr
+}
+
+// ChurnTrace is the output of a churn scenario: an initial table transfer,
+// an idle period, then a failure-triggered burst of re-announcements on the
+// established session (paper §VII's "massive updates triggered upon
+// inter-domain routing failures").
+type ChurnTrace struct {
+	*Trace
+	// ChurnStart is when the burst was enqueued; ChurnEnd when its last
+	// update reached the collector application.
+	ChurnStart, ChurnEnd Micros
+}
+
+// RunChurn runs the table transfer of sc, waits until idleAfter past its
+// completion, then re-announces churnFrac of the table with fresh
+// attributes and captures the burst.
+func RunChurn(sc Scenario, idleAfter Micros, churnFrac float64) *ChurnTrace {
+	sc = sc.withDefaults()
+	eng := sim.New(0, sc.Seed)
+	table := Table(eng.Rand(), sc.Routes, sc.RoutesPerGroup)
+
+	spec := bgpsim.ConnSpec{
+		RouterAddr:    netip.MustParseAddr("10.0.0.1"),
+		CollectorAddr: netip.MustParseAddr("10.0.0.2"),
+		Path: netem.PathConfig{
+			UpstreamDelay:   sc.RTT / 2,
+			DownstreamDelay: sc.RTT / 16,
+		},
+	}
+	scfg := bgpsim.SpeakerConfig{AS: 7018}
+	if sc.Kind == KindPaced {
+		scfg.PacingInterval = sc.PacingTimer
+		scfg.PacingBudget = sc.PacingBudget
+	}
+	conn := bgpsim.Dial(eng, spec, 7018)
+	speaker := bgpsim.NewSpeaker(eng, scfg)
+	speaker.Table = table
+	sess := speaker.AddSession(conn.RouterPeer, nil)
+	queued := -1
+	sess.OnTransferQueued = func(n, _ int) { queued = n }
+	host := bgpsim.NewCollectorHost(eng, bgpsim.CollectorConfig{TotalRate: sc.CollectorRate})
+	csess := host.AddSession(conn.CollectorPeer, 7018)
+
+	// Run the initial transfer to completion.
+	const chunk = 5_000_000
+	for eng.Now() < sc.Horizon {
+		eng.Run(eng.Now() + chunk)
+		if queued >= 0 && len(csess.Archive()) >= queued {
+			break
+		}
+	}
+	eng.Run(eng.Now() + idleAfter)
+
+	// The failure: re-announce a slice of the table with changed paths.
+	n := int(float64(len(table)) * churnFrac)
+	if n < 1 {
+		n = 1
+	}
+	churn := make([]bgp.Route, n)
+	copy(churn, table[:n])
+	for i := range churn {
+		attrs := *churn[i].Attrs
+		attrs.ASPath = append([]uint16{65333}, attrs.ASPath...)
+		churn[i].Attrs = &attrs
+	}
+	ct := &ChurnTrace{ChurnStart: eng.Now()}
+	before := len(csess.Archive())
+	churnUpdates := 0
+	// The failure first withdraws the affected prefixes, then re-announces
+	// them with the post-failure paths.
+	withdrawn := make([]bgp.Prefix, len(churn))
+	for i, r := range churn {
+		withdrawn[i] = r.Prefix
+	}
+	if err := sess.EnqueueWithdrawals(withdrawn); err == nil {
+		if ups, err := bgp.PackWithdrawals(withdrawn); err == nil {
+			churnUpdates += len(ups)
+		}
+	}
+	if err := sess.EnqueueTable(churn); err == nil {
+		// Count how many updates the churn packs into.
+		if ups, err := bgp.PackTable(churn); err == nil {
+			churnUpdates += len(ups)
+		}
+	}
+	for eng.Now() < sc.Horizon {
+		eng.Run(eng.Now() + chunk)
+		if len(csess.Archive()) >= before+churnUpdates {
+			eng.Run(eng.Now() + 1_000_000)
+			break
+		}
+	}
+
+	tr := &Trace{
+		Kind:        sc.Kind,
+		Captures:    conn.Sniffer().Captures(),
+		Archive:     csess.Archive(),
+		RouterStats: conn.RouterPeer.Endpoint().Stats(),
+	}
+	for _, e := range tr.Archive {
+		if m, err := bgp.Parse(e.Raw); err == nil {
+			if u, ok := m.(*bgp.Update); ok {
+				tr.RoutesDelivered += len(u.NLRI)
+			}
+		}
+	}
+	if len(tr.Archive) > 0 {
+		tr.GroundDuration = tr.Archive[len(tr.Archive)-1].Time
+		ct.ChurnEnd = tr.GroundDuration
+	}
+	ct.Trace = tr
+	return ct
+}

@@ -1,0 +1,179 @@
+package tracegen
+
+import (
+	"math/rand"
+	"testing"
+
+	"tdat/internal/bgp"
+)
+
+func TestTableProperties(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	table := Table(rnd, 1000, 4)
+	if len(table) != 1000 {
+		t.Fatalf("table size = %d", len(table))
+	}
+	groups := map[string]bool{}
+	for _, r := range table {
+		if r.Attrs == nil {
+			t.Fatal("route without attributes")
+		}
+		if len(r.Attrs.ASPath) < 2 || len(r.Attrs.ASPath) > 7 {
+			t.Errorf("AS path length %d outside 2..7", len(r.Attrs.ASPath))
+		}
+		groups[r.Attrs.Key()] = true
+	}
+	// Roughly one attribute group per 4 routes.
+	if len(groups) < 200 || len(groups) > 300 {
+		t.Errorf("attribute groups = %d, want ≈250", len(groups))
+	}
+	// The table must serialize into many reasonable-size updates.
+	updates, err := bgp.PackTable(table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(updates) < 100 {
+		t.Errorf("packed into %d updates", len(updates))
+	}
+}
+
+func TestTableDeterministic(t *testing.T) {
+	a := Table(rand.New(rand.NewSource(5)), 100, 4)
+	b := Table(rand.New(rand.NewSource(5)), 100, 4)
+	for i := range a {
+		if a[i].Prefix != b[i].Prefix || a[i].Attrs.Key() != b[i].Attrs.Key() {
+			t.Fatal("same seed produced different tables")
+		}
+	}
+}
+
+func TestRunCompletesEveryKind(t *testing.T) {
+	kinds := []Kind{
+		KindClean, KindPaced, KindSlowReceiver, KindSmallWindow,
+		KindUpstreamLoss, KindDownstreamLoss, KindBandwidth, KindZeroAckBug,
+	}
+	for _, k := range kinds {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			tr := Run(Scenario{Kind: k, Seed: 11, Routes: 4_000})
+			if tr.RoutesDelivered != 4_000 {
+				t.Errorf("delivered %d of 4000 routes", tr.RoutesDelivered)
+			}
+			if len(tr.Captures) == 0 {
+				t.Error("no captures")
+			}
+			if tr.GroundDuration <= 0 {
+				t.Error("no ground duration")
+			}
+		})
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a := Run(Scenario{Kind: KindUpstreamLoss, Seed: 21, Routes: 4_000})
+	b := Run(Scenario{Kind: KindUpstreamLoss, Seed: 21, Routes: 4_000})
+	if len(a.Captures) != len(b.Captures) || a.GroundDuration != b.GroundDuration {
+		t.Errorf("same seed diverged: %d/%d captures, %d/%d µs",
+			len(a.Captures), len(b.Captures), a.GroundDuration, b.GroundDuration)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindClean: "clean", KindPaced: "paced", KindSlowReceiver: "slow-receiver",
+		KindSmallWindow: "small-window", KindUpstreamLoss: "upstream-loss",
+		KindDownstreamLoss: "downstream-loss", KindBandwidth: "bandwidth",
+		KindZeroAckBug: "zero-ack-bug", Kind(99): "unknown",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d) = %q", k, k.String())
+		}
+	}
+}
+
+func TestDatasetProfileGenerate(t *testing.T) {
+	p := ISPAQuagga(6, 3, 77)
+	var transfers []Transfer
+	p.Generate(func(tr Transfer) { transfers = append(transfers, tr) })
+	if len(transfers) != 6 {
+		t.Fatalf("generated %d transfers", len(transfers))
+	}
+	for _, tr := range transfers {
+		if tr.Trace.RoutesDelivered == 0 {
+			t.Errorf("transfer %d delivered nothing", tr.Index)
+		}
+		if tr.Router.RTT < 2_000 || tr.Router.RTT > 30_000 {
+			t.Errorf("router RTT %d outside profile range", tr.Router.RTT)
+		}
+	}
+}
+
+func TestRunPeerGroupGroundTruth(t *testing.T) {
+	pg := RunPeerGroup(3, 8_000, 1_000_000, 30_000_000)
+	if pg.Healthy.RoutesDelivered != 8_000 {
+		t.Errorf("healthy delivered %d", pg.Healthy.RoutesDelivered)
+	}
+	if pg.HoldExpiry < 30_000_000 || pg.HoldExpiry > 70_000_000 {
+		t.Errorf("hold expiry at %d µs with a 30s hold", pg.HoldExpiry)
+	}
+	// The healthy transfer must have stalled roughly the blocking period.
+	if pg.Healthy.GroundDuration < 25_000_000 {
+		t.Errorf("healthy ground duration %d µs shows no blocking", pg.Healthy.GroundDuration)
+	}
+}
+
+func TestRunIncastSharedBottleneck(t *testing.T) {
+	traces := RunIncast(9, 4, 4_000, 100, 100_000)
+	if len(traces) != 4 {
+		t.Fatalf("traces = %d", len(traces))
+	}
+	for i, tr := range traces {
+		if tr.RoutesDelivered != 4_000 {
+			t.Errorf("conn %d delivered %d of 4000", i, tr.RoutesDelivered)
+		}
+	}
+}
+
+func TestRunChurnDeliversBurst(t *testing.T) {
+	ct := RunChurn(Scenario{Kind: KindPaced, Seed: 50, Routes: 4_000,
+		PacingTimer: 100_000, PacingBudget: 32}, 5_000_000, 0.25)
+	if ct.ChurnStart == 0 || ct.ChurnEnd <= ct.ChurnStart {
+		t.Fatalf("churn window [%d, %d]", ct.ChurnStart, ct.ChurnEnd)
+	}
+	// The burst re-announces 25% of the table on top of the initial 100%.
+	if ct.RoutesDelivered < 4_000+900 {
+		t.Errorf("delivered %d routes, want initial 4000 + ~1000 churn", ct.RoutesDelivered)
+	}
+	// There must be a quiet idle period between transfer end and churn.
+	var lastBefore Micros
+	for _, e := range ct.Archive {
+		if e.Time < ct.ChurnStart {
+			lastBefore = e.Time
+		}
+	}
+	if ct.ChurnStart-lastBefore < 4_000_000 {
+		t.Errorf("idle before churn only %d µs", ct.ChurnStart-lastBefore)
+	}
+}
+
+func TestRunPeerGroupNAllMembersBlocked(t *testing.T) {
+	traces := RunPeerGroupN(60, 4, 8_000, 1_000_000, 30_000_000)
+	if len(traces) != 4 {
+		t.Fatalf("traces = %d", len(traces))
+	}
+	// Every healthy member (1..3) delivers the full table but only after
+	// the dead member's hold expiry (~31 s).
+	for i := 1; i < 4; i++ {
+		if traces[i].RoutesDelivered != 8_000 {
+			t.Errorf("member %d delivered %d", i, traces[i].RoutesDelivered)
+		}
+		if traces[i].GroundDuration < 25_000_000 {
+			t.Errorf("member %d finished at %.1fs without blocking",
+				i, float64(traces[i].GroundDuration)/1e6)
+		}
+	}
+	// The dead member received only the pre-kill prefix (if any).
+	if traces[0].RoutesDelivered >= 8_000 {
+		t.Errorf("dead member delivered %d", traces[0].RoutesDelivered)
+	}
+}

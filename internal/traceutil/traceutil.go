@@ -1,0 +1,193 @@
+// Package traceutil builds synthetic packet captures for tests and
+// examples: a tiny DSL over flows.TimedPacket that hand-crafts handshakes,
+// data flights, ACKs, and pathologies with exact timing, without running
+// the full simulator.
+package traceutil
+
+import (
+	"fmt"
+	"net/netip"
+
+	"tdat/internal/flows"
+	"tdat/internal/packet"
+	"tdat/internal/timerange"
+)
+
+// Micros aliases the trace time unit.
+type Micros = timerange.Micros
+
+// Default endpoints used by the builder.
+var (
+	SenderEP   = flows.Endpoint{Addr: netip.MustParseAddr("10.0.0.1"), Port: 179}
+	ReceiverEP = flows.Endpoint{Addr: netip.MustParseAddr("10.0.0.2"), Port: 41000}
+)
+
+// Builder accumulates packets for one or more connections.
+type Builder struct {
+	Pkts []flows.TimedPacket
+	ipid uint16
+	// MSS is used by convenience data helpers (default 1460).
+	MSS int
+}
+
+// New creates a Builder.
+func New() *Builder { return &Builder{MSS: 1460} }
+
+// Add appends one packet with explicit fields and an auto-incremented IP ID.
+func (b *Builder) Add(t Micros, from, to flows.Endpoint, seq, ack uint32, flags uint8, win uint16, payload int) *packet.Packet {
+	b.ipid++
+	p := &packet.Packet{
+		IP: packet.IPv4{ID: b.ipid, Src: from.Addr, Dst: to.Addr},
+		TCP: packet.TCP{
+			SrcPort: from.Port, DstPort: to.Port,
+			Seq: seq, Ack: ack, Flags: flags, Window: win,
+		},
+		Payload: make([]byte, payload),
+	}
+	b.Pkts = append(b.Pkts, flows.TimedPacket{Time: t, Pkt: p})
+	return p
+}
+
+// Handshake emits SYN/SYNACK/ACK for a receiver-side sniffer: the SYNACK
+// follows the SYN by d1 (sniffer→receiver hop, tiny) and the final ACK one
+// RTT later, so flows estimates RTT ≈ rtt.
+func (b *Builder) Handshake(t, rtt Micros, mss uint16) {
+	syn := b.Add(t, SenderEP, ReceiverEP, 0, 0, packet.FlagSYN, 65535, 0)
+	syn.TCP.SetMSS(mss)
+	synack := b.Add(t+50, ReceiverEP, SenderEP, 0, 1, packet.FlagSYN|packet.FlagACK, 65535, 0)
+	synack.TCP.SetMSS(mss)
+	b.Add(t+50+rtt, SenderEP, ReceiverEP, 1, 1, packet.FlagACK, 65535, 0)
+}
+
+// Data emits one sender data packet whose payload starts at stream offset
+// off (0-based; wire seq = off+1 with ISN 0).
+func (b *Builder) Data(t Micros, off int64, n int) *packet.Packet {
+	return b.Add(t, SenderEP, ReceiverEP, uint32(off)+1, 1, packet.FlagACK, 65535, n)
+}
+
+// Ack emits one receiver ACK covering the first acked stream bytes with the
+// given advertised window.
+func (b *Builder) Ack(t Micros, acked int64, win uint16) *packet.Packet {
+	return b.Add(t, ReceiverEP, SenderEP, 1, uint32(acked)+1, packet.FlagACK, win, 0)
+}
+
+// Extract runs the flows pipeline and returns the single connection.
+func (b *Builder) Extract() *flows.Connection {
+	conns := flows.Extract(b.Pkts)
+	if len(conns) != 1 {
+		panic("traceutil: builder produced more than one connection")
+	}
+	return conns[0]
+}
+
+// SteadyTransfer appends a well-behaved ACK-clocked transfer: flights of
+// `perFlight` MSS segments every rtt, each flight acked rtt after it is
+// sent, for `flights` rounds starting at t0. It returns the time after the
+// last ack.
+func (b *Builder) SteadyTransfer(t0, rtt Micros, flights, perFlight int, win uint16) Micros {
+	off := int64(0)
+	t := t0
+	for f := 0; f < flights; f++ {
+		for p := 0; p < perFlight; p++ {
+			b.Data(t+Micros(p)*100, off, b.MSS)
+			off += int64(b.MSS)
+		}
+		b.Ack(t+rtt, off, win)
+		t += rtt
+	}
+	return t
+}
+
+// Violation describes one TCP-sanity violation found in a capture.
+type Violation struct {
+	Time Micros
+	Desc string
+}
+
+// CheckInvariants scans one connection's capture (both directions, time
+// order) for protocol invariants every window-based TCP must uphold on the
+// wire. It validates the simulator's output the way a skeptical reviewer
+// would read a tcpdump: cumulative ACKs never regress, the sender never
+// overruns the advertised window by more than one segment (the zero-window
+// probe), and nothing is acknowledged before it was sent.
+func CheckInvariants(pkts []flows.TimedPacket) []Violation {
+	var out []Violation
+	report := func(t Micros, format string, args ...any) {
+		out = append(out, Violation{Time: t, Desc: fmt.Sprintf(format, args...)})
+	}
+	type dirState struct {
+		haveISN  bool
+		isn      uint32
+		maxSent  int64 // highest payload offset sent
+		maxAcked int64 // highest cumulative ack received (for this sender)
+		mss      int64
+	}
+	states := map[[2]netip.AddrPort]*dirState{}
+	key := func(src, dst netip.AddrPort) [2]netip.AddrPort { return [2]netip.AddrPort{src, dst} }
+	get := func(k [2]netip.AddrPort) *dirState {
+		st, ok := states[k]
+		if !ok {
+			st = &dirState{mss: 1460}
+			states[k] = st
+		}
+		return st
+	}
+	rel := func(st *dirState, seq uint32) int64 { return int64(int32(seq - st.isn - 1)) }
+
+	// peerWindow tracks the latest advertised limit (ack+win) per sender.
+	peerLimit := map[[2]netip.AddrPort]int64{}
+
+	for _, tp := range pkts {
+		tcp := &tp.Pkt.TCP
+		src := netip.AddrPortFrom(tp.Pkt.IP.Src, tcp.SrcPort)
+		dst := netip.AddrPortFrom(tp.Pkt.IP.Dst, tcp.DstPort)
+		fwd := get(key(src, dst)) // state of this packet's sender
+		rev := get(key(dst, src)) // state of the opposite sender
+
+		if tcp.HasFlag(packet.FlagSYN) {
+			fwd.haveISN = true
+			fwd.isn = tcp.Seq
+			fwd.maxSent, fwd.maxAcked = 0, 0
+			if m, ok := tcp.MSS(); ok {
+				fwd.mss = int64(m)
+			}
+			peerLimit[key(dst, src)] = 0 // reset opposite sender's view
+			continue
+		}
+		if tcp.HasFlag(packet.FlagRST) {
+			continue
+		}
+		if !fwd.haveISN {
+			fwd.haveISN = true
+			fwd.isn = tcp.Seq - 1
+		}
+		if n := len(tp.Pkt.Payload); n > 0 {
+			end := rel(fwd, tcp.Seq) + int64(n)
+			if end > fwd.maxSent {
+				fwd.maxSent = end
+			}
+			// Window overrun check against the last limit the peer granted
+			// (one segment of slack for in-flight window updates plus the
+			// 1-byte persist probe).
+			if lim, ok := peerLimit[key(src, dst)]; ok && lim > 0 {
+				if end > lim+fwd.mss {
+					report(tp.Time, "sender %v overran advertised window: end=%d limit=%d", src, end, lim)
+				}
+			}
+		}
+		if tcp.HasFlag(packet.FlagACK) && rev.haveISN {
+			ack := rel(rev, tcp.Ack)
+			if ack < rev.maxAcked {
+				report(tp.Time, "cumulative ack regressed for %v: %d < %d", dst, ack, rev.maxAcked)
+			}
+			if ack > rev.maxAcked {
+				rev.maxAcked = ack
+			}
+			if ack > rev.maxSent+1 { // +1 for a FIN
+				report(tp.Time, "%v acknowledged unsent data: ack=%d sent=%d", src, ack, rev.maxSent)
+			}
+			peerLimit[key(dst, src)] = ack + int64(tcp.Window)
+		}
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package traceutil
+
+import (
+	"testing"
+
+	"tdat/internal/tracegen"
+)
+
+func TestBuilderProducesOneConnection(t *testing.T) {
+	b := New()
+	b.Handshake(0, 10_000, 1460)
+	end := b.SteadyTransfer(20_000, 10_000, 3, 2, 65535)
+	if end <= 20_000 {
+		t.Errorf("steady transfer end = %d", end)
+	}
+	c := b.Extract()
+	if c.Profile.RTT != 10_000 || len(c.Data) != 6 {
+		t.Errorf("profile=%+v data=%d", c.Profile, len(c.Data))
+	}
+}
+
+func TestCheckInvariantsCleanTrace(t *testing.T) {
+	b := New()
+	b.Handshake(0, 10_000, 1460)
+	b.SteadyTransfer(20_000, 10_000, 5, 2, 65535)
+	if v := CheckInvariants(b.Pkts); len(v) != 0 {
+		t.Errorf("violations on a clean trace: %+v", v)
+	}
+}
+
+func TestCheckInvariantsCatchesAckRegression(t *testing.T) {
+	b := New()
+	b.Handshake(0, 10_000, 1460)
+	b.Data(20_000, 0, 1460)
+	b.Data(20_100, 1460, 1460)
+	b.Ack(30_000, 2920, 65535)
+	b.Ack(31_000, 1460, 65535) // regressed cumulative ack
+	v := CheckInvariants(b.Pkts)
+	if len(v) == 0 {
+		t.Fatal("ack regression not caught")
+	}
+}
+
+func TestCheckInvariantsCatchesAckOfUnsent(t *testing.T) {
+	b := New()
+	b.Handshake(0, 10_000, 1460)
+	b.Data(20_000, 0, 1460)
+	b.Ack(30_000, 99_999, 65535) // acks bytes never sent
+	if v := CheckInvariants(b.Pkts); len(v) == 0 {
+		t.Fatal("ack-of-unsent not caught")
+	}
+}
+
+// TestSimulatorUpholdsTCPInvariants is the systematic check: every scenario
+// kind's capture must be a sane TCP trace.
+func TestSimulatorUpholdsTCPInvariants(t *testing.T) {
+	kinds := []tracegen.Kind{
+		tracegen.KindClean, tracegen.KindPaced, tracegen.KindSlowReceiver,
+		tracegen.KindSmallWindow, tracegen.KindUpstreamLoss,
+		tracegen.KindDownstreamLoss, tracegen.KindBandwidth, tracegen.KindZeroAckBug,
+	}
+	for _, k := range kinds {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			tr := tracegen.Run(tracegen.Scenario{Kind: k, Seed: 99, Routes: 6_000})
+			v := CheckInvariants(tr.Packets())
+			for i, viol := range v {
+				if i >= 3 {
+					t.Errorf("... and %d more", len(v)-i)
+					break
+				}
+				t.Errorf("t=%dµs: %s", viol.Time, viol.Desc)
+			}
+		})
+	}
+}
