@@ -6,10 +6,14 @@
 package tdat_test
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"math/rand"
+	"net/netip"
 	"os"
+	"runtime"
+	"sort"
 	"sync"
 	"testing"
 
@@ -17,6 +21,7 @@ import (
 	"tdat/internal/experiments"
 	"tdat/internal/factors"
 	"tdat/internal/flows"
+	"tdat/internal/pcapio"
 	"tdat/internal/series"
 	"tdat/internal/timerange"
 	"tdat/internal/tracegen"
@@ -196,6 +201,123 @@ func BenchmarkFig17TimerKnee(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		experiments.Fig17(io.Discard, s)
+	}
+}
+
+// --- Parallel pipeline (connections fan out to the worker pool) ---
+
+// parallelSuite builds one merged 32-connection capture (distinct router
+// addresses, mixed pathologies) shared by the parallel benchmarks.
+var (
+	parallelOnce sync.Once
+	parallelPkts []flows.TimedPacket
+)
+
+func parallelTrace(b *testing.B) []flows.TimedPacket {
+	b.Helper()
+	parallelOnce.Do(func() {
+		const conns = 32
+		for i := 0; i < conns; i++ {
+			sc := tracegen.Scenario{Seed: int64(8000 + i), Routes: 2_000 + 250*(i%4)}
+			switch i % 3 {
+			case 0:
+				sc.Kind = tracegen.KindPaced
+				sc.PacingTimer = 200_000
+				sc.PacingBudget = 24
+			case 1:
+				sc.Kind = tracegen.KindClean
+			default:
+				sc.Kind = tracegen.KindBandwidth
+				sc.UpstreamRate = 120_000
+			}
+			tr := tracegen.Run(sc)
+			// Each scenario simulates the same address pair; give every
+			// transfer its own router address so the capture holds 32
+			// distinct connections.
+			addr := netip.AddrFrom4([4]byte{10, 2, 0, byte(i) + 1})
+			for _, tp := range tr.Packets() {
+				if tp.Pkt.TCP.SrcPort == 179 {
+					tp.Pkt.IP.Src = addr
+				} else {
+					tp.Pkt.IP.Dst = addr
+				}
+				parallelPkts = append(parallelPkts, tp)
+			}
+		}
+		sort.SliceStable(parallelPkts, func(i, j int) bool {
+			return parallelPkts[i].Time < parallelPkts[j].Time
+		})
+	})
+	return parallelPkts
+}
+
+// BenchmarkAnalyzeParallel measures whole-capture analysis throughput in
+// connections/sec as the worker pool grows. Reports are byte-identical at
+// every worker count (see core's TestParallelAnalysisByteIdentical); only
+// wall-clock changes. Scaling needs real cores: on a 1-CPU box every row
+// reports roughly the same rate.
+func BenchmarkAnalyzeParallel(b *testing.B) {
+	pkts := parallelTrace(b)
+	ws := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		ws = append(ws, n)
+	}
+	for _, w := range ws {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			analyzer := core.New(core.Config{Workers: w})
+			var conns int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep := analyzer.AnalyzePackets(pkts)
+				conns = len(rep.Transfers)
+			}
+			if conns != 32 {
+				b.Fatalf("transfers = %d, want 32", conns)
+			}
+			b.ReportMetric(float64(conns)*float64(b.N)/b.Elapsed().Seconds(), "conns/sec")
+		})
+	}
+}
+
+// BenchmarkAnalyzeParallelStream is the same workload through the
+// streaming pcap path — ingest, demux, and the analysis pool overlap.
+func BenchmarkAnalyzeParallelStream(b *testing.B) {
+	pkts := parallelTrace(b)
+	var buf bytes.Buffer
+	w := pcapio.NewWriter(&buf)
+	for _, tp := range pkts {
+		frame, err := tp.Pkt.Marshal()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.WritePacket(tp.Time, frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	ws := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		ws = append(ws, n)
+	}
+	for _, nw := range ws {
+		b.Run(fmt.Sprintf("workers=%d", nw), func(b *testing.B) {
+			analyzer := core.New(core.Config{Workers: nw})
+			b.SetBytes(int64(len(data)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := analyzer.AnalyzePcap(bytes.NewReader(data))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rep.Transfers) != 32 {
+					b.Fatalf("transfers = %d", len(rep.Transfers))
+				}
+			}
+			b.ReportMetric(32*float64(b.N)/b.Elapsed().Seconds(), "conns/sec")
+		})
 	}
 }
 

@@ -6,7 +6,7 @@
 //	experiments [-run all|table1|table2|table3|table4|table5|fig3|fig4|
 //	             fig5|fig6|fig7|fig8|fig9|fig11|fig14|fig15|fig16|fig17|
 //	             paperscale|accuracy|throughput]
-//	            [-scale default|quick] [-seed 42]
+//	            [-scale default|quick] [-seed 42] [-workers N]
 package main
 
 import (
@@ -25,9 +25,10 @@ func main() {
 
 func run() int {
 	var (
-		which = flag.String("run", "all", "experiment id(s), comma separated")
-		scale = flag.String("scale", "default", "dataset scale: default, quick, or full (paper-exact)")
-		seed  = flag.Int64("seed", 42, "base random seed")
+		which   = flag.String("run", "all", "experiment id(s), comma separated")
+		scale   = flag.String("scale", "default", "dataset scale: default, quick, or full (paper-exact)")
+		seed    = flag.Int64("seed", 42, "base random seed")
+		workers = flag.Int("workers", 0, "generate+analyze worker count (0 = all CPUs); results are identical for any value")
 	)
 	flag.Parse()
 
@@ -36,9 +37,10 @@ func run() int {
 	case "quick":
 		sc = experiments.QuickScale()
 	case "full":
-		sc = experiments.FullScale() // paper-exact 10396/436/94; ~10 min
+		sc = experiments.FullScale() // paper-exact 10396/436/94; ~10 min on one core
 	}
 	sc.Seed = *seed
+	sc.Workers = *workers
 
 	want := map[string]bool{}
 	for _, id := range strings.Split(*which, ",") {

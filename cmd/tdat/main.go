@@ -7,7 +7,7 @@
 // Usage:
 //
 //	tdat [-series] [-threshold 0.3] [-sniffer receiver|sender]
-//	     [-mrt archive.mrt] trace.pcap
+//	     [-mrt archive.mrt] [-workers N] trace.pcap
 //
 // With -mrt, transfer ends come from the collector's BGP archive (the
 // paper's Quagga pipeline) instead of payload reassembly.
@@ -18,12 +18,12 @@ import (
 	"fmt"
 	"net/netip"
 	"os"
+	"sort"
 
 	"tdat/internal/core"
 	"tdat/internal/flows"
 	"tdat/internal/mct"
 	"tdat/internal/mrt"
-	"tdat/internal/pcapio"
 	"tdat/internal/series"
 )
 
@@ -39,6 +39,7 @@ func run() int {
 		noShift    = flag.Bool("noshift", false, "disable sniffer-location ACK shifting")
 		mrtPath    = flag.String("mrt", "", "collector MRT archive to pin transfer ends (Quagga pipeline)")
 		asJSON     = flag.Bool("json", false, "emit machine-readable JSON per connection")
+		workers    = flag.Int("workers", 0, "analysis worker count (0 = all CPUs, 1 = sequential); output is identical for any value")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -47,7 +48,7 @@ func run() int {
 		return 2
 	}
 
-	cfg := core.Config{MajorThreshold: *threshold}
+	cfg := core.Config{MajorThreshold: *threshold, Workers: *workers}
 	cfg.Series.DisableShift = *noShift
 	switch *sniffer {
 	case "receiver":
@@ -104,14 +105,10 @@ func run() int {
 	return 0
 }
 
-// analyzeWithArchive runs the Quagga pipeline: connections from the pcap,
-// transfer ends from the MRT archive, matched by the sending router's
-// address.
+// analyzeWithArchive runs the Quagga pipeline: connections from the pcap
+// (streamed through the concurrent analysis pipeline), transfer ends from
+// the MRT archive, matched by the sending router's address.
 func analyzeWithArchive(a *core.Analyzer, pcapF *os.File, mrtPath string) (*core.Report, error) {
-	recs, err := pcapio.ReadAll(pcapF)
-	if err != nil && len(recs) == 0 {
-		return nil, err
-	}
 	mf, err := os.Open(mrtPath)
 	if err != nil {
 		return nil, err
@@ -121,24 +118,27 @@ func analyzeWithArchive(a *core.Analyzer, pcapF *os.File, mrtPath string) (*core
 	if err != nil && len(mrecs) == 0 {
 		return nil, err
 	}
-	// Bucket archive records by peer (router) address.
+	// Bucket archive records by peer (router) address and sort each bucket
+	// by timestamp once, so scoping each connection's lifetime window is a
+	// pair of binary searches instead of a scan of the whole archive
+	// (archives span many sessions; transfers × records scans dominated).
 	byPeer := map[netip.Addr][]mrt.Record{}
 	for _, r := range mrecs {
 		byPeer[r.PeerIP] = append(byPeer[r.PeerIP], r)
 	}
-	conns, skipped := flows.FromPcap(recs)
-	rep := &core.Report{SkippedPackets: skipped}
-	for _, c := range conns {
-		// Only archive records within this connection's lifetime belong to
-		// its transfer (an archive spans many sessions).
-		var scoped []mrt.Record
-		for _, r := range byPeer[c.Sender.Addr] {
-			if r.TimeMicros >= c.Profile.Start && r.TimeMicros <= c.Profile.End+1_000_000 {
-				scoped = append(scoped, r)
-			}
-		}
-		ups := mct.FromMRT(scoped)
-		rep.Transfers = append(rep.Transfers, a.AnalyzeConnectionWithUpdates(c, ups))
+	for _, recs := range byPeer {
+		sort.SliceStable(recs, func(i, j int) bool { return recs[i].TimeMicros < recs[j].TimeMicros })
 	}
-	return rep, nil
+	// byPeer is read-only from here on: the per-connection analyses below
+	// run concurrently on the worker pool.
+	return a.AnalyzePcapWith(pcapF, func(c *flows.Connection) *core.TransferReport {
+		// Only archive records within this connection's lifetime belong to
+		// its transfer (plus a 1 s grace for the collector's write delay).
+		recs := byPeer[c.Sender.Addr]
+		start, end := c.Profile.Start, c.Profile.End+1_000_000
+		lo := sort.Search(len(recs), func(i int) bool { return recs[i].TimeMicros >= start })
+		hi := sort.Search(len(recs), func(i int) bool { return recs[i].TimeMicros > end })
+		ups := mct.FromMRT(recs[lo:hi])
+		return a.AnalyzeConnectionWithUpdates(c, ups)
+	})
 }

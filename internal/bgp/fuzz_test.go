@@ -46,3 +46,45 @@ func TestParseNeverPanics(t *testing.T) {
 		_, _, _ = SplitStream(data)
 	}
 }
+
+// FuzzParse is the native fuzz target behind TestParseNeverPanics: any
+// byte string must parse or error, never crash, and a message that parses
+// and re-marshals must re-parse. CI runs this for a short smoke window on
+// every push; run locally with
+//
+//	go test -run='^$' -fuzz=FuzzParse -fuzztime=30s ./internal/bgp
+func FuzzParse(f *testing.F) {
+	attrs := &PathAttrs{
+		Origin:    OriginIGP,
+		ASPath:    []uint16{7018, 3356},
+		NextHop:   netip.MustParseAddr("10.0.0.1"),
+		HasMED:    true,
+		MED:       5,
+		HasLocal:  true,
+		LocalPref: 100,
+	}
+	u := &Update{
+		Withdrawn: []Prefix{mustPrefix("192.0.2.0/24")},
+		Attrs:     attrs,
+		NLRI:      []Prefix{mustPrefix("10.0.0.0/8"), mustPrefix("172.16.0.0/12")},
+	}
+	good, err := u.Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add(good[:19])
+	f.Add([]byte{})
+	f.Add(append(append([]byte(nil), good...), good...)) // two messages back to back
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Parse(data)
+		if err == nil && m != nil {
+			if again, err := m.Marshal(); err == nil {
+				if _, err := Parse(again); err != nil {
+					t.Errorf("re-marshaled message failed to parse: %v", err)
+				}
+			}
+		}
+		_, _, _ = SplitStream(data)
+	})
+}

@@ -5,7 +5,6 @@
 package core
 
 import (
-	"fmt"
 	"io"
 
 	"tdat/internal/bgp"
@@ -40,6 +39,11 @@ type Config struct {
 	TimerMinJump float64
 	// ConsecutiveLossThreshold is the burst-loss rule (default 8).
 	ConsecutiveLossThreshold int
+	// Workers sizes the per-connection analysis pool. 0 means
+	// runtime.GOMAXPROCS(0); 1 preserves strictly sequential analysis.
+	// Reports are byte-identical for every value — only wall-clock time
+	// changes.
+	Workers int
 }
 
 // Analyzer runs the T-DAT pipeline.
@@ -87,12 +91,10 @@ type Report struct {
 }
 
 // AnalyzePcap reads a pcap stream and analyzes every connection in it.
+// Ingest is streamed: connection analysis starts on the worker pool while
+// the trace is still being read (see AnalyzePcapWith).
 func (a *Analyzer) AnalyzePcap(r io.Reader) (*Report, error) {
-	recs, err := pcapio.ReadAll(r)
-	if err != nil && len(recs) == 0 {
-		return nil, fmt.Errorf("core: reading pcap: %w", err)
-	}
-	return a.AnalyzeRecords(recs)
+	return a.AnalyzePcapWith(r, a.AnalyzeConnection)
 }
 
 // AnalyzeRecords analyzes decoded pcap records.
@@ -112,14 +114,11 @@ func (a *Analyzer) AnalyzeRecords(recs []pcapio.Record) (*Report, error) {
 	return rep, nil
 }
 
-// AnalyzePackets analyzes pre-decoded packets.
+// AnalyzePackets analyzes pre-decoded packets, fanning connections out to
+// the configured worker pool and merging reports in extraction order.
 func (a *Analyzer) AnalyzePackets(pkts []flows.TimedPacket) *Report {
 	conns := flows.ExtractOpts(pkts, a.cfg.Flows)
-	rep := &Report{}
-	for _, c := range conns {
-		rep.Transfers = append(rep.Transfers, a.AnalyzeConnection(c))
-	}
-	return rep
+	return &Report{Transfers: a.AnalyzeEach(conns, a.AnalyzeConnection)}
 }
 
 // AnalyzeConnection runs series generation, transfer-window estimation,

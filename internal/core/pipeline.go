@@ -1,0 +1,159 @@
+// Concurrent analysis pipeline: ingest (read+decode) → demux (connection
+// grouping and profiling) → analyze (series, factors, detectors) → ordered
+// merge. Per-connection analysis is embarrassingly parallel — each
+// connection's 34 event series and 8-factor delay-ratio vector are computed
+// independently (paper §III-C/§III-D) — so connections fan out to a worker
+// pool and results merge back in creation order, making reports
+// byte-identical regardless of worker count.
+package core
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"tdat/internal/flows"
+	"tdat/internal/packet"
+	"tdat/internal/pcapio"
+)
+
+// workers returns the effective worker-pool size.
+func (a *Analyzer) workers() int {
+	if a.cfg.Workers > 0 {
+		return a.cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// MapOrdered applies fn to every element of in on a pool of workers
+// goroutines (0 means GOMAXPROCS) and returns the results in input order.
+// With one worker — or one element — fn runs inline on the caller's
+// goroutine, preserving strictly sequential behavior.
+func MapOrdered[T, R any](workers int, in []T, fn func(T) R) []R {
+	if len(in) == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(in) {
+		workers = len(in)
+	}
+	out := make([]R, len(in))
+	if workers == 1 {
+		for i, v := range in {
+			out[i] = fn(v)
+		}
+		return out
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i] = fn(in[i])
+			}
+		}()
+	}
+	for i := range in {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// AnalyzeEach applies analyze to every connection on the configured worker
+// pool, returning reports in input order. It is the fan-out primitive for
+// callers that bring their own per-connection analysis — e.g. the MRT/
+// Quagga path, which pins each transfer end from a collector archive.
+func (a *Analyzer) AnalyzeEach(conns []*flows.Connection, analyze func(*flows.Connection) *TransferReport) []*TransferReport {
+	return MapOrdered(a.workers(), conns, analyze)
+}
+
+// AnalyzePcapWith streams a pcap capture through the full pipeline,
+// applying analyze to each extracted connection. Connections completed
+// early — a fresh SYN reusing the 4-tuple across session resets — are
+// dispatched to the worker pool while the tail of the trace is still being
+// read; the rest dispatch at EOF. Reports come back in connection creation
+// order. Undecodable records are counted and skipped (tcpdump drop
+// artifacts); a truncated tail is tolerated like the paper treats sniffer
+// drop gaps, unless nothing at all was readable.
+func (a *Analyzer) AnalyzePcapWith(r io.Reader, analyze func(*flows.Connection) *TransferReport) (*Report, error) {
+	pr, err := pcapio.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading pcap: %w", err)
+	}
+
+	nw := a.workers()
+	var (
+		mu      sync.Mutex
+		results = map[int]*TransferReport{}
+	)
+	analyzeOne := func(idx int, c *flows.Connection) {
+		rep := analyze(c)
+		mu.Lock()
+		results[idx] = rep
+		mu.Unlock()
+	}
+
+	type connJob struct {
+		idx  int
+		conn *flows.Connection
+	}
+	var (
+		jobs chan connJob
+		wg   sync.WaitGroup
+	)
+	parallel := nw > 1
+	if parallel {
+		jobs = make(chan connJob)
+		for w := 0; w < nw; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range jobs {
+					analyzeOne(j.idx, j.conn)
+				}
+			}()
+		}
+	}
+
+	d := flows.NewDemuxer(a.cfg.Flows, func(idx int, c *flows.Connection) {
+		if parallel {
+			jobs <- connJob{idx: idx, conn: c}
+		} else {
+			analyzeOne(idx, c)
+		}
+	})
+	records, skipped := 0, 0
+	readErr := pr.Each(func(rec pcapio.Record) error {
+		records++
+		p, err := packet.Decode(rec.Data)
+		if err != nil {
+			skipped++
+			return nil
+		}
+		d.Add(flows.TimedPacket{Time: rec.TimeMicros, Pkt: p})
+		return nil
+	})
+	total := d.Finish()
+	if parallel {
+		close(jobs)
+		wg.Wait()
+	}
+	if readErr != nil && records == 0 {
+		return nil, fmt.Errorf("core: reading pcap: %w", readErr)
+	}
+
+	rep := &Report{SkippedPackets: skipped}
+	for i := 0; i < total; i++ {
+		if t := results[i]; t != nil {
+			rep.Transfers = append(rep.Transfers, t)
+		}
+	}
+	return rep, nil
+}

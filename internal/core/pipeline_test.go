@@ -1,0 +1,234 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"net/netip"
+	"sort"
+	"testing"
+
+	"tdat/internal/flows"
+	"tdat/internal/pcapio"
+	"tdat/internal/tracegen"
+)
+
+// multiConnPackets merges n independent table transfers (distinct router
+// addresses, mixed pathologies) into one capture, interleaved in time
+// order — the shape of a real collector-side trace, where many routers'
+// sessions overlap.
+func multiConnPackets(tb testing.TB, n int) []flows.TimedPacket {
+	tb.Helper()
+	var all []flows.TimedPacket
+	for i := 0; i < n; i++ {
+		sc := tracegen.Scenario{Seed: int64(9000 + i), Routes: 1_500 + 200*(i%4)}
+		switch i % 4 {
+		case 0:
+			sc.Kind = tracegen.KindPaced
+			sc.PacingTimer = 200_000
+			sc.PacingBudget = 24
+		case 1:
+			sc.Kind = tracegen.KindSlowReceiver
+			sc.CollectorRate = 20_000
+		case 2:
+			sc.Kind = tracegen.KindClean
+		default:
+			sc.Kind = tracegen.KindBandwidth
+			sc.UpstreamRate = 120_000
+		}
+		tr := tracegen.Run(sc)
+		if tr.RoutesDelivered == 0 {
+			tb.Fatalf("scenario %d delivered no routes", i)
+		}
+		// Every scenario simulates the same address pair; give each
+		// transfer its own router address so the flows layer sees n
+		// distinct connections.
+		addr := netip.AddrFrom4([4]byte{10, 1, byte(i >> 8), byte(i&0xff) + 1})
+		for _, tp := range tr.Packets() {
+			if tp.Pkt.TCP.SrcPort == 179 {
+				tp.Pkt.IP.Src = addr
+			} else {
+				tp.Pkt.IP.Dst = addr
+			}
+			all = append(all, tp)
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Time < all[j].Time })
+	return all
+}
+
+// serializeReport renders every transfer's text and JSON form — the full
+// externally visible output of an analysis.
+func serializeReport(tb testing.TB, rep *Report) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "skipped=%d transfers=%d\n", rep.SkippedPackets, len(rep.Transfers))
+	for _, t := range rep.Transfers {
+		if err := t.WriteText(&buf, false); err != nil {
+			tb.Fatal(err)
+		}
+		if err := t.WriteJSON(&buf); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func TestParallelAnalysisByteIdentical(t *testing.T) {
+	const conns = 8
+	pkts := multiConnPackets(t, conns)
+	var baseline []byte
+	for _, w := range []int{1, 2, 8} {
+		rep := New(Config{Workers: w}).AnalyzePackets(pkts)
+		if len(rep.Transfers) != conns {
+			t.Fatalf("workers=%d: transfers = %d, want %d", w, len(rep.Transfers), conns)
+		}
+		out := serializeReport(t, rep)
+		if baseline == nil {
+			baseline = out
+			continue
+		}
+		if !bytes.Equal(out, baseline) {
+			t.Errorf("workers=%d: report differs from workers=1 baseline", w)
+		}
+	}
+}
+
+// writePcap serializes packets as a pcap stream, injecting an undecodable
+// garbage record after every interval good records when interval > 0.
+func writePcap(tb testing.TB, pkts []flows.TimedPacket, interval int) ([]byte, int) {
+	tb.Helper()
+	var buf bytes.Buffer
+	w := pcapio.NewWriter(&buf)
+	corrupt := 0
+	for i, tp := range pkts {
+		frame, err := tp.Pkt.Marshal()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if err := w.WritePacket(tp.Time, frame); err != nil {
+			tb.Fatal(err)
+		}
+		if interval > 0 && i%interval == interval-1 {
+			if err := w.WritePacket(tp.Time, []byte{0xde, 0xad, 0xbe, 0xef}); err != nil {
+				tb.Fatal(err)
+			}
+			corrupt++
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes(), corrupt
+}
+
+func TestStreamingPcapMatchesSlicePath(t *testing.T) {
+	pkts := multiConnPackets(t, 4)
+	data, _ := writePcap(t, pkts, 0)
+	want := serializeReport(t, New(Config{Workers: 1}).AnalyzePackets(pkts))
+	for _, w := range []int{1, 4} {
+		rep, err := New(Config{Workers: w}).AnalyzePcap(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if got := serializeReport(t, rep); !bytes.Equal(got, want) {
+			t.Errorf("workers=%d: streaming report differs from slice path", w)
+		}
+	}
+}
+
+func TestDecodeErrorsDropNoConnections(t *testing.T) {
+	// Undecodable records mid-trace (tcpdump corruption) must be counted
+	// and skipped without losing any other connection's analysis, at any
+	// worker count.
+	const conns = 4
+	pkts := multiConnPackets(t, conns)
+	data, corrupt := writePcap(t, pkts, 100)
+	if corrupt == 0 {
+		t.Fatal("no corrupt records injected")
+	}
+	var baseline []byte
+	for _, w := range []int{1, 3} {
+		rep, err := New(Config{Workers: w}).AnalyzePcap(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if rep.SkippedPackets != corrupt {
+			t.Errorf("workers=%d: skipped = %d, want %d", w, rep.SkippedPackets, corrupt)
+		}
+		if len(rep.Transfers) != conns {
+			t.Errorf("workers=%d: transfers = %d, want %d", w, len(rep.Transfers), conns)
+		}
+		for _, tr := range rep.Transfers {
+			if tr.Conn.Profile.TotalDataPackets == 0 {
+				t.Errorf("workers=%d: transfer %s lost its data packets", w, tr.Conn.Sender)
+			}
+		}
+		out := serializeReport(t, rep)
+		if baseline == nil {
+			baseline = out
+		} else if !bytes.Equal(out, baseline) {
+			t.Errorf("workers=%d: report differs across worker counts", w)
+		}
+	}
+}
+
+func TestDemuxerEmitsCompletedConnectionsEarly(t *testing.T) {
+	// A reset-split capture (tuple reuse) must surface the first
+	// incarnation before Finish, so analysis overlaps ingest.
+	tr := tracegen.RunWithReset(tracegen.Scenario{
+		Kind: tracegen.KindPaced, Seed: 70, Routes: 8_000,
+		PacingTimer: 200_000, PacingBudget: 24,
+		Horizon: 120_000_000,
+	}, 700_000)
+	pkts := tr.Packets()
+
+	early := 0
+	var got []*flows.Connection
+	d := flows.NewDemuxer(flows.DefaultOptions(), func(idx int, c *flows.Connection) {
+		got = append(got, c)
+	})
+	for _, tp := range pkts {
+		d.Add(tp)
+	}
+	early = len(got)
+	total := d.Finish()
+	if early == 0 {
+		t.Error("no connection emitted before Finish (reset split should complete the first incarnation early)")
+	}
+	if total != 2 || len(got) != 2 {
+		t.Fatalf("total = %d, emitted = %d, want 2 raw connections", total, len(got))
+	}
+	// The demuxer path must agree with the batch extractor.
+	want := flows.Extract(pkts)
+	if len(want) != len(got) {
+		t.Fatalf("extract found %d connections, demuxer %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i].Profile != got[i].Profile {
+			t.Errorf("connection %d profile differs between demuxer and Extract", i)
+		}
+	}
+}
+
+func TestMapOrdered(t *testing.T) {
+	in := make([]int, 100)
+	for i := range in {
+		in[i] = i
+	}
+	square := func(v int) int { return v * v }
+	want := MapOrdered(1, in, square)
+	for _, w := range []int{0, 2, 7, 200} {
+		got := MapOrdered(w, in, square)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: len = %d", w, len(got))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", w, i, got[i], want[i])
+			}
+		}
+	}
+	if MapOrdered(4, nil, square) != nil {
+		t.Error("empty input should return nil")
+	}
+}

@@ -47,6 +47,11 @@ type Scale struct {
 	QuaggaRouters   int
 	RVRouters       int
 	Seed            int64
+	// Workers sizes the per-transfer generate+analyze pool (0 means
+	// GOMAXPROCS, 1 strictly sequential). Every worker count yields the
+	// same suite: scenario draws are sequential (tracegen.Picks) and each
+	// simulation is seeded per transfer.
+	Workers int
 }
 
 // DefaultScale is used by cmd/experiments and the benchmarks.
@@ -105,37 +110,48 @@ type Dataset struct {
 	Transfers []AnalyzedTransfer
 }
 
-// RunDataset generates and analyzes one dataset profile. Quagga-style
-// profiles (UseArchive) pin the transfer end from the collector's BGP
-// archive, vendor-style ones recover it from the packet payload via
-// reassembly — the two pipelines of paper §II-A.
+// RunDataset generates and analyzes one dataset profile on a GOMAXPROCS-
+// wide worker pool. Quagga-style profiles (UseArchive) pin the transfer
+// end from the collector's BGP archive, vendor-style ones recover it from
+// the packet payload via reassembly — the two pipelines of paper §II-A.
 func RunDataset(p tracegen.DatasetProfile) *Dataset {
+	return RunDatasetWorkers(p, 0)
+}
+
+// RunDatasetWorkers is RunDataset with an explicit worker count (0 means
+// GOMAXPROCS). Transfers are drawn sequentially (tracegen.Picks), then
+// each pick's simulate+analyze runs on the pool; results merge in pick
+// order, so the dataset is identical for every worker count.
+func RunDatasetWorkers(p tracegen.DatasetProfile, workers int) *Dataset {
 	ds := &Dataset{Name: p.Name, Profile: p}
-	analyzer := core.New(core.Config{})
-	p.Generate(func(t tracegen.Transfer) {
-		pkts := t.Trace.Packets()
+	// Transfers parallelize across the pool; each transfer is a single
+	// connection, so its own analysis stays sequential.
+	analyzer := core.New(core.Config{Workers: 1})
+	results := core.MapOrdered(workers, p.Picks(), func(pk tracegen.Pick) *AnalyzedTransfer {
+		tr := tracegen.RunWithProfile(pk.Scenario, p)
+		pkts := tr.Packets()
 		var rep *core.Report
 		if p.UseArchive {
 			conns := flows.Extract(pkts)
 			rep = &core.Report{}
 			for _, c := range conns {
 				rep.Transfers = append(rep.Transfers,
-					analyzer.AnalyzeConnectionWithUpdates(c, archiveUpdates(t.Trace)))
+					analyzer.AnalyzeConnectionWithUpdates(c, archiveUpdates(tr)))
 			}
 		} else {
 			rep = analyzer.AnalyzePackets(pkts)
 		}
 		if len(rep.Transfers) != 1 {
-			return // malformed capture; skip (counted as tcpdump artifact)
+			return nil // malformed capture; skip (counted as tcpdump artifact)
 		}
-		at := AnalyzedTransfer{
-			Router:         t.Router,
-			Kind:           t.Trace.Kind,
+		at := &AnalyzedTransfer{
+			Router:         pk.Router,
+			Kind:           tr.Kind,
 			Report:         rep.Transfers[0],
-			GroundDuration: t.Trace.GroundDuration,
+			GroundDuration: tr.GroundDuration,
 			Packets:        len(pkts),
 		}
-		for _, c := range t.Trace.Captures {
+		for _, c := range tr.Captures {
 			at.Bytes += int64(c.Pkt.WireLen())
 		}
 		// Analysis is done; drop payload bytes so retaining thousands of
@@ -145,8 +161,13 @@ func RunDataset(p tracegen.DatasetProfile) *Dataset {
 				rt.Conn.Data[i].Payload = nil
 			}
 		}
-		ds.Transfers = append(ds.Transfers, at)
+		return at
 	})
+	for _, at := range results {
+		if at != nil {
+			ds.Transfers = append(ds.Transfers, *at)
+		}
+	}
 	return ds
 }
 
@@ -156,14 +177,15 @@ type Suite struct {
 	Datasets []*Dataset // Vendor, Quagga, RV
 }
 
-// RunSuite generates and analyzes all three datasets.
+// RunSuite generates and analyzes all three datasets, spreading transfers
+// over s.Workers goroutines.
 func RunSuite(s Scale) *Suite {
 	return &Suite{
 		Scale: s,
 		Datasets: []*Dataset{
-			RunDataset(tracegen.ISPAVendor(s.VendorTransfers, s.VendorRouters, s.Seed)),
-			RunDataset(tracegen.ISPAQuagga(s.QuaggaTransfers, s.QuaggaRouters, s.Seed+1)),
-			RunDataset(tracegen.RouteViews(s.RVTransfers, s.RVRouters, s.Seed+2)),
+			RunDatasetWorkers(tracegen.ISPAVendor(s.VendorTransfers, s.VendorRouters, s.Seed), s.Workers),
+			RunDatasetWorkers(tracegen.ISPAQuagga(s.QuaggaTransfers, s.QuaggaRouters, s.Seed+1), s.Workers),
+			RunDatasetWorkers(tracegen.RouteViews(s.RVTransfers, s.RVRouters, s.Seed+2), s.Workers),
 		},
 	}
 }

@@ -175,6 +175,10 @@ type rawConn struct {
 	// one.
 	synISN     map[Endpoint]uint32
 	sawPayload bool
+	// idx is the creation index (order of first packet); done marks a
+	// connection the demuxer has already emitted.
+	idx  int
+	done bool
 }
 
 // Extract groups packets into connections and analyzes each with default
@@ -185,67 +189,145 @@ func Extract(pkts []TimedPacket) []*Connection {
 
 // ExtractOpts is Extract with explicit classification options.
 func ExtractOpts(pkts []TimedPacket, opts Options) []*Connection {
-	opts = opts.withDefaults()
 	sorted := append([]TimedPacket(nil), pkts...)
 	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Time < sorted[j].Time })
 
-	index := map[Key]*rawConn{}
-	var order []*rawConn
+	byIdx := map[int]*Connection{}
+	d := NewDemuxer(opts, func(idx int, c *Connection) { byIdx[idx] = c })
 	for _, tp := range sorted {
-		src := Endpoint{Addr: tp.Pkt.IP.Src, Port: tp.Pkt.TCP.SrcPort}
-		dst := Endpoint{Addr: tp.Pkt.IP.Dst, Port: tp.Pkt.TCP.DstPort}
-		k := canonicalKey(src, dst)
-		rc, ok := index[k]
-		if !ok {
-			rc = &rawConn{key: k, synFrom: map[Endpoint]Micros{}}
-			index[k] = rc
-			order = append(order, rc)
-		}
-		// Port reuse across session resets (the ISP_A-1 reset storm): a
-		// fresh SYN with a NEW initial sequence number on a tuple that
-		// already carried traffic starts a new connection; a SYN repeating
-		// the same ISN is just a retransmission of the old handshake.
-		if tp.Pkt.TCP.HasFlag(packet.FlagSYN) && !tp.Pkt.TCP.HasFlag(packet.FlagACK) &&
-			len(rc.packets) > 0 {
-			if isn, seen := rc.synISN[src]; !seen || isn != tp.Pkt.TCP.Seq {
-				if seen || rc.sawPayload {
-					rc = &rawConn{key: k, synFrom: map[Endpoint]Micros{}}
-					index[k] = rc
-					order = append(order, rc)
-				}
-			}
-		}
-		if tp.Pkt.TCP.HasFlag(packet.FlagSYN) && !tp.Pkt.TCP.HasFlag(packet.FlagACK) {
-			if rc.synISN == nil {
-				rc.synISN = map[Endpoint]uint32{}
-			}
-			if _, seen := rc.synISN[src]; !seen {
-				rc.synISN[src] = tp.Pkt.TCP.Seq
-			}
-		}
-		rc.packets = append(rc.packets, tp)
-		if n := int64(len(tp.Pkt.Payload)); n > 0 {
-			rc.sawPayload = true
-			if src == k.A {
-				rc.bytesFromA += n
-			} else {
-				rc.bytesFromB += n
-			}
-		}
-		if tp.Pkt.TCP.HasFlag(packet.FlagSYN) && !tp.Pkt.TCP.HasFlag(packet.FlagACK) {
-			if _, seen := rc.synFrom[src]; !seen {
-				rc.synFrom[src] = tp.Time
-			}
-		}
+		d.Add(tp)
 	}
-
-	out := make([]*Connection, 0, len(order))
-	for _, rc := range order {
-		if c := analyze(rc, opts); c != nil {
+	total := d.Finish()
+	out := make([]*Connection, 0, len(byIdx))
+	for i := 0; i < total; i++ {
+		if c := byIdx[i]; c != nil {
 			out = append(out, c)
 		}
 	}
 	return out
+}
+
+// Demuxer incrementally groups a packet stream into TCP connections and
+// emits each connection as soon as it is known to be complete, so that
+// downstream analysis can overlap ingest of the rest of the trace. A
+// connection completes early when a fresh SYN (new ISN) reuses its 4-tuple
+// — the ISP_A-1 reset-storm pattern, where one capture holds a sequence of
+// table-transfer attempts on the same port pair; everything still open
+// completes at Finish.
+//
+// Packets should be fed in capture order (time order, as a sniffer writes
+// them). Input that turns out to be time-disordered is tolerated: each
+// connection's packets are re-sorted before analysis, though connection
+// grouping then follows arrival order rather than time order —
+// ExtractOpts pre-sorts, so the slice path is unaffected.
+//
+// emit runs in the caller's goroutine (inside Add or Finish) and receives
+// the connection's creation index — the order of its first packet — which
+// callers use to restore deterministic output order after parallel
+// analysis. Finish returns the total creation count.
+type Demuxer struct {
+	opts     Options
+	emit     func(index int, c *Connection)
+	index    map[Key]*rawConn
+	order    []*rawConn
+	lastTime Micros
+	disorder bool
+}
+
+// NewDemuxer creates a Demuxer that emits completed connections via emit.
+func NewDemuxer(opts Options, emit func(index int, c *Connection)) *Demuxer {
+	return &Demuxer{
+		opts:  opts.withDefaults(),
+		emit:  emit,
+		index: map[Key]*rawConn{},
+	}
+}
+
+// newRawConn registers a fresh raw connection under key k.
+func (d *Demuxer) newRawConn(k Key) *rawConn {
+	rc := &rawConn{key: k, synFrom: map[Endpoint]Micros{}, idx: len(d.order)}
+	d.index[k] = rc
+	d.order = append(d.order, rc)
+	return rc
+}
+
+// Add routes one packet to its connection, emitting any connection the
+// packet proves complete.
+func (d *Demuxer) Add(tp TimedPacket) {
+	if tp.Time < d.lastTime {
+		d.disorder = true
+	}
+	d.lastTime = tp.Time
+
+	src := Endpoint{Addr: tp.Pkt.IP.Src, Port: tp.Pkt.TCP.SrcPort}
+	dst := Endpoint{Addr: tp.Pkt.IP.Dst, Port: tp.Pkt.TCP.DstPort}
+	k := canonicalKey(src, dst)
+	rc, ok := d.index[k]
+	if !ok {
+		rc = d.newRawConn(k)
+	}
+	// Port reuse across session resets (the ISP_A-1 reset storm): a
+	// fresh SYN with a NEW initial sequence number on a tuple that
+	// already carried traffic starts a new connection; a SYN repeating
+	// the same ISN is just a retransmission of the old handshake.
+	if tp.Pkt.TCP.HasFlag(packet.FlagSYN) && !tp.Pkt.TCP.HasFlag(packet.FlagACK) &&
+		len(rc.packets) > 0 {
+		if isn, seen := rc.synISN[src]; !seen || isn != tp.Pkt.TCP.Seq {
+			if seen || rc.sawPayload {
+				d.complete(rc) // the old incarnation can get no more packets
+				rc = d.newRawConn(k)
+			}
+		}
+	}
+	if tp.Pkt.TCP.HasFlag(packet.FlagSYN) && !tp.Pkt.TCP.HasFlag(packet.FlagACK) {
+		if rc.synISN == nil {
+			rc.synISN = map[Endpoint]uint32{}
+		}
+		if _, seen := rc.synISN[src]; !seen {
+			rc.synISN[src] = tp.Pkt.TCP.Seq
+		}
+	}
+	rc.packets = append(rc.packets, tp)
+	if n := int64(len(tp.Pkt.Payload)); n > 0 {
+		rc.sawPayload = true
+		if src == k.A {
+			rc.bytesFromA += n
+		} else {
+			rc.bytesFromB += n
+		}
+	}
+	if tp.Pkt.TCP.HasFlag(packet.FlagSYN) && !tp.Pkt.TCP.HasFlag(packet.FlagACK) {
+		if _, seen := rc.synFrom[src]; !seen {
+			rc.synFrom[src] = tp.Time
+		}
+	}
+}
+
+// complete analyzes one raw connection and emits the result.
+func (d *Demuxer) complete(rc *rawConn) {
+	if rc.done {
+		return
+	}
+	rc.done = true
+	if d.disorder {
+		sort.SliceStable(rc.packets, func(i, j int) bool {
+			return rc.packets[i].Time < rc.packets[j].Time
+		})
+	}
+	if c := analyze(rc, d.opts); c != nil {
+		d.emit(rc.idx, c)
+	}
+	rc.packets = nil // analysis holds what it needs; free the raw buffer
+}
+
+// Finish completes every still-open connection in creation order and
+// returns the total number of raw connections created. The Demuxer must
+// not be used afterwards.
+func (d *Demuxer) Finish() int {
+	for _, rc := range d.order {
+		d.complete(rc)
+	}
+	return len(d.order)
 }
 
 // FromPcap decodes pcap records and extracts connections. Undecodable

@@ -32,3 +32,29 @@ func TestDecodeNeverPanics(t *testing.T) {
 		_, _ = Decode(frame)
 	}
 }
+
+// FuzzDecode is the native fuzz target behind TestDecodeNeverPanics:
+// whatever frame bytes tcpdump hands the analyzer must decode or error,
+// never crash, and a frame that decodes and re-marshals must decode again.
+// CI runs this for a short smoke window on every push; run locally with
+//
+//	go test -run='^$' -fuzz=FuzzDecode -fuzztime=30s ./internal/packet
+func FuzzDecode(f *testing.F) {
+	good, err := samplePacket().Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add(good[:14])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		p, err := Decode(frame)
+		if err == nil && p != nil {
+			if again, err := p.Marshal(); err == nil {
+				if _, err := Decode(again); err != nil {
+					t.Errorf("re-marshaled frame failed to decode: %v", err)
+				}
+			}
+		}
+	})
+}

@@ -177,6 +177,27 @@ func (r *Reader) Next() (Record, error) {
 	}, nil
 }
 
+// Each streams every record in r through fn without buffering the file —
+// the ingest stage of the analysis pipeline, where downstream work starts
+// while the trace is still being read. Iteration stops at the first fn
+// error (returned verbatim). A trailing truncated record is reported like
+// a tcpdump drop gap: fn has already seen every complete record and Each
+// returns ErrTruncated.
+func (r *Reader) Each(fn func(Record) error) error {
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+}
+
 // ReadAll drains the reader into a slice. Trailing truncation is reported
 // alongside the records read so far.
 func ReadAll(r io.Reader) ([]Record, error) {
@@ -185,14 +206,9 @@ func ReadAll(r io.Reader) ([]Record, error) {
 		return nil, err
 	}
 	var out []Record
-	for {
-		rec, err := rd.Next()
-		if err == io.EOF {
-			return out, nil
-		}
-		if err != nil {
-			return out, err
-		}
+	err = rd.Each(func(rec Record) error {
 		out = append(out, rec)
-	}
+		return nil
+	})
+	return out, err
 }

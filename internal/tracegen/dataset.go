@@ -54,9 +54,20 @@ type Transfer struct {
 	Trace  *Trace
 }
 
-// Generate synthesizes the dataset, invoking cb per transfer (streaming, so
-// memory stays bounded at large scales).
-func (p DatasetProfile) Generate(cb func(t Transfer)) {
+// Pick is one transfer's pre-drawn scenario: all the profile's random
+// choices (router, scenario kind, per-transfer seed) made ahead of the
+// simulation. Drawing every pick up front keeps the RNG strictly
+// sequential, so the simulations themselves — each seeded only by its
+// pick — can run on any number of workers with identical results.
+type Pick struct {
+	Index    int
+	Router   Router
+	Scenario Scenario
+}
+
+// Picks draws every transfer's scenario in order. Running pick i via
+// RunWithProfile reproduces exactly what Generate produces for index i.
+func (p DatasetProfile) Picks() []Pick {
 	rnd := rand.New(rand.NewSource(p.BaseSeed))
 	routers := make([]Router, p.Routers)
 	for i := range routers {
@@ -70,6 +81,7 @@ func (p DatasetProfile) Generate(cb func(t Transfer)) {
 	for _, m := range p.Mix {
 		total += m.Weight
 	}
+	picks := make([]Pick, 0, p.Transfers)
 	for i := 0; i < p.Transfers; i++ {
 		r := routers[rnd.Intn(len(routers))]
 		// Weighted scenario pick.
@@ -85,8 +97,16 @@ func (p DatasetProfile) Generate(cb func(t Transfer)) {
 		sc.Seed = p.BaseSeed + int64(i)*7919
 		sc.RTT = r.RTT
 		sc.Routes = r.Routes
-		tr := RunWithProfile(sc, p)
-		cb(Transfer{Index: i, Router: r, Trace: tr})
+		picks = append(picks, Pick{Index: i, Router: r, Scenario: sc})
+	}
+	return picks
+}
+
+// Generate synthesizes the dataset, invoking cb per transfer (streaming, so
+// memory stays bounded at large scales).
+func (p DatasetProfile) Generate(cb func(t Transfer)) {
+	for _, pk := range p.Picks() {
+		cb(Transfer{Index: pk.Index, Router: pk.Router, Trace: RunWithProfile(pk.Scenario, p)})
 	}
 }
 
