@@ -4,16 +4,18 @@
 //
 // Usage:
 //
-//	bgplot [-conn 0] [-width 110] [-height 20] trace.pcap
+//	bgplot [-conn 0] [-width 110] [-height 20] [-log-level info] trace.pcap
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"tdat/internal/asciiplot"
 	"tdat/internal/core"
+	"tdat/internal/obs"
 	"tdat/internal/series"
 )
 
@@ -23,36 +25,41 @@ func main() {
 
 func run() int {
 	var (
-		connIdx = flag.Int("conn", 0, "connection index to plot")
-		width   = flag.Int("width", 110, "plot width in columns")
-		height  = flag.Int("height", 20, "time-sequence plot height in rows")
+		connIdx  = flag.Int("conn", 0, "connection index to plot")
+		width    = flag.Int("width", 110, "plot width in columns")
+		height   = flag.Int("height", 20, "time-sequence plot height in rows")
+		logLevel = flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
 	)
 	flag.Parse()
+	if err := obs.InitLogging(os.Stderr, *logLevel); err != nil {
+		fmt.Fprintf(os.Stderr, "bgplot: %v\n", err)
+		return 2
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: bgplot [flags] trace.pcap")
 		return 2
 	}
 	f, err := os.Open(flag.Arg(0))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "bgplot: %v\n", err)
+		slog.Error("opening trace", "err", err)
 		return 1
 	}
 	defer f.Close()
 
 	rep, err := core.New(core.Config{}).AnalyzePcap(f)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "bgplot: %v\n", err)
+		slog.Error("analysis failed", "err", err)
 		return 1
 	}
 	if *connIdx < 0 || *connIdx >= len(rep.Transfers) {
-		fmt.Fprintf(os.Stderr, "bgplot: connection %d of %d\n", *connIdx, len(rep.Transfers))
+		slog.Error("connection index out of range", "conn", *connIdx, "connections", len(rep.Transfers))
 		return 1
 	}
 	t := rep.Transfers[*connIdx]
 	fmt.Printf("connection %s -> %s (transfer %.2fs)\n\n",
 		t.Conn.Sender, t.Conn.Receiver, float64(t.Duration())/1e6)
 	if err := asciiplot.TimeSequence(os.Stdout, t.Conn, *width, *height); err != nil {
-		fmt.Fprintf(os.Stderr, "bgplot: %v\n", err)
+		slog.Error("rendering time-sequence plot", "err", err)
 		return 1
 	}
 	fmt.Println()
@@ -68,7 +75,7 @@ func run() int {
 		{Label: "BandwidthLimited", Set: t.Catalog.Get(series.BandwidthLimited)},
 	}
 	if err := asciiplot.Series(os.Stdout, t.Transfer, rows, *width); err != nil {
-		fmt.Fprintf(os.Stderr, "bgplot: %v\n", err)
+		slog.Error("rendering series lanes", "err", err)
 		return 1
 	}
 	return 0

@@ -12,11 +12,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 	"time"
 
 	"tdat/internal/experiments"
+	"tdat/internal/obs"
 )
 
 func main() {
@@ -25,12 +27,17 @@ func main() {
 
 func run() int {
 	var (
-		which   = flag.String("run", "all", "experiment id(s), comma separated")
-		scale   = flag.String("scale", "default", "dataset scale: default, quick, or full (paper-exact)")
-		seed    = flag.Int64("seed", 42, "base random seed")
-		workers = flag.Int("workers", 0, "generate+analyze worker count (0 = all CPUs); results are identical for any value")
+		which    = flag.String("run", "all", "experiment id(s), comma separated")
+		scale    = flag.String("scale", "default", "dataset scale: default, quick, or full (paper-exact)")
+		seed     = flag.Int64("seed", 42, "base random seed")
+		workers  = flag.Int("workers", 0, "generate+analyze worker count (0 = all CPUs); results are identical for any value")
+		logLevel = flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
 	)
 	flag.Parse()
+	if err := obs.InitLogging(os.Stderr, *logLevel); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		return 2
+	}
 
 	sc := experiments.DefaultScale()
 	switch *scale {
@@ -63,12 +70,12 @@ func run() int {
 	// Suite-based experiments share one generated suite.
 	var suite *experiments.Suite
 	if need("table1", "table2", "table4", "table5", "fig3", "fig4", "fig14", "fig16", "fig17", "throughput") {
-		fmt.Fprintf(w, "generating datasets (scale: %s, seed %d)...\n", *scale, *seed)
+		slog.Info("generating datasets", "scale", *scale, "seed", *seed)
 		start := time.Now()
 		suite = experiments.RunSuite(sc)
-		fmt.Fprintf(w, "generated+analyzed %d transfers in %.1fs\n",
-			len(suite.Vendor().Transfers)+len(suite.Quagga().Transfers)+len(suite.RV().Transfers),
-			time.Since(start).Seconds())
+		slog.Info("generated and analyzed suite",
+			"transfers", len(suite.Vendor().Transfers)+len(suite.Quagga().Transfers)+len(suite.RV().Transfers),
+			"elapsed", time.Since(start).Round(100*time.Millisecond))
 	}
 
 	if need("table1") {

@@ -16,13 +16,14 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
-
+	"log/slog"
 	"net/netip"
+	"os"
 
 	"tdat/internal/bgp"
 	"tdat/internal/flows"
 	"tdat/internal/mrt"
+	"tdat/internal/obs"
 	"tdat/internal/packet"
 	"tdat/internal/pcapio"
 	"tdat/internal/reassembly"
@@ -34,11 +35,16 @@ func main() {
 
 func run() int {
 	var (
-		out     = flag.String("o", "", "output MRT file (default: stdout summary only)")
-		verbose = flag.Bool("v", false, "print per-message details")
-		online  = flag.Bool("online", false, "single-pass streaming mode")
+		out      = flag.String("o", "", "output MRT file (default: stdout summary only)")
+		verbose  = flag.Bool("v", false, "print per-message details")
+		online   = flag.Bool("online", false, "single-pass streaming mode")
+		logLevel = flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
 	)
 	flag.Parse()
+	if err := obs.InitLogging(os.Stderr, *logLevel); err != nil {
+		fmt.Fprintf(os.Stderr, "pcap2bgp: %v\n", err)
+		return 2
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: pcap2bgp [flags] trace.pcap")
 		flag.PrintDefaults()
@@ -47,17 +53,17 @@ func run() int {
 
 	f, err := os.Open(flag.Arg(0))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "pcap2bgp: %v\n", err)
+		slog.Error("opening trace", "err", err)
 		return 1
 	}
 	defer f.Close()
 	recs, err := pcapio.ReadAll(f)
 	if err != nil && len(recs) == 0 {
-		fmt.Fprintf(os.Stderr, "pcap2bgp: %v\n", err)
+		slog.Error("reading trace", "err", err)
 		return 1
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "pcap2bgp: trace truncated after %d records (tcpdump drop?): %v\n", len(recs), err)
+		slog.Warn("trace truncated (tcpdump drop?)", "records", len(recs), "err", err)
 	}
 
 	if *online {
@@ -66,14 +72,14 @@ func run() int {
 
 	conns, skipped := flows.FromPcap(recs)
 	if skipped > 0 {
-		fmt.Printf("warning: %d undecodable packets skipped\n", skipped)
+		slog.Warn("undecodable packets skipped", "count", skipped)
 	}
 
 	var mw *mrt.Writer
 	if *out != "" {
 		of, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "pcap2bgp: %v\n", err)
+			slog.Error("creating output", "err", err)
 			return 1
 		}
 		defer of.Close()
@@ -103,7 +109,7 @@ func run() int {
 					Raw:        m.Raw,
 				}
 				if err := mw.Write(rec); err != nil {
-					fmt.Fprintf(os.Stderr, "pcap2bgp: writing MRT: %v\n", err)
+					slog.Error("writing MRT", "err", err)
 					return 1
 				}
 			}
@@ -113,7 +119,7 @@ func run() int {
 	}
 	if mw != nil {
 		if err := mw.Flush(); err != nil {
-			fmt.Fprintf(os.Stderr, "pcap2bgp: %v\n", err)
+			slog.Error("writing MRT", "err", err)
 			return 1
 		}
 	}
@@ -133,7 +139,7 @@ func runOnline(recs []pcapio.Record, out string, verbose bool) int {
 	if out != "" {
 		of, err := os.Create(out)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "pcap2bgp: %v\n", err)
+			slog.Error("creating output", "err", err)
 			return 1
 		}
 		defer of.Close()
@@ -189,7 +195,7 @@ func runOnline(recs []pcapio.Record, out string, verbose bool) int {
 		}
 	}
 	if skipped > 0 {
-		fmt.Printf("warning: %d undecodable packets skipped\n", skipped)
+		slog.Warn("undecodable packets skipped", "count", skipped)
 	}
 	total := 0
 	for k, st := range streams {
@@ -205,7 +211,7 @@ func runOnline(recs []pcapio.Record, out string, verbose bool) int {
 	fmt.Printf("online mode: %d messages total\n", total)
 	if mw != nil {
 		if err := mw.Flush(); err != nil {
-			fmt.Fprintf(os.Stderr, "pcap2bgp: %v\n", err)
+			slog.Error("writing MRT", "err", err)
 			return 1
 		}
 	}

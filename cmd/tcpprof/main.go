@@ -11,9 +11,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"tdat/internal/flows"
+	"tdat/internal/obs"
 	"tdat/internal/pcapio"
 )
 
@@ -22,20 +24,25 @@ func main() {
 }
 
 func run() int {
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
 	flag.Parse()
+	if err := obs.InitLogging(os.Stderr, *logLevel); err != nil {
+		fmt.Fprintf(os.Stderr, "tcpprof: %v\n", err)
+		return 2
+	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tcpprof trace.pcap")
+		fmt.Fprintln(os.Stderr, "usage: tcpprof [flags] trace.pcap")
 		return 2
 	}
 	f, err := os.Open(flag.Arg(0))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "tcpprof: %v\n", err)
+		slog.Error("opening trace", "err", err)
 		return 1
 	}
 	defer f.Close()
 	recs, err := pcapio.ReadAll(f)
 	if err != nil && len(recs) == 0 {
-		fmt.Fprintf(os.Stderr, "tcpprof: %v\n", err)
+		slog.Error("reading trace", "err", err)
 		return 1
 	}
 	conns, skipped := flows.FromPcap(recs)

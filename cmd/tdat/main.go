@@ -7,23 +7,36 @@
 // Usage:
 //
 //	tdat [-series] [-threshold 0.3] [-sniffer receiver|sender]
-//	     [-mrt archive.mrt] [-workers N] trace.pcap
+//	     [-mrt archive.mrt] [-workers N]
+//	     [-progress] [-metrics-addr :9177] [-metrics-hold 60s]
+//	     [-span-log spans.jsonl] [-self-profile] [-metrics-json m.json]
+//	     [-log-level info] trace.pcap
 //
 // With -mrt, transfer ends come from the collector's BGP archive (the
 // paper's Quagga pipeline) instead of payload reassembly.
+//
+// The observability flags never change analysis output: -progress reports
+// ingest progress on stderr, -metrics-addr serves Prometheus /metrics plus
+// /debug/vars and /debug/pprof, -span-log records per-stage tracing spans
+// as JSON lines, and -self-profile prints the analyzer's own delay-factor
+// breakdown (which pipeline stage the run's time went to).
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/netip"
 	"os"
 	"sort"
+	"time"
 
 	"tdat/internal/core"
 	"tdat/internal/flows"
 	"tdat/internal/mct"
 	"tdat/internal/mrt"
+	"tdat/internal/obs"
 	"tdat/internal/series"
 )
 
@@ -40,8 +53,20 @@ func run() int {
 		mrtPath    = flag.String("mrt", "", "collector MRT archive to pin transfer ends (Quagga pipeline)")
 		asJSON     = flag.Bool("json", false, "emit machine-readable JSON per connection")
 		workers    = flag.Int("workers", 0, "analysis worker count (0 = all CPUs, 1 = sequential); output is identical for any value")
+
+		logLevel    = flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
+		progress    = flag.Bool("progress", false, "report ingest progress on stderr while analyzing")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (\":0\" picks a port)")
+		metricsHold = flag.Duration("metrics-hold", 0, "keep the metrics listener up this long after analysis (lets scrapers catch one-shot runs)")
+		spanLog     = flag.String("span-log", "", "append per-stage tracing spans as JSON lines to this file")
+		selfProfile = flag.Bool("self-profile", false, "print the analyzer self delay-factor profile after the report")
+		metricsJSON = flag.String("metrics-json", "", "write a JSON metrics snapshot to this file at exit (offline runs)")
 	)
 	flag.Parse()
+	if err := obs.InitLogging(os.Stderr, *logLevel); err != nil {
+		fmt.Fprintf(os.Stderr, "tdat: %v\n", err)
+		return 2
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: tdat [flags] trace.pcap")
 		flag.PrintDefaults()
@@ -56,53 +81,124 @@ func run() int {
 	case "sender":
 		cfg.Series.Sniffer = series.AtSender
 	default:
-		fmt.Fprintf(os.Stderr, "tdat: unknown sniffer location %q\n", *sniffer)
+		slog.Error("unknown sniffer location", "sniffer", *sniffer)
 		return 2
+	}
+
+	// Any observability consumer enables the shared Obs hook; with none the
+	// analyzer keeps its nil fast path.
+	var o *obs.Obs
+	if *progress || *metricsAddr != "" || *spanLog != "" || *selfProfile || *metricsJSON != "" {
+		o = obs.New()
+	}
+	cfg.Obs = o
+
+	// flushSpans runs before the -metrics-hold sleep too, so a scraper-side
+	// kill during the hold can't lose buffered span records.
+	flushSpans := func() {}
+	if *spanLog != "" {
+		sf, err := os.Create(*spanLog)
+		if err != nil {
+			slog.Error("opening span log", "path", *spanLog, "err", err)
+			return 1
+		}
+		defer sf.Close()
+		sw := bufio.NewWriter(sf)
+		flushSpans = func() { sw.Flush() }
+		defer sw.Flush()
+		o.SetSpanLog(sw)
+		slog.Debug("span log enabled", "path", *spanLog)
+	}
+
+	if *metricsAddr != "" {
+		srv, err := obs.Serve(*metricsAddr, o)
+		if err != nil {
+			slog.Error("starting metrics listener", "addr", *metricsAddr, "err", err)
+			return 1
+		}
+		defer srv.Close()
+		slog.Info("metrics listening", "addr", srv.Addr(),
+			"endpoints", "/metrics /debug/vars /debug/pprof")
 	}
 
 	f, err := os.Open(flag.Arg(0))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "tdat: %v\n", err)
+		slog.Error("opening trace", "err", err)
 		return 1
 	}
 	defer f.Close()
+	if fi, err := f.Stat(); err == nil && o != nil {
+		o.Progress.SetTotalBytes(fi.Size())
+	}
+
+	stopProgress := func() {}
+	if *progress {
+		stopProgress = o.Progress.Run(os.Stderr, 2*time.Second)
+	}
 
 	analyzer := core.New(cfg)
 	var rep *core.Report
 	if *mrtPath == "" {
 		rep, err = analyzer.AnalyzePcap(f)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "tdat: %v\n", err)
-			return 1
-		}
 	} else {
 		rep, err = analyzeWithArchive(analyzer, f, *mrtPath)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "tdat: %v\n", err)
-			return 1
-		}
+	}
+	stopProgress()
+	if err != nil {
+		slog.Error("analysis failed", "err", err)
+		return 1
 	}
 	if rep.SkippedPackets > 0 {
-		fmt.Printf("warning: %d undecodable packets skipped\n", rep.SkippedPackets)
+		slog.Warn("undecodable packets skipped", "count", rep.SkippedPackets)
 	}
+	for _, fl := range rep.Failures {
+		slog.Warn("connection analysis panicked; report omitted",
+			"conn", fl.Conn, "panic", fl.Panic)
+	}
+
+	code := 0
 	if *asJSON {
 		for _, t := range rep.Transfers {
 			if err := t.WriteJSON(os.Stdout); err != nil {
-				fmt.Fprintf(os.Stderr, "tdat: %v\n", err)
-				return 1
+				slog.Error("writing report", "err", err)
+				code = 1
+				break
 			}
 		}
-		return 0
-	}
-	fmt.Printf("%d connection(s)\n\n", len(rep.Transfers))
-	for _, t := range rep.Transfers {
-		if err := t.WriteText(os.Stdout, *plotSeries); err != nil {
-			fmt.Fprintf(os.Stderr, "tdat: %v\n", err)
-			return 1
+	} else {
+		fmt.Printf("%d connection(s)\n\n", len(rep.Transfers))
+		for _, t := range rep.Transfers {
+			if err := t.WriteText(os.Stdout, *plotSeries); err != nil {
+				slog.Error("writing report", "err", err)
+				code = 1
+				break
+			}
+			fmt.Println()
 		}
-		fmt.Println()
 	}
-	return 0
+
+	if *selfProfile && code == 0 {
+		o.WriteSelfProfile(os.Stdout)
+	}
+	if *metricsJSON != "" {
+		mf, err := os.Create(*metricsJSON)
+		if err != nil {
+			slog.Error("writing metrics snapshot", "path", *metricsJSON, "err", err)
+			code = 1
+		} else {
+			if err := o.Registry().WriteJSON(mf); err != nil {
+				slog.Error("writing metrics snapshot", "path", *metricsJSON, "err", err)
+				code = 1
+			}
+			mf.Close()
+		}
+	}
+	flushSpans()
+	if *metricsHold > 0 && *metricsAddr != "" {
+		slog.Info("holding metrics listener open", "hold", *metricsHold)
+		time.Sleep(*metricsHold)
+	}
+	return code
 }
 
 // analyzeWithArchive runs the Quagga pipeline: connections from the pcap

@@ -12,11 +12,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/netip"
 	"os"
 	"path/filepath"
 
 	"tdat/internal/mrt"
+	"tdat/internal/obs"
 	"tdat/internal/pcapio"
 	"tdat/internal/tracegen"
 )
@@ -38,21 +40,26 @@ func main() {
 
 func run() int {
 	var (
-		dataset = flag.String("dataset", "", "write a whole dataset: ispa-vendor|ispa-quagga|routeviews")
-		n       = flag.Int("n", 20, "transfers in the dataset (-dataset mode)")
-		outdir  = flag.String("outdir", "traces", "output directory (-dataset mode)")
-		kind    = flag.String("kind", "clean", "scenario kind: clean|paced|slow-receiver|small-window|upstream-loss|downstream-loss|bandwidth|zero-ack-bug")
-		routes  = flag.Int("routes", 12_000, "routing table size")
-		seed    = flag.Int64("seed", 1, "random seed")
-		rtt     = flag.Int64("rtt", 8_000, "round-trip propagation in microseconds")
-		out     = flag.String("o", "transfer.pcap", "output pcap file")
-		mrtOut  = flag.String("mrt", "", "also write the collector MRT archive here")
-		timer   = flag.Int64("timer", 200_000, "pacing timer (paced kind), microseconds")
-		budget  = flag.Int("budget", 24, "updates per pacing tick (paced kind)")
-		rate    = flag.Int64("rate", 0, "collector processing or link rate override, bytes/sec")
-		recvbuf = flag.Int("recvbuf", 0, "collector receive buffer override, bytes")
+		dataset  = flag.String("dataset", "", "write a whole dataset: ispa-vendor|ispa-quagga|routeviews")
+		n        = flag.Int("n", 20, "transfers in the dataset (-dataset mode)")
+		outdir   = flag.String("outdir", "traces", "output directory (-dataset mode)")
+		kind     = flag.String("kind", "clean", "scenario kind: clean|paced|slow-receiver|small-window|upstream-loss|downstream-loss|bandwidth|zero-ack-bug")
+		routes   = flag.Int("routes", 12_000, "routing table size")
+		seed     = flag.Int64("seed", 1, "random seed")
+		rtt      = flag.Int64("rtt", 8_000, "round-trip propagation in microseconds")
+		out      = flag.String("o", "transfer.pcap", "output pcap file")
+		mrtOut   = flag.String("mrt", "", "also write the collector MRT archive here")
+		timer    = flag.Int64("timer", 200_000, "pacing timer (paced kind), microseconds")
+		budget   = flag.Int("budget", 24, "updates per pacing tick (paced kind)")
+		rate     = flag.Int64("rate", 0, "collector processing or link rate override, bytes/sec")
+		recvbuf  = flag.Int("recvbuf", 0, "collector receive buffer override, bytes")
+		logLevel = flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
 	)
 	flag.Parse()
+	if err := obs.InitLogging(os.Stderr, *logLevel); err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		return 2
+	}
 
 	if *dataset != "" {
 		return writeDataset(*dataset, *n, *seed, *outdir)
@@ -60,7 +67,7 @@ func run() int {
 
 	k, ok := kinds[*kind]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "tracegen: unknown kind %q\n", *kind)
+		slog.Error("unknown kind", "kind", *kind)
 		return 2
 	}
 	sc := tracegen.Scenario{
@@ -80,7 +87,7 @@ func run() int {
 
 	pf, err := os.Create(*out)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		slog.Error("writing output", "err", err)
 		return 1
 	}
 	defer pf.Close()
@@ -88,16 +95,16 @@ func run() int {
 	for _, c := range tr.Captures {
 		frame, err := c.Pkt.Marshal()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "tracegen: marshal: %v\n", err)
+			slog.Error("marshaling packet", "err", err)
 			return 1
 		}
 		if err := pw.WritePacket(c.Time, frame); err != nil {
-			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			slog.Error("writing output", "err", err)
 			return 1
 		}
 	}
 	if err := pw.Flush(); err != nil {
-		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		slog.Error("writing output", "err", err)
 		return 1
 	}
 	fmt.Printf("wrote %s\n", *out)
@@ -105,7 +112,7 @@ func run() int {
 	if *mrtOut != "" {
 		mf, err := os.Create(*mrtOut)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			slog.Error("writing output", "err", err)
 			return 1
 		}
 		defer mf.Close()
@@ -127,12 +134,12 @@ func run() int {
 				Raw:        e.Raw,
 			}
 			if err := mw.Write(rec); err != nil {
-				fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+				slog.Error("writing output", "err", err)
 				return 1
 			}
 		}
 		if err := mw.Flush(); err != nil {
-			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			slog.Error("writing output", "err", err)
 			return 1
 		}
 		fmt.Printf("wrote %s (%d records)\n", *mrtOut, len(tr.Archive))
@@ -153,16 +160,16 @@ func writeDataset(name string, n int, seed int64, dir string) int {
 	case "routeviews":
 		profile = tracegen.RouteViews(n, max(2, n/8), seed)
 	default:
-		fmt.Fprintf(os.Stderr, "tracegen: unknown dataset %q\n", name)
+		slog.Error("unknown dataset", "dataset", name)
 		return 2
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		slog.Error("writing output", "err", err)
 		return 1
 	}
 	mf, err := os.Create(filepath.Join(dir, "archive.mrt"))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		slog.Error("writing output", "err", err)
 		return 1
 	}
 	defer mf.Close()
@@ -173,7 +180,7 @@ func writeDataset(name string, n int, seed int64, dir string) int {
 		name := filepath.Join(dir, fmt.Sprintf("transfer-%03d-%s.pcap", t.Index, t.Trace.Kind))
 		pf, err := os.Create(name)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			slog.Error("writing output", "err", err)
 			failed = true
 			return
 		}
@@ -208,7 +215,7 @@ func writeDataset(name string, n int, seed int64, dir string) int {
 			name, len(t.Trace.Captures), t.Trace.Kind, t.Router.ID)
 	})
 	if err := mw.Flush(); err != nil {
-		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		slog.Error("writing output", "err", err)
 		return 1
 	}
 	if failed {

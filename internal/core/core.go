@@ -12,6 +12,7 @@ import (
 	"tdat/internal/factors"
 	"tdat/internal/flows"
 	"tdat/internal/mct"
+	"tdat/internal/obs"
 	"tdat/internal/packet"
 	"tdat/internal/pcapio"
 	"tdat/internal/reassembly"
@@ -42,8 +43,13 @@ type Config struct {
 	// Workers sizes the per-connection analysis pool. 0 means
 	// runtime.GOMAXPROCS(0); 1 preserves strictly sequential analysis.
 	// Reports are byte-identical for every value — only wall-clock time
-	// changes.
+	// changes (regression-tested by TestParallelAnalysisByteIdentical).
 	Workers int
+	// Obs receives the run's metrics, tracing spans, and progress when
+	// non-nil. Nil keeps every pipeline stage on a zero-overhead fast
+	// path (the benchmarks hold it to <2% vs. uninstrumented code).
+	// Observability never changes analysis output.
+	Obs *obs.Obs
 }
 
 // Analyzer runs the T-DAT pipeline.
@@ -51,8 +57,13 @@ type Analyzer struct {
 	cfg Config
 }
 
-// New creates an Analyzer.
-func New(cfg Config) *Analyzer { return &Analyzer{cfg: cfg} }
+// New creates an Analyzer. The Obs hook (when set) is threaded through to
+// every stage, including the flows demuxer and series generation.
+func New(cfg Config) *Analyzer {
+	cfg.Flows.Obs = cfg.Obs
+	cfg.Series.Obs = cfg.Obs
+	return &Analyzer{cfg: cfg}
+}
 
 // TransferReport is the full analysis of one table transfer (one TCP
 // connection).
@@ -83,11 +94,24 @@ type TransferReport struct {
 // Duration returns the transfer duration.
 func (t *TransferReport) Duration() Micros { return t.Transfer.Len() }
 
+// AnalysisFailure records a per-connection analysis panic that the worker
+// pool recovered from: the run keeps every other connection's report and
+// surfaces the casualty here instead of crashing.
+type AnalysisFailure struct {
+	// Conn is the connection 4-tuple ("sender->receiver").
+	Conn string
+	// Panic is the recovered panic value, rendered as text.
+	Panic string
+}
+
 // Report is the analysis of a whole capture.
 type Report struct {
 	Transfers []*TransferReport
 	// SkippedPackets counts records that failed to decode.
 	SkippedPackets int
+	// Failures lists connections whose analysis panicked (sorted by
+	// connection tuple; also counted as tdat_analysis_panics_total).
+	Failures []AnalysisFailure
 }
 
 // AnalyzePcap reads a pcap stream and analyzes every connection in it.
@@ -114,20 +138,66 @@ func (a *Analyzer) AnalyzeRecords(recs []pcapio.Record) (*Report, error) {
 	return rep, nil
 }
 
-// AnalyzePackets analyzes pre-decoded packets, fanning connections out to
-// the configured worker pool and merging reports in extraction order.
-func (a *Analyzer) AnalyzePackets(pkts []flows.TimedPacket) *Report {
-	conns := flows.ExtractOpts(pkts, a.cfg.Flows)
-	return &Report{Transfers: a.AnalyzeEach(conns, a.AnalyzeConnection)}
+// connLabel renders the connection 4-tuple for span logs and failure
+// reports.
+func connLabel(c *flows.Connection) string {
+	return c.Sender.String() + "->" + c.Receiver.String()
+}
+
+// connSpan opens a span for one per-connection stage; the label is only
+// built when the span log will record it.
+func (a *Analyzer) connSpan(stage obs.Stage, c *flows.Connection) obs.Span {
+	o := a.cfg.Obs
+	if o == nil {
+		return obs.Span{}
+	}
+	label := ""
+	if o.SpanLogEnabled() {
+		label = connLabel(c)
+	}
+	return o.StartSpan(stage, label)
+}
+
+// generateSeries runs the series stage under a span.
+func (a *Analyzer) generateSeries(tr *TransferReport) {
+	c := tr.Conn
+	sp := a.connSpan(obs.StageSeries, c)
+	tr.Catalog = series.Generate(c, a.cfg.Series)
+	sp.EndN(c.Profile.TotalDataBytes, int64(c.Profile.TotalDataPackets))
+}
+
+// finish runs the factor classification and the detectors — the shared
+// tail of every per-connection analysis path — under their spans, and
+// records the outcomes in the metrics registry.
+func (a *Analyzer) finish(tr *TransferReport) {
+	o := a.cfg.Obs
+	sp := a.connSpan(obs.StageFactors, tr.Conn)
+	tr.Factors = factors.Analyze(tr.Catalog, tr.Transfer, a.cfg.MajorThreshold)
+	sp.End()
+	if o != nil {
+		tr.Factors.Observe(o.Reg)
+	}
+
+	sp = a.connSpan(obs.StageDetect, tr.Conn)
+	if res, ok := detect.TimerGaps(tr.Catalog, tr.Transfer, a.cfg.TimerMinJump); ok {
+		tr.Timer = &res
+	}
+	tr.ConsecLoss = detect.ConsecutiveLosses(tr.Catalog, tr.Transfer, a.cfg.ConsecutiveLossThreshold)
+	_, tr.ZeroAckBug = detect.ZeroAckBug(tr.Catalog)
+	sp.End()
+	if o != nil {
+		detect.Observe(o.Reg, tr.Timer != nil, tr.ConsecLoss, tr.ZeroAckBug)
+	}
 }
 
 // AnalyzeConnection runs series generation, transfer-window estimation,
 // factor classification, and the detectors for one connection.
 func (a *Analyzer) AnalyzeConnection(c *flows.Connection) *TransferReport {
 	tr := &TransferReport{Conn: c}
-	tr.Catalog = series.Generate(c, a.cfg.Series)
+	a.generateSeries(tr)
 
 	// Transfer window: TCP start → MCT end (paper §II-A steps ii & iii).
+	sp := a.connSpan(obs.StageMCT, c)
 	start := c.Profile.Start
 	end := c.Profile.End
 	if res, ok := a.reassembleEnd(c, &tr.Messages); ok {
@@ -140,14 +210,9 @@ func (a *Analyzer) AnalyzeConnection(c *flows.Connection) *TransferReport {
 		end = start + 1
 	}
 	tr.Transfer = timerange.R(start, end)
+	sp.EndN(c.Profile.TotalDataBytes, int64(tr.Messages))
 
-	tr.Factors = factors.Analyze(tr.Catalog, tr.Transfer, a.cfg.MajorThreshold)
-
-	if res, ok := detect.TimerGaps(tr.Catalog, tr.Transfer, a.cfg.TimerMinJump); ok {
-		tr.Timer = &res
-	}
-	tr.ConsecLoss = detect.ConsecutiveLosses(tr.Catalog, tr.Transfer, a.cfg.ConsecutiveLossThreshold)
-	_, tr.ZeroAckBug = detect.ZeroAckBug(tr.Catalog)
+	a.finish(tr)
 	return tr
 }
 
@@ -156,18 +221,13 @@ func (a *Analyzer) AnalyzeConnection(c *flows.Connection) *TransferReport {
 // skipping payload reassembly.
 func (a *Analyzer) AnalyzeConnectionWithEnd(c *flows.Connection, end Micros) *TransferReport {
 	tr := &TransferReport{Conn: c}
-	tr.Catalog = series.Generate(c, a.cfg.Series)
+	a.generateSeries(tr)
 	start := c.Profile.Start
 	if end <= start {
 		end = start + 1
 	}
 	tr.Transfer = timerange.R(start, end)
-	tr.Factors = factors.Analyze(tr.Catalog, tr.Transfer, a.cfg.MajorThreshold)
-	if res, ok := detect.TimerGaps(tr.Catalog, tr.Transfer, a.cfg.TimerMinJump); ok {
-		tr.Timer = &res
-	}
-	tr.ConsecLoss = detect.ConsecutiveLosses(tr.Catalog, tr.Transfer, a.cfg.ConsecutiveLossThreshold)
-	_, tr.ZeroAckBug = detect.ZeroAckBug(tr.Catalog)
+	a.finish(tr)
 	return tr
 }
 
@@ -175,17 +235,12 @@ func (a *Analyzer) AnalyzeConnectionWithEnd(c *flows.Connection, end Micros) *Tr
 // burst on an established session rather than the initial table transfer.
 func (a *Analyzer) AnalyzeConnectionWindow(c *flows.Connection, window timerange.Range) *TransferReport {
 	tr := &TransferReport{Conn: c}
-	tr.Catalog = series.Generate(c, a.cfg.Series)
+	a.generateSeries(tr)
 	if window.Empty() {
 		window = timerange.R(c.Profile.Start, c.Profile.End+1)
 	}
 	tr.Transfer = window
-	tr.Factors = factors.Analyze(tr.Catalog, tr.Transfer, a.cfg.MajorThreshold)
-	if res, ok := detect.TimerGaps(tr.Catalog, tr.Transfer, a.cfg.TimerMinJump); ok {
-		tr.Timer = &res
-	}
-	tr.ConsecLoss = detect.ConsecutiveLosses(tr.Catalog, tr.Transfer, a.cfg.ConsecutiveLossThreshold)
-	_, tr.ZeroAckBug = detect.ZeroAckBug(tr.Catalog)
+	a.finish(tr)
 	return tr
 }
 
@@ -194,6 +249,7 @@ func (a *Analyzer) AnalyzeConnectionWindow(c *flows.Connection, window timerange
 // collector's MRT file via mct.FromMRT) instead of payload reassembly —
 // the paper's §II-A step (ii) pipeline.
 func (a *Analyzer) AnalyzeConnectionWithUpdates(c *flows.Connection, updates []mct.Update) *TransferReport {
+	sp := a.connSpan(obs.StageMCT, c)
 	end := c.Profile.End
 	var res *mct.Result
 	if r, ok := mct.FindEnd(updates, a.cfg.MCT); ok {
@@ -202,6 +258,7 @@ func (a *Analyzer) AnalyzeConnectionWithUpdates(c *flows.Connection, updates []m
 	} else if len(c.Data) > 0 {
 		end = c.Data[len(c.Data)-1].Time
 	}
+	sp.EndN(0, int64(len(updates)))
 	tr := a.AnalyzeConnectionWithEnd(c, end)
 	tr.MCT = res
 	return tr

@@ -5,15 +5,23 @@
 // independently (paper §III-C/§III-D) — so connections fan out to a worker
 // pool and results merge back in creation order, making reports
 // byte-identical regardless of worker count.
+//
+// Every stage is instrumented through Config.Obs (per-stage duration
+// histograms, worker-pool queue depth and queue wait, progress counters);
+// with Obs nil each site costs one pointer test. A per-connection panic is
+// recovered into Report.Failures instead of taking down the run.
 package core
 
 import (
 	"fmt"
 	"io"
 	"runtime"
+	"sort"
 	"sync"
+	"time"
 
 	"tdat/internal/flows"
+	"tdat/internal/obs"
 	"tdat/internal/packet"
 	"tdat/internal/pcapio"
 )
@@ -70,8 +78,86 @@ func MapOrdered[T, R any](workers int, in []T, fn func(T) R) []R {
 // pool, returning reports in input order. It is the fan-out primitive for
 // callers that bring their own per-connection analysis — e.g. the MRT/
 // Quagga path, which pins each transfer end from a collector archive.
+// Panics propagate; the Report-producing entry points (AnalyzePackets,
+// AnalyzePcapWith) wrap analyze in a recovery guard instead.
 func (a *Analyzer) AnalyzeEach(conns []*flows.Connection, analyze func(*flows.Connection) *TransferReport) []*TransferReport {
 	return MapOrdered(a.workers(), conns, analyze)
+}
+
+// guard wraps per-connection analysis so one connection's panic becomes an
+// AnalysisFailure on the report (and a metrics counter tick) instead of a
+// crashed run. Failures collect under a mutex and are sorted by connection
+// tuple, so reports stay deterministic at any worker count.
+type guard struct {
+	a        *Analyzer
+	mu       sync.Mutex
+	failures []AnalysisFailure
+}
+
+// analyze runs fn(c), recovering a panic into a recorded failure (the
+// returned report is then nil and the merge skips the connection).
+func (g *guard) analyze(fn func(*flows.Connection) *TransferReport, c *flows.Connection) (tr *TransferReport) {
+	defer func() {
+		if r := recover(); r != nil {
+			if o := g.a.cfg.Obs; o != nil {
+				o.Reg.Counter("tdat_analysis_panics_total").Inc()
+			}
+			g.mu.Lock()
+			g.failures = append(g.failures, AnalysisFailure{Conn: connLabel(c), Panic: fmt.Sprint(r)})
+			g.mu.Unlock()
+			tr = nil
+		}
+	}()
+	return fn(c)
+}
+
+// finish sorts and attaches the collected failures.
+func (g *guard) finish(rep *Report) {
+	sort.Slice(g.failures, func(i, j int) bool {
+		if g.failures[i].Conn != g.failures[j].Conn {
+			return g.failures[i].Conn < g.failures[j].Conn
+		}
+		return g.failures[i].Panic < g.failures[j].Panic
+	})
+	rep.Failures = g.failures
+}
+
+// AnalyzePackets analyzes pre-decoded packets, fanning connections out to
+// the configured worker pool and merging reports in extraction order.
+// A connection whose analysis panics is dropped into Report.Failures.
+func (a *Analyzer) AnalyzePackets(pkts []flows.TimedPacket) *Report {
+	o := a.cfg.Obs
+	conns := flows.ExtractOpts(pkts, a.cfg.Flows)
+	if o != nil {
+		o.Reg.Gauge("tdat_pool_workers").Set(int64(a.workers()))
+	}
+	g := &guard{a: a}
+	results := a.AnalyzeEach(conns, func(c *flows.Connection) *TransferReport {
+		if o != nil {
+			o.Progress.ConnStart()
+		}
+		tr := g.analyze(a.AnalyzeConnection, c)
+		if o != nil {
+			o.Progress.ConnDone()
+			o.Reg.Counter("tdat_conns_analyzed_total").Inc()
+		}
+		return tr
+	})
+	rep := &Report{}
+	sp := a.span(obs.StageMerge)
+	for _, t := range results {
+		if t != nil {
+			rep.Transfers = append(rep.Transfers, t)
+		}
+	}
+	sp.End()
+	g.finish(rep)
+	return rep
+}
+
+// span opens an unlabeled span (whole-run stages like merge).
+func (a *Analyzer) span(stage obs.Stage) obs.Span {
+	return a.cfg.Obs.StartSpan(stage, "")
 }
 
 // AnalyzePcapWith streams a pcap capture through the full pipeline,
@@ -81,20 +167,50 @@ func (a *Analyzer) AnalyzeEach(conns []*flows.Connection, analyze func(*flows.Co
 // read; the rest dispatch at EOF. Reports come back in connection creation
 // order. Undecodable records are counted and skipped (tcpdump drop
 // artifacts); a truncated tail is tolerated like the paper treats sniffer
-// drop gaps, unless nothing at all was readable.
+// drop gaps, unless nothing at all was readable. A connection whose
+// analysis panics lands in Report.Failures; the rest of the run completes.
 func (a *Analyzer) AnalyzePcapWith(r io.Reader, analyze func(*flows.Connection) *TransferReport) (*Report, error) {
 	pr, err := pcapio.NewReader(r)
 	if err != nil {
 		return nil, fmt.Errorf("core: reading pcap: %w", err)
 	}
 
+	o := a.cfg.Obs
 	nw := a.workers()
+	var (
+		recordsC  *obs.Counter
+		skippedC  *obs.Counter
+		analyzedC *obs.Counter
+		depthG    *obs.Gauge
+		inFlightG *obs.Gauge
+		queueWait *obs.Histogram
+	)
+	if o != nil {
+		recordsC = o.Reg.Counter("tdat_records_read_total")
+		skippedC = o.Reg.Counter("tdat_packets_skipped_total")
+		analyzedC = o.Reg.Counter("tdat_conns_analyzed_total")
+		depthG = o.Reg.Gauge("tdat_pool_queue_depth")
+		inFlightG = o.Reg.Gauge("tdat_conns_in_flight")
+		queueWait = o.Reg.Histogram("tdat_pool_queue_wait_micros", obs.DurationBuckets)
+		o.Reg.Gauge("tdat_pool_workers").Set(int64(nw))
+	}
+
+	g := &guard{a: a}
 	var (
 		mu      sync.Mutex
 		results = map[int]*TransferReport{}
 	)
 	analyzeOne := func(idx int, c *flows.Connection) {
-		rep := analyze(c)
+		if o != nil {
+			inFlightG.Add(1)
+			o.Progress.ConnStart()
+		}
+		rep := g.analyze(analyze, c)
+		if o != nil {
+			inFlightG.Add(-1)
+			o.Progress.ConnDone()
+			analyzedC.Inc()
+		}
 		mu.Lock()
 		results[idx] = rep
 		mu.Unlock()
@@ -103,19 +219,30 @@ func (a *Analyzer) AnalyzePcapWith(r io.Reader, analyze func(*flows.Connection) 
 	type connJob struct {
 		idx  int
 		conn *flows.Connection
+		enq  time.Time
 	}
 	var (
 		jobs chan connJob
 		wg   sync.WaitGroup
 	)
-	parallel := nw > 1
+	// With observability on, even a 1-worker run routes through the pool so
+	// demux timing isn't polluted by inline analysis of early-emitted
+	// connections (reports are merged by creation index either way, so
+	// output is identical).
+	parallel := nw > 1 || o != nil
 	if parallel {
-		jobs = make(chan connJob)
+		// A small buffer decouples demux from the pool so the queue-depth
+		// gauge reflects genuine backlog rather than channel handoff.
+		jobs = make(chan connJob, 2*nw)
 		for w := 0; w < nw; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				for j := range jobs {
+					if o != nil {
+						depthG.Add(-1)
+						queueWait.Observe(time.Since(j.enq).Microseconds())
+					}
 					analyzeOne(j.idx, j.conn)
 				}
 			}()
@@ -124,22 +251,51 @@ func (a *Analyzer) AnalyzePcapWith(r io.Reader, analyze func(*flows.Connection) 
 
 	d := flows.NewDemuxer(a.cfg.Flows, func(idx int, c *flows.Connection) {
 		if parallel {
-			jobs <- connJob{idx: idx, conn: c}
+			j := connJob{idx: idx, conn: c}
+			if o != nil {
+				depthG.Add(1)
+				j.enq = time.Now()
+			}
+			jobs <- j
 		} else {
 			analyzeOne(idx, c)
 		}
 	})
 	records, skipped := 0, 0
-	readErr := pr.Each(func(rec pcapio.Record) error {
-		records++
-		p, err := packet.Decode(rec.Data)
-		if err != nil {
-			skipped++
+	var readErr error
+	if o == nil {
+		readErr = pr.Each(func(rec pcapio.Record) error {
+			records++
+			p, err := packet.Decode(rec.Data)
+			if err != nil {
+				skipped++
+				return nil
+			}
+			d.Add(flows.TimedPacket{Time: rec.TimeMicros, Pkt: p})
 			return nil
-		}
-		d.Add(flows.TimedPacket{Time: rec.TimeMicros, Pkt: p})
-		return nil
-	})
+		})
+	} else {
+		// Instrumented ingest: three clock reads per record split the time
+		// between the decode and demux stages.
+		readErr = pr.Each(func(rec pcapio.Record) error {
+			records++
+			recordsC.Inc()
+			o.Progress.AddRecords(1)
+			o.Progress.SetBytesRead(pr.BytesRead())
+			t0 := time.Now()
+			p, err := packet.Decode(rec.Data)
+			t1 := time.Now()
+			o.StageObserve(obs.StageDecode, t1.Sub(t0).Microseconds())
+			if err != nil {
+				skipped++
+				skippedC.Inc()
+				return nil
+			}
+			d.Add(flows.TimedPacket{Time: rec.TimeMicros, Pkt: p})
+			o.StageObserve(obs.StageDemux, time.Since(t1).Microseconds())
+			return nil
+		})
+	}
 	total := d.Finish()
 	if parallel {
 		close(jobs)
@@ -150,10 +306,13 @@ func (a *Analyzer) AnalyzePcapWith(r io.Reader, analyze func(*flows.Connection) 
 	}
 
 	rep := &Report{SkippedPackets: skipped}
+	sp := a.span(obs.StageMerge)
 	for i := 0; i < total; i++ {
 		if t := results[i]; t != nil {
 			rep.Transfers = append(rep.Transfers, t)
 		}
 	}
+	sp.End()
+	g.finish(rep)
 	return rep, nil
 }

@@ -3,11 +3,15 @@ package core
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"net/netip"
+	"runtime"
 	"sort"
+	"strings"
 	"testing"
 
 	"tdat/internal/flows"
+	"tdat/internal/obs"
 	"tdat/internal/pcapio"
 	"tdat/internal/tracegen"
 )
@@ -77,7 +81,7 @@ func TestParallelAnalysisByteIdentical(t *testing.T) {
 	const conns = 8
 	pkts := multiConnPackets(t, conns)
 	var baseline []byte
-	for _, w := range []int{1, 2, 8} {
+	for _, w := range []int{1, 2, runtime.GOMAXPROCS(0), 8} {
 		rep := New(Config{Workers: w}).AnalyzePackets(pkts)
 		if len(rep.Transfers) != conns {
 			t.Fatalf("workers=%d: transfers = %d, want %d", w, len(rep.Transfers), conns)
@@ -89,6 +93,90 @@ func TestParallelAnalysisByteIdentical(t *testing.T) {
 		}
 		if !bytes.Equal(out, baseline) {
 			t.Errorf("workers=%d: report differs from workers=1 baseline", w)
+		}
+	}
+}
+
+func TestObservabilityNeverChangesOutput(t *testing.T) {
+	// The same capture, with obs off and on (span log included), at several
+	// worker counts — eight reports, one byte-identical output. This guards
+	// the tentpole invariant: observability is read-only on the analysis.
+	pkts := multiConnPackets(t, 6)
+	data, _ := writePcap(t, pkts, 0)
+	var baseline []byte
+	for _, w := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+		for _, withObs := range []bool{false, true} {
+			cfg := Config{Workers: w}
+			var o *obs.Obs
+			if withObs {
+				o = obs.New()
+				o.SetSpanLog(io.Discard)
+				cfg.Obs = o
+			}
+			rep, err := New(cfg).AnalyzePcap(bytes.NewReader(data))
+			if err != nil {
+				t.Fatalf("workers=%d obs=%v: %v", w, withObs, err)
+			}
+			out := serializeReport(t, rep)
+			if baseline == nil {
+				baseline = out
+				continue
+			}
+			if !bytes.Equal(out, baseline) {
+				t.Errorf("workers=%d obs=%v: report differs from baseline", w, withObs)
+			}
+			if withObs {
+				if got := o.Reg.Counter("tdat_conns_analyzed_total").Value(); got != int64(len(rep.Transfers)) {
+					t.Errorf("workers=%d: conns_analyzed = %d, want %d", w, got, len(rep.Transfers))
+				}
+				if o.Reg.Gauge("tdat_conns_in_flight").Value() != 0 {
+					t.Errorf("workers=%d: conns_in_flight gauge not drained", w)
+				}
+			}
+		}
+	}
+}
+
+func TestPanicRecoveredIntoReport(t *testing.T) {
+	// One connection's analysis panicking must cost exactly that connection:
+	// the rest of the run completes, the failure lands on the report with
+	// the 4-tuple, and the panic counter ticks — at any worker count.
+	const conns = 6
+	pkts := multiConnPackets(t, conns)
+	data, _ := writePcap(t, pkts, 0)
+	for _, w := range []int{1, 3} {
+		o := obs.New()
+		a := New(Config{Workers: w, Obs: o})
+		var victim string
+		rep, err := a.AnalyzePcapWith(bytes.NewReader(data), func(c *flows.Connection) *TransferReport {
+			// Deterministic victim: the lowest sender address.
+			if c.Sender.Addr == netip.AddrFrom4([4]byte{10, 1, 0, 1}) {
+				victim = c.Sender.String() + "->" + c.Receiver.String()
+				panic("synthetic analysis bug")
+			}
+			return a.AnalyzeConnection(c)
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if len(rep.Transfers) != conns-1 {
+			t.Errorf("workers=%d: transfers = %d, want %d", w, len(rep.Transfers), conns-1)
+		}
+		if len(rep.Failures) != 1 {
+			t.Fatalf("workers=%d: failures = %d, want 1", w, len(rep.Failures))
+		}
+		f := rep.Failures[0]
+		if f.Conn != victim {
+			t.Errorf("workers=%d: failure conn = %q, want %q", w, f.Conn, victim)
+		}
+		if !strings.Contains(f.Panic, "synthetic analysis bug") {
+			t.Errorf("workers=%d: failure panic = %q", w, f.Panic)
+		}
+		if got := o.Reg.Counter("tdat_analysis_panics_total").Value(); got != 1 {
+			t.Errorf("workers=%d: panics counter = %d, want 1", w, got)
+		}
+		if o.Reg.Gauge("tdat_conns_in_flight").Value() != 0 {
+			t.Errorf("workers=%d: conns_in_flight gauge not drained after panic", w)
 		}
 	}
 }

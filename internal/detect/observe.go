@@ -1,0 +1,23 @@
+package detect
+
+import "tdat/internal/obs"
+
+// Observe tallies detector outcomes for one transfer in the metrics
+// registry: pacing-timer detections, consecutive-loss episodes (and runs
+// past the threshold), and zero-ACK-bug conflicts. No-op on a nil
+// registry, so callers can pass their Obs hook through unconditionally.
+func Observe(reg *obs.Registry, timerDetected bool, cl ConsecutiveLossResult, zeroAckBug bool) {
+	if reg == nil {
+		return
+	}
+	if timerDetected {
+		reg.Counter("tdat_detect_pacing_timer_total").Inc()
+	}
+	if cl.Episodes > 0 {
+		reg.Counter("tdat_detect_consec_loss_transfers_total").Inc()
+		reg.Counter("tdat_detect_consec_loss_episodes_total").Add(int64(cl.Episodes))
+	}
+	if zeroAckBug {
+		reg.Counter("tdat_detect_zero_ack_bug_total").Inc()
+	}
+}

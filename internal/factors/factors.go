@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strings"
 
+	"tdat/internal/obs"
 	"tdat/internal/series"
 	"tdat/internal/timerange"
 )
@@ -181,6 +182,22 @@ type Report struct {
 
 // Unknown reports whether no group reached the major threshold.
 func (r *Report) Unknown() bool { return len(r.MajorGroups) == 0 }
+
+// Observe tallies this classification in the metrics registry: one
+// analyzed-transfers tick plus a per-dominant-group counter (the live
+// analogue of the paper's Table IV distribution). No-op on a nil registry.
+func (r *Report) Observe(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("tdat_factors_analyzed_total").Inc()
+	if r.Unknown() {
+		reg.Counter("tdat_factor_dominant_total", "group", "unknown").Inc()
+		return
+	}
+	g, _ := r.Dominant()
+	reg.Counter("tdat_factor_dominant_total", "group", g.String()).Inc()
+}
 
 // Dominant returns the single most limiting group and its ratio (the
 // largest group ratio, regardless of threshold).

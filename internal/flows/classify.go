@@ -1,6 +1,7 @@
 package flows
 
 import (
+	"tdat/internal/obs"
 	"tdat/internal/timerange"
 )
 
@@ -133,6 +134,10 @@ type Options struct {
 	// DisableReorderFilter labels every gap fill as an upstream loss — the
 	// ablation the benchmarks sweep.
 	DisableReorderFilter bool
+	// Obs receives demux metrics (connections opened, early emissions,
+	// packets routed) and progress updates when non-nil. It never affects
+	// extraction output.
+	Obs *obs.Obs
 }
 
 // DefaultOptions returns the documented defaults.

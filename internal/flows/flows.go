@@ -11,6 +11,7 @@ import (
 	"net/netip"
 	"sort"
 
+	"tdat/internal/obs"
 	"tdat/internal/packet"
 	"tdat/internal/pcapio"
 	"tdat/internal/timerange"
@@ -232,15 +233,27 @@ type Demuxer struct {
 	order    []*rawConn
 	lastTime Micros
 	disorder bool
+	finished bool
+
+	// metrics (nil handles when opts.Obs is nil — every update is a no-op)
+	packetsC *obs.Counter
+	openedC  *obs.Counter
+	earlyC   *obs.Counter
 }
 
 // NewDemuxer creates a Demuxer that emits completed connections via emit.
 func NewDemuxer(opts Options, emit func(index int, c *Connection)) *Demuxer {
-	return &Demuxer{
+	d := &Demuxer{
 		opts:  opts.withDefaults(),
 		emit:  emit,
 		index: map[Key]*rawConn{},
 	}
+	if o := opts.Obs; o != nil {
+		d.packetsC = o.Reg.Counter("tdat_demux_packets_total")
+		d.openedC = o.Reg.Counter("tdat_demux_conns_opened_total")
+		d.earlyC = o.Reg.Counter("tdat_demux_conns_early_total")
+	}
+	return d
 }
 
 // newRawConn registers a fresh raw connection under key k.
@@ -248,6 +261,10 @@ func (d *Demuxer) newRawConn(k Key) *rawConn {
 	rc := &rawConn{key: k, synFrom: map[Endpoint]Micros{}, idx: len(d.order)}
 	d.index[k] = rc
 	d.order = append(d.order, rc)
+	d.openedC.Inc()
+	if o := d.opts.Obs; o != nil {
+		o.Progress.ConnSeen()
+	}
 	return rc
 }
 
@@ -258,6 +275,7 @@ func (d *Demuxer) Add(tp TimedPacket) {
 		d.disorder = true
 	}
 	d.lastTime = tp.Time
+	d.packetsC.Inc()
 
 	src := Endpoint{Addr: tp.Pkt.IP.Src, Port: tp.Pkt.TCP.SrcPort}
 	dst := Endpoint{Addr: tp.Pkt.IP.Dst, Port: tp.Pkt.TCP.DstPort}
@@ -309,6 +327,9 @@ func (d *Demuxer) complete(rc *rawConn) {
 		return
 	}
 	rc.done = true
+	if !d.finished {
+		d.earlyC.Inc()
+	}
 	if d.disorder {
 		sort.SliceStable(rc.packets, func(i, j int) bool {
 			return rc.packets[i].Time < rc.packets[j].Time
@@ -324,6 +345,7 @@ func (d *Demuxer) complete(rc *rawConn) {
 // returns the total number of raw connections created. The Demuxer must
 // not be used afterwards.
 func (d *Demuxer) Finish() int {
+	d.finished = true
 	for _, rc := range d.order {
 		d.complete(rc)
 	}

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (version 0.0.4), deterministically ordered by metric name and
+// label string. Histograms emit cumulative `_bucket` lines with `le`
+// labels, plus `_sum` and `_count`.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	counters := make(map[metricKey]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[metricKey]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[metricKey]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.Unlock()
+
+	typed := map[string]bool{}
+	header := func(name, typ string) {
+		if typed[name] {
+			return
+		}
+		typed[name] = true
+		if h, ok := help[name]; ok {
+			fmt.Fprintf(w, "# HELP %s %s\n", name, h)
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+	}
+	instance := func(name, labels, suffix, extra string) string {
+		all := labels
+		if extra != "" {
+			if all != "" {
+				all += ","
+			}
+			all += extra
+		}
+		if all == "" {
+			return name + suffix
+		}
+		return name + suffix + "{" + all + "}"
+	}
+
+	for _, k := range sortedKeys(counters) {
+		header(k.name, "counter")
+		fmt.Fprintf(w, "%s %d\n", instance(k.name, k.labels, "", ""), counters[k].Value())
+	}
+	for _, k := range sortedKeys(gauges) {
+		header(k.name, "gauge")
+		fmt.Fprintf(w, "%s %d\n", instance(k.name, k.labels, "", ""), gauges[k].Value())
+	}
+	for _, k := range sortedKeys(hists) {
+		header(k.name, "histogram")
+		h := hists[k]
+		cum := int64(0)
+		counts := h.BucketCounts()
+		for i, bound := range h.Bounds() {
+			cum += counts[i]
+			le := `le="` + strconv.FormatInt(bound, 10) + `"`
+			fmt.Fprintf(w, "%s %d\n", instance(k.name, k.labels, "_bucket", le), cum)
+		}
+		cum += counts[len(counts)-1]
+		fmt.Fprintf(w, "%s %d\n", instance(k.name, k.labels, "_bucket", `le="+Inf"`), cum)
+		fmt.Fprintf(w, "%s %d\n", instance(k.name, k.labels, "_sum", ""), h.Sum())
+		fmt.Fprintf(w, "%s %d\n", instance(k.name, k.labels, "_count", ""), h.Count())
+	}
+	return nil
+}
+
+// histSnapshot is the JSON form of one histogram.
+type histSnapshot struct {
+	Count   int64            `json:"count"`
+	Sum     int64            `json:"sum"`
+	Buckets map[string]int64 `json:"buckets"`
+}
+
+// Snapshot returns a point-in-time copy of every metric, keyed by
+// `name{labels}`, suitable for JSON serialization of an offline run.
+func (r *Registry) Snapshot() map[string]any {
+	out := map[string]any{}
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := func(k metricKey) string {
+		if k.labels == "" {
+			return k.name
+		}
+		return k.name + "{" + k.labels + "}"
+	}
+	counters := map[string]int64{}
+	for k, c := range r.counters {
+		counters[key(k)] = c.Value()
+	}
+	gauges := map[string]int64{}
+	for k, g := range r.gauges {
+		gauges[key(k)] = g.Value()
+	}
+	hists := map[string]histSnapshot{}
+	for k, h := range r.hists {
+		hs := histSnapshot{Count: h.Count(), Sum: h.Sum(), Buckets: map[string]int64{}}
+		counts := h.BucketCounts()
+		for i, b := range h.Bounds() {
+			hs.Buckets[strconv.FormatInt(b, 10)] = counts[i]
+		}
+		hs.Buckets["+Inf"] = counts[len(counts)-1]
+		hists[key(k)] = hs
+	}
+	out["counters"] = counters
+	out["gauges"] = gauges
+	out["histograms"] = hists
+	return out
+}
+
+// WriteJSON writes an indented JSON snapshot of the registry — the offline
+// analogue of a /metrics scrape (maps serialize with sorted keys, so the
+// output is deterministic for a fixed metric state).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// expvar integration: the process-wide "tdat" var serves the current
+// registry's snapshot. Publishing is process-global and idempotent; the
+// most recently exposed registry wins (one analyzer run per process in
+// practice).
+var (
+	expvarOnce sync.Once
+	expvarReg  atomic.Pointer[Registry]
+)
+
+// PublishExpvar exposes r as the expvar variable "tdat" (visible on
+// /debug/vars). Safe to call repeatedly and from tests.
+func (r *Registry) PublishExpvar() {
+	if r == nil {
+		return
+	}
+	expvarReg.Store(r)
+	expvarOnce.Do(func() {
+		expvar.Publish("tdat", expvar.Func(func() any {
+			return expvarReg.Load().Snapshot()
+		}))
+	})
+}

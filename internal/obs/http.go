@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is a live metrics endpoint: /metrics (Prometheus text format),
+// /debug/vars (expvar JSON), and /debug/pprof (the standard Go profiler
+// surface), bound to one Obs.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts listening on addr (":0" picks a free port) and serves o's
+// registry. It returns as soon as the listener is bound; requests are
+// handled on a background goroutine.
+func Serve(addr string, o *Obs) (*Server, error) {
+	reg := o.Registry()
+	reg.PublishExpvar()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve always errors on Close
+	return s, nil
+}
+
+// Registry returns o's registry, surviving a nil receiver (so Serve can be
+// handed a disabled Obs and still expose an empty, valid endpoint).
+func (o *Obs) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Reg
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+)
+
+// ParseLevel maps a -log-level flag value to a slog level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("unknown log level %q (want debug|info|warn|error)", s)
+	}
+}
+
+// InitLogging installs the process default slog logger: a text handler on
+// w (stderr when nil) at the given level. Every cmd calls this right after
+// flag parsing so diagnostics share one structured format while report
+// payloads stay on stdout.
+func InitLogging(w io.Writer, level string) error {
+	lv, err := ParseLevel(level)
+	if err != nil {
+		return err
+	}
+	if w == nil {
+		w = os.Stderr
+	}
+	slog.SetDefault(slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: lv})))
+	return nil
+}

@@ -1,0 +1,276 @@
+// Package obs is T-DAT's observability layer: a lightweight,
+// allocation-conscious metrics registry (counters, gauges, fixed-bucket
+// histograms), stage-scoped tracing spans aggregated into an analyzer
+// "self delay-factor" profile, progress reporting for long ingests, and the
+// exposition surfaces (Prometheus text format, expvar, JSON snapshots, and
+// an HTTP listener with net/http/pprof).
+//
+// The whole layer is disabled-by-default and nil-safe: a nil *Obs, nil
+// *Registry, or nil metric handle makes every method a no-op, so the
+// analysis pipeline pays only a pointer test on its hot paths when
+// observability is off — the same trick the paper's measuring harness
+// needs to stay trustworthy about its own overheads.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The nil Counter is a valid
+// no-op (the disabled fast path).
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil Counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down. The nil Gauge is a valid
+// no-op.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value returns the current level (0 on a nil Gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts observations into fixed buckets. Buckets are defined by
+// their inclusive upper bounds; an implicit +Inf bucket catches the rest.
+// Observations are lock-free; exposition reads are eventually consistent
+// (bucket counts may trail the total by in-flight observations), which is
+// fine for monitoring. The nil Histogram is a valid no-op.
+type Histogram struct {
+	bounds  []int64
+	buckets []atomic.Int64 // len(bounds)+1; last is +Inf
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// DurationBuckets is the default bucket layout for stage and queue-wait
+// durations, in microseconds: 50µs to 10s, roughly logarithmic.
+var DurationBuckets = []int64{
+	50, 100, 250, 500,
+	1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+	1_000_000, 2_500_000, 5_000_000, 10_000_000,
+}
+
+// newHistogram builds a Histogram with the given (sorted, deduplicated)
+// upper bounds.
+func newHistogram(bounds []int64) *Histogram {
+	bs := append([]int64(nil), bounds...)
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	dedup := bs[:0]
+	for i, b := range bs {
+		if i == 0 || b != dedup[len(dedup)-1] {
+			dedup = append(dedup, b)
+		}
+	}
+	return &Histogram{bounds: dedup, buckets: make([]atomic.Int64, len(dedup)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Bounds returns the bucket upper bounds (nil on a nil Histogram).
+func (h *Histogram) Bounds() []int64 {
+	if h == nil {
+		return nil
+	}
+	return h.bounds
+}
+
+// BucketCounts returns the per-bucket (non-cumulative) counts, the last
+// entry being the +Inf bucket.
+func (h *Histogram) BucketCounts() []int64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]int64, len(h.buckets))
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// metricKey identifies one metric instance: a family name plus a rendered
+// label string like `stage="series"` (empty for unlabeled metrics).
+type metricKey struct {
+	name   string
+	labels string
+}
+
+// Registry holds named metrics. Metric handles are resolved once (a locked
+// map lookup) and then operated on lock-free; the hot path never touches
+// the registry. The nil Registry resolves every metric to its nil no-op
+// handle — the disabled fast path the benchmarks assert costs <2%.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[metricKey]*Counter
+	gauges   map[metricKey]*Gauge
+	hists    map[metricKey]*Histogram
+	help     map[string]string
+}
+
+// NewRegistry creates an empty Registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[metricKey]*Counter{},
+		gauges:   map[metricKey]*Gauge{},
+		hists:    map[metricKey]*Histogram{},
+		help:     map[string]string{},
+	}
+}
+
+// labelString renders k1,v1,k2,v2,... pairs as `k1="v1",k2="v2"`.
+func labelString(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", labels[i], labels[i+1])
+	}
+	return b.String()
+}
+
+// Counter returns (creating on first use) the named counter. labels are
+// key,value pairs. A nil Registry returns the nil no-op Counter.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	k := metricKey{name: name, labels: labelString(labels)}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[k]
+	if !ok {
+		c = &Counter{}
+		r.counters[k] = c
+	}
+	return c
+}
+
+// Gauge returns (creating on first use) the named gauge.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	k := metricKey{name: name, labels: labelString(labels)}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[k]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[k] = g
+	}
+	return g
+}
+
+// Histogram returns (creating on first use) the named histogram. The bounds
+// of the first registration win; later calls with different bounds get the
+// existing instance.
+func (r *Registry) Histogram(name string, bounds []int64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	k := metricKey{name: name, labels: labelString(labels)}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[k]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[k] = h
+	}
+	return h
+}
+
+// SetHelp attaches a HELP line to a metric family for Prometheus
+// exposition.
+func (r *Registry) SetHelp(name, text string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.help[name] = text
+}
+
+// sortedKeys returns map keys ordered by (name, labels).
+func sortedKeys[V any](m map[metricKey]V) []metricKey {
+	keys := make([]metricKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].name != keys[j].name {
+			return keys[i].name < keys[j].name
+		}
+		return keys[i].labels < keys[j].labels
+	})
+	return keys
+}

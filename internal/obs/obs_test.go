@@ -1,0 +1,382 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := newHistogram([]int64{10, 100, 1000})
+	// Upper bounds are inclusive, like Prometheus `le`.
+	cases := []struct {
+		v      int64
+		bucket int
+	}{
+		{0, 0}, {9, 0}, {10, 0},
+		{11, 1}, {100, 1},
+		{101, 2}, {1000, 2},
+		{1001, 3}, {1 << 40, 3}, // +Inf
+	}
+	for _, c := range cases {
+		h.Observe(c.v)
+	}
+	counts := h.BucketCounts()
+	want := []int64{3, 2, 2, 2}
+	for i, w := range want {
+		if counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, counts[i], w)
+		}
+	}
+	if h.Count() != int64(len(cases)) {
+		t.Errorf("count = %d, want %d", h.Count(), len(cases))
+	}
+	var sum int64
+	for _, c := range cases {
+		sum += c.v
+	}
+	if h.Sum() != sum {
+		t.Errorf("sum = %d, want %d", h.Sum(), sum)
+	}
+}
+
+func TestHistogramBoundsSortedAndDeduped(t *testing.T) {
+	h := newHistogram([]int64{500, 50, 500, 5})
+	want := []int64{5, 50, 500}
+	got := h.Bounds()
+	if len(got) != len(want) {
+		t.Fatalf("bounds = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bounds = %v, want %v", got, want)
+		}
+	}
+	if len(h.BucketCounts()) != len(want)+1 {
+		t.Errorf("buckets = %d, want %d (+Inf)", len(h.BucketCounts()), len(want)+1)
+	}
+}
+
+func TestConcurrentCounters(t *testing.T) {
+	// Exercised under -race in CI: concurrent Inc/Add/Observe on shared
+	// handles must be safe and lose no updates.
+	r := NewRegistry()
+	c := r.Counter("hits_total")
+	g := r.Gauge("level")
+	h := r.Histogram("lat", []int64{1, 10, 100})
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(int64(i % 150))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if g.Value() != 0 {
+		t.Errorf("gauge = %d, want 0", g.Value())
+	}
+	if h.Count() != workers*per {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+	// Same-name resolution returns the same handle.
+	if r.Counter("hits_total") != c {
+		t.Error("re-resolving a counter returned a different handle")
+	}
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.SetHelp("tdat_conns_analyzed_total", "Connections analyzed.")
+	r.Counter("tdat_conns_analyzed_total").Add(3)
+	r.Counter("tdat_factor_dominant_total", "group", "sender").Add(2)
+	r.Counter("tdat_factor_dominant_total", "group", "network").Inc()
+	r.Gauge("tdat_pool_workers").Set(4)
+	h := r.Histogram("tdat_stage_duration_micros", []int64{100, 1000}, "stage", "series")
+	h.Observe(40)
+	h.Observe(400)
+	h.Observe(4000)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP tdat_conns_analyzed_total Connections analyzed.
+# TYPE tdat_conns_analyzed_total counter
+tdat_conns_analyzed_total 3
+# TYPE tdat_factor_dominant_total counter
+tdat_factor_dominant_total{group="network"} 1
+tdat_factor_dominant_total{group="sender"} 2
+# TYPE tdat_pool_workers gauge
+tdat_pool_workers 4
+# TYPE tdat_stage_duration_micros histogram
+tdat_stage_duration_micros_bucket{stage="series",le="100"} 1
+tdat_stage_duration_micros_bucket{stage="series",le="1000"} 2
+tdat_stage_duration_micros_bucket{stage="series",le="+Inf"} 3
+tdat_stage_duration_micros_sum{stage="series"} 4440
+tdat_stage_duration_micros_count{stage="series"} 3
+`
+	if got := buf.String(); got != want {
+		t.Errorf("Prometheus output mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	// Deterministic across repeated scrapes.
+	var buf2 bytes.Buffer
+	if err := r.WritePrometheus(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != buf.String() {
+		t.Error("repeated scrapes differ")
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Inc()
+	r.Gauge("b").Set(-2)
+	r.Histogram("c", []int64{10}).Observe(7)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters   map[string]int64 `json:"counters"`
+		Gauges     map[string]int64 `json:"gauges"`
+		Histograms map[string]struct {
+			Count   int64            `json:"count"`
+			Sum     int64            `json:"sum"`
+			Buckets map[string]int64 `json:"buckets"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if snap.Counters["a_total"] != 1 || snap.Gauges["b"] != -2 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+	hs := snap.Histograms["c"]
+	if hs.Count != 1 || hs.Sum != 7 || hs.Buckets["10"] != 1 || hs.Buckets["+Inf"] != 0 {
+		t.Errorf("histogram snapshot = %+v", hs)
+	}
+}
+
+func TestNilFastPath(t *testing.T) {
+	// Every disabled handle must be a no-op, not a crash.
+	var (
+		c *Counter
+		g *Gauge
+		h *Histogram
+		r *Registry
+		o *Obs
+		p *Progress
+	)
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(-1)
+	h.Observe(9)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil handles reported non-zero values")
+	}
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x", DurationBuckets) != nil {
+		t.Error("nil registry must resolve nil handles")
+	}
+	r.SetHelp("x", "y")
+	if err := r.WritePrometheus(io.Discard); err != nil {
+		t.Errorf("nil registry WritePrometheus: %v", err)
+	}
+	if err := r.WriteJSON(io.Discard); err != nil {
+		t.Errorf("nil registry WriteJSON: %v", err)
+	}
+	r.PublishExpvar()
+
+	sp := o.StartSpan(StageSeries, "conn")
+	sp.End()
+	sp.EndN(1, 2)
+	o.StageObserve(StageDecode, 5)
+	o.SetSpanLog(io.Discard)
+	if o.SpanLogEnabled() {
+		t.Error("nil Obs claims span log enabled")
+	}
+	if o.SelfProfile() != nil {
+		t.Error("nil Obs SelfProfile should be nil")
+	}
+	o.WriteSelfProfile(io.Discard)
+	if o.Registry() != nil {
+		t.Error("nil Obs Registry should be nil")
+	}
+
+	p.SetTotalBytes(1)
+	p.SetBytesRead(1)
+	p.AddRecords(1)
+	p.ConnSeen()
+	p.ConnStart()
+	p.ConnDone()
+	if p.Line() != "" {
+		t.Error("nil Progress Line should be empty")
+	}
+	p.Run(io.Discard, time.Second)()
+
+	// The disabled path must not allocate: that is the whole point of the
+	// nil-handle design (<2% overhead with obs off).
+	if n := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		h.Observe(1)
+		s := o.StartSpan(StageSeries, "")
+		s.End()
+		o.StageObserve(StageDecode, 1)
+	}); n != 0 {
+		t.Errorf("disabled path allocates %.1f times per run, want 0", n)
+	}
+}
+
+func TestSpanLogAndSelfProfile(t *testing.T) {
+	o := New()
+	var log bytes.Buffer
+	o.SetSpanLog(&log)
+	if !o.SpanLogEnabled() {
+		t.Fatal("span log not enabled")
+	}
+	sp := o.StartSpan(StageSeries, "10.0.0.1:179->10.0.0.2:41000")
+	sp.EndN(1234, 56)
+	o.StageObserve(StageDecode, 10)
+
+	line := strings.TrimSpace(log.String())
+	var rec struct {
+		Stage   string `json:"stage"`
+		Conn    string `json:"conn"`
+		StartUS int64  `json:"start_us"`
+		DurUS   int64  `json:"dur_us"`
+		Bytes   int64  `json:"bytes"`
+		Packets int64  `json:"packets"`
+	}
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("span log line %q: %v", line, err)
+	}
+	if rec.Stage != "series" || rec.Conn != "10.0.0.1:179->10.0.0.2:41000" || rec.Bytes != 1234 || rec.Packets != 56 {
+		t.Errorf("span record = %+v", rec)
+	}
+
+	shares := o.SelfProfile()
+	if len(shares) != len(Stages) {
+		t.Fatalf("self profile has %d rows, want %d", len(shares), len(Stages))
+	}
+	var total float64
+	seen := map[Stage]StageShare{}
+	for _, s := range shares {
+		seen[s.Stage] = s
+		if s.Stage != StageAckShift {
+			total += s.Share
+		}
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Errorf("top-level shares sum to %f, want 1", total)
+	}
+	if seen[StageSeries].Count != 1 || seen[StageDecode].Count != 1 {
+		t.Errorf("span counts: series=%d decode=%d, want 1 each",
+			seen[StageSeries].Count, seen[StageDecode].Count)
+	}
+	var prof bytes.Buffer
+	o.WriteSelfProfile(&prof)
+	if !strings.Contains(prof.String(), "analyzer self-profile") {
+		t.Errorf("self-profile output missing header:\n%s", prof.String())
+	}
+}
+
+func TestProgressLine(t *testing.T) {
+	p := NewProgress()
+	p.SetTotalBytes(1 << 20)
+	p.SetBytesRead(1 << 19)
+	p.AddRecords(42)
+	p.ConnSeen()
+	p.ConnStart()
+	line := p.Line()
+	for _, want := range []string{"50%", "records=42", "1 seen", "1 in flight", "eta="} {
+		if !strings.Contains(line, want) {
+			t.Errorf("progress line %q missing %q", line, want)
+		}
+	}
+	p.ConnDone()
+	var buf bytes.Buffer
+	stop := p.Run(&buf, time.Hour)
+	stop()
+	stop() // idempotent
+	if !strings.Contains(buf.String(), "progress: ") {
+		t.Errorf("Run final line missing: %q", buf.String())
+	}
+}
+
+func TestServeMetricsEndpoint(t *testing.T) {
+	o := New()
+	o.Reg.Counter("tdat_conns_analyzed_total").Add(7)
+	srv, err := Serve("127.0.0.1:0", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr(), path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	metrics := get("/metrics")
+	for _, want := range []string{
+		"tdat_conns_analyzed_total 7",
+		`tdat_stage_duration_micros_bucket{stage="series",le="50"}`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+	vars := get("/debug/vars")
+	if !strings.Contains(vars, `"tdat"`) {
+		t.Error("/debug/vars missing the tdat expvar")
+	}
+	if !strings.Contains(get("/debug/pprof/"), "pprof") {
+		t.Error("/debug/pprof/ not serving")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]string{
+		"debug": "DEBUG", "info": "INFO", "": "INFO",
+		"warn": "WARN", "warning": "WARN", "error": "ERROR", "ERROR": "ERROR",
+	} {
+		lv, err := ParseLevel(in)
+		if err != nil {
+			t.Errorf("ParseLevel(%q): %v", in, err)
+			continue
+		}
+		if lv.String() != want {
+			t.Errorf("ParseLevel(%q) = %s, want %s", in, lv, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel(loud) should fail")
+	}
+}

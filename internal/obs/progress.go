@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Progress tracks how far a long ingest has come: bytes and records read,
+// connections seen/completed/in-flight, and — when the input size is known
+// — an ETA extrapolated from the byte fraction. All updates are lock-free
+// and nil-safe.
+type Progress struct {
+	start      time.Time
+	totalBytes atomic.Int64
+	bytesRead  atomic.Int64
+	records    atomic.Int64
+	connsSeen  atomic.Int64
+	connsDone  atomic.Int64
+	inFlight   atomic.Int64
+}
+
+// NewProgress creates a Progress anchored at the current time.
+func NewProgress() *Progress {
+	return &Progress{start: time.Now()}
+}
+
+// SetTotalBytes declares the input size (0 = unknown; disables ETA).
+func (p *Progress) SetTotalBytes(n int64) {
+	if p != nil {
+		p.totalBytes.Store(n)
+	}
+}
+
+// SetBytesRead stores the bytes consumed so far.
+func (p *Progress) SetBytesRead(n int64) {
+	if p != nil {
+		p.bytesRead.Store(n)
+	}
+}
+
+// AddRecords counts n more ingested records.
+func (p *Progress) AddRecords(n int64) {
+	if p != nil {
+		p.records.Add(n)
+	}
+}
+
+// ConnSeen counts a newly demultiplexed connection.
+func (p *Progress) ConnSeen() {
+	if p != nil {
+		p.connsSeen.Add(1)
+	}
+}
+
+// ConnStart marks one connection's analysis as in flight.
+func (p *Progress) ConnStart() {
+	if p != nil {
+		p.inFlight.Add(1)
+	}
+}
+
+// ConnDone marks one connection's analysis as completed.
+func (p *Progress) ConnDone() {
+	if p != nil {
+		p.inFlight.Add(-1)
+		p.connsDone.Add(1)
+	}
+}
+
+// fmtBytes renders n in binary-ish MB with one decimal.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+// Line renders a one-line progress summary.
+func (p *Progress) Line() string {
+	if p == nil {
+		return ""
+	}
+	var b strings.Builder
+	read := p.bytesRead.Load()
+	total := p.totalBytes.Load()
+	elapsed := time.Since(p.start)
+	b.WriteString("progress: ")
+	if total > 0 {
+		pct := float64(read) / float64(total) * 100
+		fmt.Fprintf(&b, "%s / %s (%.0f%%)", fmtBytes(read), fmtBytes(total), pct)
+	} else {
+		b.WriteString(fmtBytes(read))
+	}
+	fmt.Fprintf(&b, "  records=%d  conns: %d seen, %d done, %d in flight  elapsed=%s",
+		p.records.Load(), p.connsSeen.Load(), p.connsDone.Load(), p.inFlight.Load(),
+		elapsed.Round(100*time.Millisecond))
+	if total > 0 && read > 0 && read < total {
+		eta := time.Duration(float64(elapsed) * float64(total-read) / float64(read))
+		fmt.Fprintf(&b, "  eta=%s", eta.Round(100*time.Millisecond))
+	}
+	return b.String()
+}
+
+// Run starts a background reporter that writes Line to w every interval.
+// The returned stop function halts the reporter and writes one final line,
+// so even runs shorter than the interval report once.
+func (p *Progress) Run(w io.Writer, interval time.Duration) (stop func()) {
+	if p == nil {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				fmt.Fprintln(w, p.Line())
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+			fmt.Fprintln(w, p.Line())
+		})
+	}
+}

@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Stage names one pipeline stage. The analyzer's stages mirror the paper's
+// pipeline figure: ingest decoding, connection demultiplexing, sniffer
+// ACK shifting, event-series generation, transfer-end estimation (stream
+// reassembly + MCT), delay-factor classification, the known-problem
+// detectors, and the ordered merge of per-connection reports.
+type Stage string
+
+// The instrumented stages.
+const (
+	StageDecode   Stage = "decode"   // pcap record → packet
+	StageDemux    Stage = "demux"    // packet → connection grouping
+	StageAckShift Stage = "ackshift" // sniffer-location compensation (⊂ series)
+	StageSeries   Stage = "series"   // event-series generation
+	StageMCT      Stage = "mct"      // reassembly + transfer-end estimation
+	StageFactors  Stage = "factors"  // delay-ratio classification
+	StageDetect   Stage = "detect"   // known-problem detectors
+	StageMerge    Stage = "merge"    // ordered report merge
+)
+
+// Stages lists the stages in pipeline order. StageAckShift runs inside
+// StageSeries (its time is a subset of the series time), so the self-profile
+// excludes it from the share denominator.
+var Stages = []Stage{
+	StageDecode, StageDemux, StageAckShift, StageSeries, StageMCT,
+	StageFactors, StageDetect, StageMerge,
+}
+
+// Obs bundles one run's observability state: the metrics registry, the
+// per-stage duration histograms behind the tracing spans, the optional
+// span log, and the progress tracker. A nil *Obs disables everything at
+// the cost of one pointer test per instrumentation site.
+type Obs struct {
+	// Reg is the run's metrics registry.
+	Reg *Registry
+	// Progress tracks ingest progress for long runs.
+	Progress *Progress
+
+	start     time.Time
+	stageHist map[Stage]*Histogram
+
+	spanMu sync.Mutex
+	spanW  io.Writer
+}
+
+// New creates an enabled Obs with a fresh registry, per-stage histograms,
+// and a progress tracker.
+func New() *Obs {
+	o := &Obs{
+		Reg:       NewRegistry(),
+		Progress:  NewProgress(),
+		start:     time.Now(),
+		stageHist: make(map[Stage]*Histogram, len(Stages)),
+	}
+	o.Reg.SetHelp("tdat_stage_duration_micros", "Wall time per pipeline stage execution.")
+	for _, st := range Stages {
+		o.stageHist[st] = o.Reg.Histogram("tdat_stage_duration_micros", DurationBuckets, "stage", string(st))
+	}
+	return o
+}
+
+// SetSpanLog directs per-span records (one JSON object per line) to w.
+// Writes are serialized internally; w need not be concurrency-safe.
+func (o *Obs) SetSpanLog(w io.Writer) {
+	if o == nil {
+		return
+	}
+	o.spanMu.Lock()
+	o.spanW = w
+	o.spanMu.Unlock()
+}
+
+// SpanLogEnabled reports whether span records are being written — callers
+// use it to skip building span labels when nobody will read them.
+func (o *Obs) SpanLogEnabled() bool {
+	if o == nil {
+		return false
+	}
+	o.spanMu.Lock()
+	defer o.spanMu.Unlock()
+	return o.spanW != nil
+}
+
+// StageObserve records a stage duration directly (for per-record stages
+// like decode, where a full span per packet would be wasteful).
+func (o *Obs) StageObserve(stage Stage, micros int64) {
+	if o == nil {
+		return
+	}
+	o.stageHist[stage].Observe(micros)
+}
+
+// Span is one in-flight stage execution. The zero Span (from a nil Obs) is
+// a no-op, so instrumented code needs no nil checks around End.
+type Span struct {
+	o     *Obs
+	stage Stage
+	label string
+	start time.Time
+}
+
+// StartSpan opens a span for stage. label identifies the unit of work
+// (typically the connection 4-tuple) and appears only in the span log;
+// pass "" when SpanLogEnabled is false to avoid building it.
+func (o *Obs) StartSpan(stage Stage, label string) Span {
+	if o == nil {
+		return Span{}
+	}
+	return Span{o: o, stage: stage, label: label, start: time.Now()}
+}
+
+// End closes the span, recording its duration.
+func (s Span) End() { s.EndN(0, 0) }
+
+// EndN closes the span, recording its duration plus the bytes and packets
+// it processed (surfaced in the span log).
+func (s Span) EndN(bytes, packets int64) {
+	if s.o == nil {
+		return
+	}
+	dur := time.Since(s.start).Microseconds()
+	s.o.stageHist[s.stage].Observe(dur)
+	s.o.spanMu.Lock()
+	if w := s.o.spanW; w != nil {
+		fmt.Fprintf(w, `{"stage":%q,"conn":%q,"start_us":%d,"dur_us":%d,"bytes":%d,"packets":%d}`+"\n",
+			s.stage, s.label, s.start.Sub(s.o.start).Microseconds(), dur, bytes, packets)
+	}
+	s.o.spanMu.Unlock()
+}
+
+// StageShare is one row of the analyzer self-profile.
+type StageShare struct {
+	Stage Stage
+	// Total is the summed wall time of the stage across all workers (so
+	// the totals can exceed the run's wall clock under parallelism).
+	Total time.Duration
+	// Count is the number of recorded executions.
+	Count int64
+	// Share is Total over the sum of all top-level stages — the analyzer's
+	// own delay-ratio vector. StageAckShift runs inside StageSeries and is
+	// excluded from the denominator.
+	Share float64
+}
+
+// SelfProfile aggregates the per-stage histograms into the analyzer's "self
+// delay-factor" breakdown, in pipeline order.
+func (o *Obs) SelfProfile() []StageShare {
+	if o == nil {
+		return nil
+	}
+	var denom int64
+	for _, st := range Stages {
+		if st == StageAckShift {
+			continue
+		}
+		denom += o.stageHist[st].Sum()
+	}
+	out := make([]StageShare, 0, len(Stages))
+	for _, st := range Stages {
+		h := o.stageHist[st]
+		share := 0.0
+		if denom > 0 {
+			share = float64(h.Sum()) / float64(denom)
+		}
+		out = append(out, StageShare{
+			Stage: st,
+			Total: time.Duration(h.Sum()) * time.Microsecond,
+			Count: h.Count(),
+			Share: share,
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Total > out[j].Total })
+	return out
+}
+
+// WriteSelfProfile renders the self-profile like the paper renders a
+// delay-ratio vector: each stage's share of the analyzer's total stage
+// time, largest first.
+func (o *Obs) WriteSelfProfile(w io.Writer) {
+	if o == nil {
+		return
+	}
+	shares := o.SelfProfile()
+	var total time.Duration
+	for _, s := range shares {
+		if s.Stage != StageAckShift {
+			total += s.Total
+		}
+	}
+	fmt.Fprintf(w, "analyzer self-profile (%.3fs total stage time, wall %.3fs):\n",
+		total.Seconds(), time.Since(o.start).Seconds())
+	for _, s := range shares {
+		nested := ""
+		if s.Stage == StageAckShift {
+			nested = "  (within series)"
+		}
+		fmt.Fprintf(w, "  %-8s %8.3fs  %5.1f%%  %d span(s)%s\n",
+			s.Stage, s.Total.Seconds(), s.Share*100, s.Count, nested)
+	}
+}

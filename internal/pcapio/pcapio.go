@@ -108,12 +108,17 @@ func (w *Writer) Flush() error {
 	return w.w.Flush()
 }
 
-// Reader reads pcap records from an underlying stream.
+// Reader reads pcap records from an underlying stream. It counts the
+// records and raw file bytes it has consumed, which is what progress
+// reporting (records/sec, ETA from the byte fraction of a sized input)
+// needs from the ingest stage.
 type Reader struct {
 	r        *bufio.Reader
 	order    binary.ByteOrder
 	linkType uint32
 	snapLen  uint32
+	records  int64
+	bytes    int64
 }
 
 // NewReader parses the file header and returns a Reader positioned at the
@@ -142,11 +147,19 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if rd.linkType != LinkTypeEthernet {
 		return nil, fmt.Errorf("%w: %d", ErrLinkType, rd.linkType)
 	}
+	rd.bytes = int64(len(hdr))
 	return rd, nil
 }
 
 // SnapLen returns the snapshot length declared in the file header.
 func (r *Reader) SnapLen() int { return int(r.snapLen) }
+
+// RecordsRead returns the number of complete records consumed so far.
+func (r *Reader) RecordsRead() int64 { return r.records }
+
+// BytesRead returns the raw file bytes consumed so far (header plus every
+// complete record) — an exact file offset for progress/ETA computation.
+func (r *Reader) BytesRead() int64 { return r.bytes }
 
 // Next returns the next record, or io.EOF at a clean end of file. A file
 // that ends mid-record returns ErrTruncated, which callers treat as the
@@ -170,6 +183,8 @@ func (r *Reader) Next() (Record, error) {
 	if _, err := io.ReadFull(r.r, data); err != nil {
 		return Record{}, fmt.Errorf("%w: record data: %v", ErrTruncated, err)
 	}
+	r.records++
+	r.bytes += int64(len(hdr)) + int64(capLen)
 	return Record{
 		TimeMicros: sec*1_000_000 + usec,
 		OrigLen:    int(origLen),
