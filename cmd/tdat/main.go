@@ -8,12 +8,20 @@
 //
 //	tdat [-series] [-threshold 0.3] [-sniffer receiver|sender]
 //	     [-mrt archive.mrt] [-workers N]
+//	     [-strict] [-max-connections N] [-max-reassembly-bytes N]
 //	     [-progress] [-metrics-addr :9177] [-metrics-hold 60s]
 //	     [-span-log spans.jsonl] [-self-profile] [-metrics-json m.json]
 //	     [-log-level info] trace.pcap
 //
 // With -mrt, transfer ends come from the collector's BGP archive (the
 // paper's Quagga pipeline) instead of payload reassembly.
+//
+// Damaged captures are analyzed leniently by default: unreadable records,
+// truncated tails, clock regressions, and corrupt BGP framing degrade the
+// analysis and are itemized in a degradation report after the transfers.
+// -strict refuses such input at the first concession; -max-connections and
+// -max-reassembly-bytes bound demux and reassembly memory against
+// adversarial traces (0 = unlimited).
 //
 // The observability flags never change analysis output: -progress reports
 // ingest progress on stderr, -metrics-addr serves Prometheus /metrics plus
@@ -53,6 +61,9 @@ func run() int {
 		mrtPath    = flag.String("mrt", "", "collector MRT archive to pin transfer ends (Quagga pipeline)")
 		asJSON     = flag.Bool("json", false, "emit machine-readable JSON per connection")
 		workers    = flag.Int("workers", 0, "analysis worker count (0 = all CPUs, 1 = sequential); output is identical for any value")
+		strict     = flag.Bool("strict", false, "refuse damaged captures: fail at the first degradation event instead of analyzing leniently")
+		maxConns   = flag.Int("max-connections", 0, "cap simultaneously tracked connections; when full the oldest open one is force-completed (0 = unlimited)")
+		maxReasm   = flag.Int64("max-reassembly-bytes", 0, "cap per-connection reassembled stream bytes (0 = unlimited)")
 
 		logLevel    = flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
 		progress    = flag.Bool("progress", false, "report ingest progress on stderr while analyzing")
@@ -73,7 +84,13 @@ func run() int {
 		return 2
 	}
 
-	cfg := core.Config{MajorThreshold: *threshold, Workers: *workers}
+	cfg := core.Config{
+		MajorThreshold:     *threshold,
+		Workers:            *workers,
+		Strict:             *strict,
+		MaxConnections:     *maxConns,
+		MaxReassemblyBytes: *maxReasm,
+	}
 	cfg.Series.DisableShift = *noShift
 	switch *sniffer {
 	case "receiver":
@@ -151,6 +168,10 @@ func run() int {
 	if rep.SkippedPackets > 0 {
 		slog.Warn("undecodable packets skipped", "count", rep.SkippedPackets)
 	}
+	if !rep.Degradation.Empty() {
+		slog.Warn("damaged capture analyzed leniently; see degradation report",
+			"concessions", rep.Degradation.Count())
+	}
 	for _, fl := range rep.Failures {
 		slog.Warn("connection analysis panicked; report omitted",
 			"conn", fl.Conn, "panic", fl.Panic)
@@ -174,6 +195,14 @@ func run() int {
 				break
 			}
 			fmt.Println()
+		}
+		// Printed only for damaged input, so clean-trace output is
+		// byte-identical with and without the lenient machinery.
+		if code == 0 && !rep.Degradation.Empty() {
+			if err := rep.Degradation.WriteText(os.Stdout); err != nil {
+				slog.Error("writing degradation report", "err", err)
+				code = 1
+			}
 		}
 	}
 

@@ -5,6 +5,7 @@
 package core
 
 import (
+	"fmt"
 	"io"
 
 	"tdat/internal/bgp"
@@ -45,6 +46,23 @@ type Config struct {
 	// Reports are byte-identical for every value — only wall-clock time
 	// changes (regression-tested by TestParallelAnalysisByteIdentical).
 	Workers int
+	// Strict refuses damaged captures: the first degradation event —
+	// undecodable record, pcap-level truncation or corruption, timestamp
+	// regression, resource-cap eviction, BGP framing failure — aborts the
+	// run with an ErrStrict-wrapped error instead of degrading. The lenient
+	// default completes the analysis and accounts for every concession in
+	// Report.Degradation. Enforced by the ingest entry points (AnalyzePcap,
+	// AnalyzePcapWith, AnalyzeRecords).
+	Strict bool
+	// MaxConnections caps simultaneously tracked (un-emitted) connections
+	// in the demuxer; when full, the oldest open connection is
+	// force-completed (see flows.Options.MaxTracked). 0 means unlimited —
+	// the default, which keeps clean-trace output byte-identical.
+	MaxConnections int
+	// MaxReassemblyBytes caps the per-connection reassembled stream
+	// materialized for transfer-end estimation, so a corrupt-sequence
+	// capture cannot demand gigabytes. 0 means unlimited.
+	MaxReassemblyBytes int64
 	// Obs receives the run's metrics, tracing spans, and progress when
 	// non-nil. Nil keeps every pipeline stage on a zero-overhead fast
 	// path (the benchmarks hold it to <2% vs. uninstrumented code).
@@ -62,6 +80,9 @@ type Analyzer struct {
 func New(cfg Config) *Analyzer {
 	cfg.Flows.Obs = cfg.Obs
 	cfg.Series.Obs = cfg.Obs
+	if cfg.MaxConnections > 0 {
+		cfg.Flows.MaxTracked = cfg.MaxConnections
+	}
 	return &Analyzer{cfg: cfg}
 }
 
@@ -89,6 +110,14 @@ type TransferReport struct {
 	// Messages counts BGP messages recovered by reassembly (0 when the
 	// payload was not decodable as BGP).
 	Messages int
+
+	// ReassemblyError records a lenient-path BGP framing failure ("" when
+	// clean); the transfer end then falls back to the last data packet,
+	// exactly as for a non-BGP payload. Collected into Report.Degradation.
+	ReassemblyError string
+	// ReassemblyTruncated counts recovered stream bytes beyond
+	// Config.MaxReassemblyBytes that were left undecoded.
+	ReassemblyTruncated int64
 }
 
 // Duration returns the transfer duration.
@@ -112,6 +141,10 @@ type Report struct {
 	// Failures lists connections whose analysis panicked (sorted by
 	// connection tuple; also counted as tdat_analysis_panics_total).
 	Failures []AnalysisFailure
+	// Degradation accounts for everything the lenient path skipped,
+	// evicted, or truncated to survive a damaged capture; its zero value
+	// means the input was clean.
+	Degradation Degradation
 }
 
 // AnalyzePcap reads a pcap stream and analyzes every connection in it.
@@ -121,13 +154,17 @@ func (a *Analyzer) AnalyzePcap(r io.Reader) (*Report, error) {
 	return a.AnalyzePcapWith(r, a.AnalyzeConnection)
 }
 
-// AnalyzeRecords analyzes decoded pcap records.
+// AnalyzeRecords analyzes decoded pcap records. In strict mode the first
+// undecodable record (or any downstream degradation) aborts the run.
 func (a *Analyzer) AnalyzeRecords(recs []pcapio.Record) (*Report, error) {
 	var pkts []flows.TimedPacket
 	skipped := 0
-	for _, rec := range recs {
+	for i, rec := range recs {
 		p, err := decodeRecord(rec)
 		if err != nil {
+			if a.cfg.Strict {
+				return nil, fmt.Errorf("%w: record %d undecodable: %v", ErrStrict, i, err)
+			}
 			skipped++
 			continue
 		}
@@ -135,6 +172,12 @@ func (a *Analyzer) AnalyzeRecords(recs []pcapio.Record) (*Report, error) {
 	}
 	rep := a.AnalyzePackets(pkts)
 	rep.SkippedPackets = skipped
+	rep.Degradation.UndecodableRecords = skipped
+	if a.cfg.Strict {
+		if err := rep.Degradation.strictErr(); err != nil {
+			return nil, err
+		}
+	}
 	return rep, nil
 }
 
@@ -200,7 +243,7 @@ func (a *Analyzer) AnalyzeConnection(c *flows.Connection) *TransferReport {
 	sp := a.connSpan(obs.StageMCT, c)
 	start := c.Profile.Start
 	end := c.Profile.End
-	if res, ok := a.reassembleEnd(c, &tr.Messages); ok {
+	if res, ok := a.reassembleEnd(c, tr); ok {
 		tr.MCT = &res
 		end = res.End
 	} else if len(c.Data) > 0 {
@@ -264,13 +307,22 @@ func (a *Analyzer) AnalyzeConnectionWithUpdates(c *flows.Connection, updates []m
 	return tr
 }
 
-// reassembleEnd recovers the BGP stream and estimates the transfer end.
-func (a *Analyzer) reassembleEnd(c *flows.Connection, msgCount *int) (mct.Result, bool) {
-	res, err := reassembly.Reassemble(c)
+// reassembleEnd recovers the BGP stream and estimates the transfer end,
+// noting reassembly concessions (framing failure, byte-cap truncation) on
+// the report.
+func (a *Analyzer) reassembleEnd(c *flows.Connection, tr *TransferReport) (mct.Result, bool) {
+	res, err := reassembly.ReassembleLimited(c, a.cfg.MaxReassemblyBytes)
+	if err != nil && (res.LooksLikeBGP || len(res.Messages) > 0) {
+		// Only a stream that demonstrably carried BGP counts as damaged; a
+		// payload of some other protocol is a supported input (Messages
+		// stays 0 and the transfer end falls back), not a concession.
+		tr.ReassemblyError = err.Error()
+	}
+	tr.ReassemblyTruncated = res.TruncatedBytes
 	if err != nil || len(res.Messages) == 0 {
 		return mct.Result{}, false
 	}
-	*msgCount = len(res.Messages)
+	tr.Messages = len(res.Messages)
 	times := make([]Micros, len(res.Messages))
 	msgs := make([]bgp.Message, len(res.Messages))
 	for i, m := range res.Messages {

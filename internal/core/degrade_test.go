@@ -1,0 +1,179 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tdat/internal/flows"
+	"tdat/internal/packet"
+	"tdat/internal/traceutil"
+)
+
+// corpusTrace loads one committed adversarial pcap from the shared corpus.
+func corpusTrace(t *testing.T, name string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "pcapio", "testdata", "adversarial", name))
+	if err != nil {
+		t.Fatalf("reading corpus trace: %v", err)
+	}
+	return data
+}
+
+var corpusNames = []string{
+	"truncated_header.pcap",
+	"truncated_record.pcap",
+	"zero_snaplen.pcap",
+	"corrupt_bgp_length.pcap",
+	"clock_regression.pcap",
+}
+
+// TestCorpusDegradesGracefully runs the full lenient pipeline over every
+// damage class of the adversarial corpus, at one worker and at several: each
+// trace must complete without panicking and account for its damage in a
+// non-empty degradation report.
+func TestCorpusDegradesGracefully(t *testing.T) {
+	for _, name := range corpusNames {
+		for _, workers := range []int{1, 4} {
+			t.Run(name, func(t *testing.T) {
+				data := corpusTrace(t, name)
+				a := New(Config{Workers: workers})
+				rep, err := a.AnalyzePcap(bytes.NewReader(data))
+				if err != nil {
+					t.Fatalf("lenient analysis failed: %v", err)
+				}
+				if rep.Degradation.Empty() {
+					t.Fatal("damaged trace produced an empty degradation report")
+				}
+				var buf bytes.Buffer
+				if err := rep.Degradation.WriteText(&buf); err != nil {
+					t.Fatalf("WriteText: %v", err)
+				}
+				if !strings.HasPrefix(buf.String(), "degraded input:") {
+					t.Errorf("unexpected report rendering:\n%s", buf.String())
+				}
+			})
+		}
+	}
+}
+
+// TestCorpusDegradationKinds pins each damage class to the degradation
+// dimension it must show up under.
+func TestCorpusDegradationKinds(t *testing.T) {
+	check := map[string]func(t *testing.T, d *Degradation){
+		"truncated_header.pcap": func(t *testing.T, d *Degradation) {
+			if len(d.RecordErrors) == 0 {
+				t.Error("no RecordErrors for a truncated file header")
+			}
+		},
+		"truncated_record.pcap": func(t *testing.T, d *Degradation) {
+			if len(d.RecordErrors) != 1 {
+				t.Fatalf("RecordErrors = %v, want exactly one", d.RecordErrors)
+			}
+			if d.RecordErrors[0].Index <= 0 || d.RecordErrors[0].Offset <= 24 {
+				t.Errorf("damage not located: %+v", d.RecordErrors[0])
+			}
+		},
+		"zero_snaplen.pcap": func(t *testing.T, d *Degradation) {
+			if d.UndecodableRecords == 0 {
+				t.Error("zero-snaplen records decoded despite empty frames")
+			}
+		},
+		"corrupt_bgp_length.pcap": func(t *testing.T, d *Degradation) {
+			for _, ci := range d.ConnIssues {
+				if ci.Kind == "bgp-framing" {
+					return
+				}
+			}
+			t.Errorf("no bgp-framing issue recorded: %+v", d.ConnIssues)
+		},
+		"clock_regression.pcap": func(t *testing.T, d *Degradation) {
+			if d.TimestampRegressions == 0 {
+				t.Error("clock regressions not counted")
+			}
+		},
+	}
+	for _, name := range corpusNames {
+		t.Run(name, func(t *testing.T) {
+			rep, err := New(Config{Workers: 1}).AnalyzePcap(bytes.NewReader(corpusTrace(t, name)))
+			if err != nil {
+				t.Fatalf("lenient analysis failed: %v", err)
+			}
+			check[name](t, &rep.Degradation)
+		})
+	}
+}
+
+// TestStrictRefusesCorpus checks -strict semantics: every damaged trace is
+// refused with an ErrStrict-wrapped error instead of a degraded report.
+func TestStrictRefusesCorpus(t *testing.T) {
+	for _, name := range corpusNames {
+		t.Run(name, func(t *testing.T) {
+			_, err := New(Config{Strict: true}).AnalyzePcap(bytes.NewReader(corpusTrace(t, name)))
+			if !errors.Is(err, ErrStrict) {
+				t.Fatalf("err = %v, want ErrStrict", err)
+			}
+		})
+	}
+}
+
+// TestStrictAcceptsCleanTrace checks strict mode is transparent on a
+// healthy capture — same transfers, empty degradation.
+func TestStrictAcceptsCleanTrace(t *testing.T) {
+	b := traceutil.New()
+	b.Handshake(0, 8_000, 1460)
+	b.SteadyTransfer(20_000, 8_000, 4, 4, 65535)
+	lenient := New(Config{Workers: 1}).AnalyzePackets(b.Pkts)
+	strict := New(Config{Workers: 1, Strict: true}).AnalyzePackets(b.Pkts)
+	if len(lenient.Transfers) != len(strict.Transfers) || len(strict.Transfers) == 0 {
+		t.Fatalf("transfers: lenient=%d strict=%d", len(lenient.Transfers), len(strict.Transfers))
+	}
+	if !strict.Degradation.Empty() {
+		t.Errorf("clean trace reported degradation: %+v", strict.Degradation)
+	}
+}
+
+// TestConnectionCapDegrades checks the MaxConnections cap: a flood of
+// distinct tuples stays bounded, evictions are counted, and strict mode
+// refuses the concession.
+func TestConnectionCapDegrades(t *testing.T) {
+	b := traceutil.New()
+	// 8 concurrent connections on distinct ports, none of which ever
+	// finishes — the demuxer must evict to stay under the cap.
+	for i := 0; i < 8; i++ {
+		ep := flows.Endpoint{Addr: traceutil.SenderEP.Addr, Port: uint16(5000 + i)}
+		b.Add(Micros(i)*1_000, ep, traceutil.ReceiverEP, 0, 0, packet.FlagSYN, 65535, 0)
+		b.Add(Micros(i)*1_000+500, ep, traceutil.ReceiverEP, 1, 1, packet.FlagACK, 65535, 100)
+	}
+	cfg := Config{Workers: 1, MaxConnections: 3}
+	rep := New(cfg).AnalyzePackets(b.Pkts)
+	if rep.Degradation.EvictedConnections == 0 {
+		t.Fatal("no evictions under a cap smaller than the live connection count")
+	}
+	if got := len(rep.Transfers); got != 8 {
+		t.Errorf("transfers = %d, want all 8 (evicted ones still analyzed)", got)
+	}
+}
+
+// TestReassemblyCapTruncates checks MaxReassemblyBytes: a transfer larger
+// than the cap is decoded up to the cap and the excess is accounted as a
+// reassembly-cap concession.
+func TestReassemblyCapTruncates(t *testing.T) {
+	data := corpusTrace(t, "clock_regression.pcap") // intact payload bytes
+	rep, err := New(Config{Workers: 1, MaxReassemblyBytes: 64}).AnalyzePcap(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ci := range rep.Degradation.ConnIssues {
+		if ci.Kind == "reassembly-cap" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no reassembly-cap issue under a 64-byte cap: %+v", rep.Degradation.ConnIssues)
+	}
+}

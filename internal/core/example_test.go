@@ -2,6 +2,7 @@ package core_test
 
 import (
 	"fmt"
+	"os"
 
 	"tdat/internal/core"
 	"tdat/internal/factors"
@@ -35,4 +36,32 @@ func ExampleAnalyzer() {
 	// dominant factor: bgp-sender-app
 	// timer: 200 ms
 	// app-limited ranges non-empty: true
+}
+
+// What a damaged capture looks like in the degradation report: every
+// concession the lenient path made is accounted per record and per
+// connection. Analyze with Config.Strict to refuse such input instead.
+func ExampleDegradation_WriteText() {
+	d := core.Degradation{
+		UndecodableRecords: 3,
+		RecordErrors: []core.RecordIssue{
+			{Index: 412, Offset: 193_572, Err: "pcapio: truncated file: record data: 201 of 512 bytes"},
+		},
+		TimestampRegressions: 2,
+		EvictedConnections:   1,
+		ConnIssues: []core.ConnIssue{
+			{
+				Conn: "10.0.0.1:179->10.0.0.2:41000", Kind: "bgp-framing",
+				Detail: "reassembly: BGP framing at offset 6651: bgp: bad length: 65520",
+			},
+		},
+	}
+	d.WriteText(os.Stdout)
+	// Output:
+	// degraded input: 8 concession(s)
+	//   undecodable records skipped: 3
+	//   pcap damage at record 412 (byte 193572): pcapio: truncated file: record data: 201 of 512 bytes
+	//   capture timestamps regressed on 2 packet(s)
+	//   connections force-completed by the connection cap: 1
+	//   10.0.0.1:179->10.0.0.2:41000: bgp-framing: reassembly: BGP framing at offset 6651: bgp: bad length: 65520
 }

@@ -13,6 +13,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -127,7 +128,7 @@ func (g *guard) finish(rep *Report) {
 // A connection whose analysis panics is dropped into Report.Failures.
 func (a *Analyzer) AnalyzePackets(pkts []flows.TimedPacket) *Report {
 	o := a.cfg.Obs
-	conns := flows.ExtractOpts(pkts, a.cfg.Flows)
+	conns, ds := flows.ExtractOptsStats(pkts, a.cfg.Flows)
 	if o != nil {
 		o.Reg.Gauge("tdat_pool_workers").Set(int64(a.workers()))
 	}
@@ -144,14 +145,19 @@ func (a *Analyzer) AnalyzePackets(pkts []flows.TimedPacket) *Report {
 		return tr
 	})
 	rep := &Report{}
+	rep.Degradation.fromDemux(ds)
 	sp := a.span(obs.StageMerge)
 	for _, t := range results {
 		if t != nil {
 			rep.Transfers = append(rep.Transfers, t)
+			rep.Degradation.addTransfer(t)
 		}
 	}
 	sp.End()
 	g.finish(rep)
+	if o != nil {
+		rep.Degradation.observe(o.Reg)
+	}
 	return rep
 }
 
@@ -172,7 +178,21 @@ func (a *Analyzer) span(stage obs.Stage) obs.Span {
 func (a *Analyzer) AnalyzePcapWith(r io.Reader, analyze func(*flows.Connection) *TransferReport) (*Report, error) {
 	pr, err := pcapio.NewReader(r)
 	if err != nil {
-		return nil, fmt.Errorf("core: reading pcap: %w", err)
+		// A truncated-but-genuine pcap header is damage, not the wrong
+		// file: the lenient path degrades to an empty capture and says so;
+		// strict mode refuses it. Bad magic stays a hard error either way.
+		if !errors.Is(err, pcapio.ErrTruncated) {
+			return nil, fmt.Errorf("core: reading pcap: %w", err)
+		}
+		if a.cfg.Strict {
+			return nil, fmt.Errorf("%w: %v", ErrStrict, err)
+		}
+		rep := &Report{}
+		rep.Degradation.RecordErrors = []RecordIssue{{Err: err.Error()}}
+		if o := a.cfg.Obs; o != nil {
+			rep.Degradation.observe(o.Reg)
+		}
+		return rep, nil
 	}
 
 	o := a.cfg.Obs
@@ -268,6 +288,9 @@ func (a *Analyzer) AnalyzePcapWith(r io.Reader, analyze func(*flows.Connection) 
 			records++
 			p, err := packet.Decode(rec.Data)
 			if err != nil {
+				if a.cfg.Strict {
+					return fmt.Errorf("%w: record %d undecodable: %v", ErrStrict, records-1, err)
+				}
 				skipped++
 				return nil
 			}
@@ -287,6 +310,9 @@ func (a *Analyzer) AnalyzePcapWith(r io.Reader, analyze func(*flows.Connection) 
 			t1 := time.Now()
 			o.StageObserve(obs.StageDecode, t1.Sub(t0).Microseconds())
 			if err != nil {
+				if a.cfg.Strict {
+					return fmt.Errorf("%w: record %d undecodable: %v", ErrStrict, records-1, err)
+				}
 				skipped++
 				skippedC.Inc()
 				return nil
@@ -301,18 +327,47 @@ func (a *Analyzer) AnalyzePcapWith(r io.Reader, analyze func(*flows.Connection) 
 		close(jobs)
 		wg.Wait()
 	}
-	if readErr != nil && records == 0 {
-		return nil, fmt.Errorf("core: reading pcap: %w", readErr)
+	if readErr != nil {
+		if a.cfg.Strict {
+			if errors.Is(readErr, ErrStrict) {
+				return nil, readErr
+			}
+			return nil, fmt.Errorf("%w: %v", ErrStrict, readErr)
+		}
+		if records == 0 {
+			return nil, fmt.Errorf("core: reading pcap: %w", readErr)
+		}
 	}
 
 	rep := &Report{SkippedPackets: skipped}
+	rep.Degradation.UndecodableRecords = skipped
+	rep.Degradation.fromDemux(d.Stats())
+	if readErr != nil {
+		// Lenient path with a readable prefix: the file damage is a
+		// degradation event, located exactly when the pcap layer can.
+		issue := RecordIssue{Index: int64(records), Err: readErr.Error()}
+		var re *pcapio.RecordError
+		if errors.As(readErr, &re) {
+			issue = RecordIssue{Index: re.Index, Offset: re.Offset, Err: re.Err.Error()}
+		}
+		rep.Degradation.RecordErrors = append(rep.Degradation.RecordErrors, issue)
+	}
 	sp := a.span(obs.StageMerge)
 	for i := 0; i < total; i++ {
 		if t := results[i]; t != nil {
 			rep.Transfers = append(rep.Transfers, t)
+			rep.Degradation.addTransfer(t)
 		}
 	}
 	sp.End()
 	g.finish(rep)
+	if a.cfg.Strict {
+		if err := rep.Degradation.strictErr(); err != nil {
+			return nil, err
+		}
+	}
+	if o != nil {
+		rep.Degradation.observe(o.Reg)
+	}
 	return rep, nil
 }

@@ -134,6 +134,12 @@ type Options struct {
 	// DisableReorderFilter labels every gap fill as an upstream loss — the
 	// ablation the benchmarks sweep.
 	DisableReorderFilter bool
+	// MaxTracked caps simultaneously tracked (un-emitted) connections in
+	// the Demuxer; when full, the oldest open connection is force-completed
+	// so adversarial captures (a SYN flood of distinct tuples) cannot grow
+	// demux state without bound. 0 means unlimited — the default, which
+	// keeps extraction on clean traces byte-identical.
+	MaxTracked int
 	// Obs receives demux metrics (connections opened, early emissions,
 	// packets routed) and progress updates when non-nil. It never affects
 	// extraction output.

@@ -176,6 +176,11 @@ type rawConn struct {
 	// one.
 	synISN     map[Endpoint]uint32
 	sawPayload bool
+	// established marks that a non-SYN packet was captured: the tuple is
+	// past connection initiation, so a later fresh SYN is a reused tuple
+	// even when the incarnation's own handshake (and any payload) was
+	// never captured — the truncated/no-FIN predecessor case.
+	established bool
 	// idx is the creation index (order of first packet); done marks a
 	// connection the demuxer has already emitted.
 	idx  int
@@ -190,6 +195,14 @@ func Extract(pkts []TimedPacket) []*Connection {
 
 // ExtractOpts is Extract with explicit classification options.
 func ExtractOpts(pkts []TimedPacket, opts Options) []*Connection {
+	conns, _ := ExtractOptsStats(pkts, opts)
+	return conns
+}
+
+// ExtractOptsStats is ExtractOpts exposing the demuxer's degradation
+// statistics (evictions, resumed connections, timestamp regressions)
+// alongside the connections.
+func ExtractOptsStats(pkts []TimedPacket, opts Options) ([]*Connection, DemuxStats) {
 	sorted := append([]TimedPacket(nil), pkts...)
 	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Time < sorted[j].Time })
 
@@ -205,7 +218,7 @@ func ExtractOpts(pkts []TimedPacket, opts Options) []*Connection {
 			out = append(out, c)
 		}
 	}
-	return out
+	return out, d.Stats()
 }
 
 // Demuxer incrementally groups a packet stream into TCP connections and
@@ -235,10 +248,45 @@ type Demuxer struct {
 	disorder bool
 	finished bool
 
+	// stats feeds the degradation report (see Stats).
+	stats DemuxStats
+	// open counts tracked (un-emitted) connections for the MaxTracked cap;
+	// evictScan remembers where the oldest-open scan left off so repeated
+	// evictions stay amortized O(1).
+	open      int
+	evictScan int
+
 	// metrics (nil handles when opts.Obs is nil — every update is a no-op)
 	packetsC *obs.Counter
 	openedC  *obs.Counter
 	earlyC   *obs.Counter
+	evictedC *obs.Counter
+	resumedC *obs.Counter
+	regressC *obs.Counter
+}
+
+// DemuxStats summarizes one demux run for the degradation report. On a
+// clean capture everything except Packets, Opened, and EarlyEmits is zero.
+type DemuxStats struct {
+	// Packets is the number of packets routed.
+	Packets int64
+	// Opened is the number of raw connections created.
+	Opened int
+	// EarlyEmits counts connections completed before Finish (tuple reuse).
+	EarlyEmits int
+	// Evicted counts connections force-completed by the MaxTracked cap.
+	Evicted int
+	// Resumed counts connections restarted because packets kept arriving
+	// for an already-evicted tuple; their reports cover only the tail.
+	Resumed int
+	// TimestampRegressions counts packets timestamped before their
+	// predecessor — sniffer clock step-backs.
+	TimestampRegressions int64
+}
+
+// Degraded reports whether the run saw any damage worth surfacing.
+func (s DemuxStats) Degraded() bool {
+	return s.Evicted > 0 || s.Resumed > 0 || s.TimestampRegressions > 0
 }
 
 // NewDemuxer creates a Demuxer that emits completed connections via emit.
@@ -252,15 +300,28 @@ func NewDemuxer(opts Options, emit func(index int, c *Connection)) *Demuxer {
 		d.packetsC = o.Reg.Counter("tdat_demux_packets_total")
 		d.openedC = o.Reg.Counter("tdat_demux_conns_opened_total")
 		d.earlyC = o.Reg.Counter("tdat_demux_conns_early_total")
+		d.evictedC = o.Reg.Counter("tdat_demux_conns_evicted_total")
+		d.resumedC = o.Reg.Counter("tdat_demux_conns_resumed_total")
+		d.regressC = o.Reg.Counter("tdat_demux_ts_regressions_total")
 	}
 	return d
 }
 
-// newRawConn registers a fresh raw connection under key k.
+// Stats returns the run's demux statistics (valid any time; final after
+// Finish).
+func (d *Demuxer) Stats() DemuxStats { return d.stats }
+
+// newRawConn registers a fresh raw connection under key k, evicting the
+// oldest tracked connection first when the MaxTracked cap is reached.
 func (d *Demuxer) newRawConn(k Key) *rawConn {
+	if max := d.opts.MaxTracked; max > 0 && d.open >= max {
+		d.evictOldest()
+	}
 	rc := &rawConn{key: k, synFrom: map[Endpoint]Micros{}, idx: len(d.order)}
 	d.index[k] = rc
 	d.order = append(d.order, rc)
+	d.open++
+	d.stats.Opened++
 	d.openedC.Inc()
 	if o := d.opts.Obs; o != nil {
 		o.Progress.ConnSeen()
@@ -268,14 +329,35 @@ func (d *Demuxer) newRawConn(k Key) *rawConn {
 	return rc
 }
 
+// evictOldest force-completes the oldest still-open connection so tracked
+// state stays bounded on adversarial traces (a SYN flood of distinct
+// tuples must not OOM the analyzer). The evicted connection's report
+// covers what was captured so far; packets arriving later for its tuple
+// start a fresh partial connection (counted as Resumed).
+func (d *Demuxer) evictOldest() {
+	for d.evictScan < len(d.order) {
+		rc := d.order[d.evictScan]
+		if !rc.done {
+			d.stats.Evicted++
+			d.evictedC.Inc()
+			d.complete(rc)
+			return
+		}
+		d.evictScan++
+	}
+}
+
 // Add routes one packet to its connection, emitting any connection the
 // packet proves complete.
 func (d *Demuxer) Add(tp TimedPacket) {
 	if tp.Time < d.lastTime {
 		d.disorder = true
+		d.stats.TimestampRegressions++
+		d.regressC.Inc()
 	}
 	d.lastTime = tp.Time
 	d.packetsC.Inc()
+	d.stats.Packets++
 
 	src := Endpoint{Addr: tp.Pkt.IP.Src, Port: tp.Pkt.TCP.SrcPort}
 	dst := Endpoint{Addr: tp.Pkt.IP.Dst, Port: tp.Pkt.TCP.DstPort}
@@ -283,19 +365,33 @@ func (d *Demuxer) Add(tp TimedPacket) {
 	rc, ok := d.index[k]
 	if !ok {
 		rc = d.newRawConn(k)
+	} else if rc.done {
+		// The tuple's tracked connection was evicted under the MaxTracked
+		// cap but traffic keeps coming: start a fresh partial connection
+		// rather than silently dropping the tail.
+		rc = d.newRawConn(k)
+		d.stats.Resumed++
+		d.resumedC.Inc()
 	}
 	// Port reuse across session resets (the ISP_A-1 reset storm): a
 	// fresh SYN with a NEW initial sequence number on a tuple that
 	// already carried traffic starts a new connection; a SYN repeating
-	// the same ISN is just a retransmission of the old handshake.
+	// the same ISN is just a retransmission of the old handshake. The
+	// old incarnation needs no FIN/RST boundary: payload, a recorded
+	// SYN, or any established (non-SYN) traffic proves it was a distinct
+	// connection — the last case covers a predecessor whose capture was
+	// truncated before (or after) its handshake.
 	if tp.Pkt.TCP.HasFlag(packet.FlagSYN) && !tp.Pkt.TCP.HasFlag(packet.FlagACK) &&
 		len(rc.packets) > 0 {
 		if isn, seen := rc.synISN[src]; !seen || isn != tp.Pkt.TCP.Seq {
-			if seen || rc.sawPayload {
+			if seen || rc.sawPayload || rc.established {
 				d.complete(rc) // the old incarnation can get no more packets
 				rc = d.newRawConn(k)
 			}
 		}
+	}
+	if !tp.Pkt.TCP.HasFlag(packet.FlagSYN) {
+		rc.established = true
 	}
 	if tp.Pkt.TCP.HasFlag(packet.FlagSYN) && !tp.Pkt.TCP.HasFlag(packet.FlagACK) {
 		if rc.synISN == nil {
@@ -327,7 +423,9 @@ func (d *Demuxer) complete(rc *rawConn) {
 		return
 	}
 	rc.done = true
+	d.open--
 	if !d.finished {
+		d.stats.EarlyEmits++
 		d.earlyC.Inc()
 	}
 	if d.disorder {

@@ -337,3 +337,122 @@ func TestRetransmittedSYNDoesNotSplit(t *testing.T) {
 		t.Fatalf("extracted %d connections, want 1 (SYN retransmission)", len(conns))
 	}
 }
+
+func TestPortReuseAfterTruncatedConnection(t *testing.T) {
+	// Tuple reuse after a TRUNCATED predecessor: the capture caught only the
+	// tail of the first incarnation — pure ACKs, no SYN, no payload, and no
+	// FIN/RST boundary (the sniffer started late and the teardown was
+	// dropped). The redial's fresh SYN must still start a new connection:
+	// the old incarnation was demonstrably past initiation (non-SYN traffic
+	// on the tuple), so a new SYN can only be a reused port pair.
+	b := &builder{}
+	b.add(0, senderEP, receiverEP, 50_000, 90_000, packet.FlagACK, 65535, 0)
+	b.add(10_000, receiverEP, senderEP, 90_000, 50_000, packet.FlagACK, 65535, 0)
+	// Redial with fresh ISNs, full handshake, one data segment.
+	b.handshake(1_000_000, 10_000, 7000, 9000, 1460)
+	b.add(1_020_000, senderEP, receiverEP, 7001, 9001, packet.FlagACK, 65535, 1460)
+	b.add(1_030_000, receiverEP, senderEP, 9001, 8461, packet.FlagACK, 65535, 0)
+
+	conns := Extract(b.pkts)
+	if len(conns) != 2 {
+		t.Fatalf("extracted %d connections, want 2 (reuse after truncated predecessor)", len(conns))
+	}
+	// The second incarnation must anchor at its own ISN: exactly one clean
+	// data segment at stream offset 0, not a wild offset against the
+	// truncated predecessor's inferred ISN.
+	c := conns[1]
+	if len(c.Data) != 1 || c.Data[0].Seq != 0 || c.Data[0].Len != 1460 {
+		t.Errorf("redial data events = %+v", c.Data)
+	}
+	if c.Profile.RetransmitCount+c.Profile.GapFillCount != 0 {
+		t.Errorf("redial has phantom loss labels: %+v", c.Profile)
+	}
+}
+
+func TestSimultaneousOpenStillMerges(t *testing.T) {
+	// Two SYNs (one per direction) are a simultaneous open, not tuple
+	// reuse: the established flag must not split a connection whose second
+	// captured packet is the peer's SYN.
+	b := &builder{}
+	b.add(0, senderEP, receiverEP, 1000, 0, packet.FlagSYN, 65535, 0)
+	b.add(100, receiverEP, senderEP, 2000, 1001, packet.FlagSYN|packet.FlagACK, 65535, 0)
+	b.add(10_000, senderEP, receiverEP, 1001, 2001, packet.FlagACK, 65535, 900)
+	if conns := Extract(b.pkts); len(conns) != 1 {
+		t.Fatalf("extracted %d connections, want 1 (simultaneous open)", len(conns))
+	}
+}
+
+func TestMaxTrackedEvictsOldest(t *testing.T) {
+	// A flood of concurrent never-ending connections on distinct ports:
+	// with MaxTracked, the demuxer force-completes the oldest open
+	// connection instead of growing without bound, and still emits every
+	// connection exactly once.
+	b := &builder{}
+	for i := 0; i < 6; i++ {
+		ep := Endpoint{Addr: senderEP.Addr, Port: uint16(10_000 + i)}
+		b.add(Micros(i)*1_000, ep, receiverEP, 1000, 0, packet.FlagSYN, 65535, 0)
+		b.add(Micros(i)*1_000+100, ep, receiverEP, 1001, 1, packet.FlagACK, 65535, 200)
+	}
+	opts := DefaultOptions()
+	opts.MaxTracked = 2
+	conns, stats := ExtractOptsStats(b.pkts, opts)
+	if len(conns) != 6 {
+		t.Fatalf("extracted %d connections, want 6", len(conns))
+	}
+	if stats.Evicted < 4 {
+		t.Errorf("Evicted = %d, want >= 4 (cap 2, 6 concurrent)", stats.Evicted)
+	}
+	if !stats.Degraded() {
+		t.Error("stats not marked degraded despite evictions")
+	}
+}
+
+func TestEvictedConnectionResumesAsPartial(t *testing.T) {
+	// Packets arriving for a tuple AFTER its connection was evicted must
+	// open a fresh partial connection (and be counted as resumed), not be
+	// appended to the already-emitted one.
+	var emitted []*Connection
+	opts := DefaultOptions()
+	opts.MaxTracked = 1
+	d := NewDemuxer(opts, func(_ int, c *Connection) { emitted = append(emitted, c) })
+	b := &builder{}
+	b.add(0, senderEP, receiverEP, 1000, 0, packet.FlagSYN, 65535, 0)
+	b.add(100, senderEP, receiverEP, 1001, 1, packet.FlagACK, 65535, 300)
+	// A second tuple forces the first out of the tracker…
+	other := Endpoint{Addr: senderEP.Addr, Port: 10_500}
+	b.add(200, other, receiverEP, 5000, 0, packet.FlagSYN, 65535, 0)
+	// …and the first tuple keeps talking after its eviction.
+	b.add(300, senderEP, receiverEP, 1301, 1, packet.FlagACK, 65535, 300)
+	for _, tp := range b.pkts {
+		d.Add(tp)
+	}
+	total := d.Finish()
+	if total != 3 {
+		t.Fatalf("demuxer created %d connections, want 3 (original, other, resumed partial)", total)
+	}
+	// Two evictions: the original made way for "other", then the resumed
+	// partial made way for itself by evicting "other".
+	if s := d.Stats(); s.Resumed != 1 || s.Evicted != 2 {
+		t.Errorf("stats = %+v, want Resumed=1 Evicted=2", s)
+	}
+	if len(emitted) != 3 {
+		t.Errorf("emitted %d connections, want 3", len(emitted))
+	}
+}
+
+func TestTimestampRegressionCounted(t *testing.T) {
+	// A stepped sniffer clock: packet time going backwards within a
+	// connection is tolerated (analysis re-sorts) but tallied.
+	d := NewDemuxer(DefaultOptions(), func(int, *Connection) {})
+	b := &builder{}
+	b.add(1_000_000, senderEP, receiverEP, 1000, 0, packet.FlagSYN, 65535, 0)
+	b.add(500_000, senderEP, receiverEP, 1001, 1, packet.FlagACK, 65535, 100) // clock stepped back
+	b.add(600_000, senderEP, receiverEP, 1101, 1, packet.FlagACK, 65535, 100)
+	for _, tp := range b.pkts {
+		d.Add(tp)
+	}
+	d.Finish()
+	if s := d.Stats(); s.TimestampRegressions != 1 || !s.Degraded() {
+		t.Errorf("stats = %+v, want exactly one timestamp regression", s)
+	}
+}

@@ -32,7 +32,36 @@ var (
 	ErrBadMagic  = errors.New("pcapio: not a pcap file")
 	ErrTruncated = errors.New("pcapio: truncated file")
 	ErrLinkType  = errors.New("pcapio: unsupported link type")
+	ErrCorrupt   = errors.New("pcapio: corrupt record header")
 )
+
+// MaxSaneSnapLen bounds the snapshot length the reader will honor from a
+// file header. Real captures use at most a few hundred KB; a corrupt header
+// claiming a multi-gigabyte snap length must not let a single corrupt
+// record header drive a matching allocation.
+const MaxSaneSnapLen = 1 << 24
+
+// RecordError locates a record-level read failure: which record (0-based)
+// and at which byte offset of the file the damage begins. It wraps the
+// underlying cause (ErrTruncated for short reads, ErrCorrupt for
+// implausible record headers) so errors.Is keeps working, and gives the
+// lenient analysis path the position it reports in the degradation report.
+type RecordError struct {
+	// Index is the 0-based index of the unreadable record.
+	Index int64
+	// Offset is the file byte offset where the record begins.
+	Offset int64
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error implements error.
+func (e *RecordError) Error() string {
+	return fmt.Sprintf("record %d at byte %d: %v", e.Index, e.Offset, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *RecordError) Unwrap() error { return e.Err }
 
 // Record is one captured packet: a timestamp in microseconds since the epoch
 // and the captured bytes. OrigLen records the original wire length, which
@@ -70,27 +99,38 @@ func (w *Writer) writeHeader() error {
 // WritePacket appends one record. The packet is written in full (no
 // snap-length truncation on output).
 func (w *Writer) WritePacket(timeMicros int64, data []byte) error {
+	return w.WriteRecord(Record{TimeMicros: timeMicros, Data: data})
+}
+
+// WriteRecord appends one record preserving its original wire length, so a
+// snap-length-clipped capture (len(Data) < OrigLen) round-trips. An OrigLen
+// of zero is taken to mean the record is unclipped.
+func (w *Writer) WriteRecord(rec Record) error {
 	if !w.started {
 		if err := w.writeHeader(); err != nil {
 			return fmt.Errorf("pcapio: writing file header: %w", err)
 		}
 		w.started = true
 	}
+	origLen := rec.OrigLen
+	if origLen == 0 {
+		origLen = len(rec.Data)
+	}
 	var hdr [16]byte
-	sec := timeMicros / 1_000_000
-	usec := timeMicros % 1_000_000
-	if usec < 0 { // normalize for pre-epoch timestamps
+	sec := rec.TimeMicros / 1_000_000
+	usec := rec.TimeMicros % 1_000_000
+	if usec < 0 {
 		sec--
 		usec += 1_000_000
 	}
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(sec))
 	binary.LittleEndian.PutUint32(hdr[4:8], uint32(usec))
-	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(data)))
-	binary.LittleEndian.PutUint32(hdr[12:16], uint32(len(data)))
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(rec.Data)))
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(origLen))
 	if _, err := w.w.Write(hdr[:]); err != nil {
 		return fmt.Errorf("pcapio: writing record header: %w", err)
 	}
-	if _, err := w.w.Write(data); err != nil {
+	if _, err := w.w.Write(rec.Data); err != nil {
 		return fmt.Errorf("pcapio: writing record data: %w", err)
 	}
 	return nil
@@ -122,11 +162,15 @@ type Reader struct {
 }
 
 // NewReader parses the file header and returns a Reader positioned at the
-// first record.
+// first record. The magic number is checked before completeness, so a
+// truncated-but-genuine pcap header reports ErrTruncated (recoverable
+// damage: the lenient analysis path degrades to an empty capture) while
+// non-pcap bytes report ErrBadMagic (the wrong file, a hard error).
 func NewReader(r io.Reader) (*Reader, error) {
 	br := bufio.NewReader(r)
 	var hdr [24]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+	n, err := io.ReadFull(br, hdr[:])
+	if err != nil && n < 4 {
 		return nil, fmt.Errorf("%w: file header: %v", ErrTruncated, err)
 	}
 	var order binary.ByteOrder
@@ -137,6 +181,9 @@ func NewReader(r io.Reader) (*Reader, error) {
 		order = binary.BigEndian
 	default:
 		return nil, fmt.Errorf("%w: magic 0x%08x", ErrBadMagic, binary.LittleEndian.Uint32(hdr[0:4]))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%w: file header: %d of 24 bytes", ErrTruncated, n)
 	}
 	rd := &Reader{
 		r:        br,
@@ -161,27 +208,38 @@ func (r *Reader) RecordsRead() int64 { return r.records }
 // complete record) — an exact file offset for progress/ETA computation.
 func (r *Reader) BytesRead() int64 { return r.bytes }
 
-// Next returns the next record, or io.EOF at a clean end of file. A file
-// that ends mid-record returns ErrTruncated, which callers treat as the
-// paper treats tcpdump drop gaps: the trailing partial data is excluded.
+// Next returns the next record, or io.EOF at a clean end of file. Damage is
+// reported as a *RecordError locating the unreadable record: a file that
+// ends mid-record wraps ErrTruncated (callers treat it as the paper treats
+// tcpdump drop gaps — the trailing partial data is excluded), and a record
+// header claiming an implausible capture length wraps ErrCorrupt (pcap
+// framing has no resync point, so reading cannot continue past it).
 func (r *Reader) Next() (Record, error) {
 	var hdr [16]byte
 	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
 		if err == io.EOF {
 			return Record{}, io.EOF
 		}
-		return Record{}, fmt.Errorf("%w: record header: %v", ErrTruncated, err)
+		return Record{}, r.recordErr(fmt.Errorf("%w: record header: %v", ErrTruncated, err))
 	}
 	sec := int64(r.order.Uint32(hdr[0:4]))
 	usec := int64(r.order.Uint32(hdr[4:8]))
 	capLen := r.order.Uint32(hdr[8:12])
 	origLen := r.order.Uint32(hdr[12:16])
-	if capLen > r.snapLen+65535 { // sanity bound against corrupt headers
-		return Record{}, fmt.Errorf("pcapio: implausible capture length %d", capLen)
+	// Sanity bound against corrupt headers: no honest record exceeds the
+	// declared snap length (plus slack for writers that set it low), and no
+	// snap length is gigabytes — without the clamp a single flipped bit in
+	// a record header could demand a multi-GB allocation.
+	bound := r.snapLen
+	if bound > MaxSaneSnapLen {
+		bound = MaxSaneSnapLen
 	}
-	data := make([]byte, capLen)
-	if _, err := io.ReadFull(r.r, data); err != nil {
-		return Record{}, fmt.Errorf("%w: record data: %v", ErrTruncated, err)
+	if capLen > bound+65535 {
+		return Record{}, r.recordErr(fmt.Errorf("%w: implausible capture length %d", ErrCorrupt, capLen))
+	}
+	data, err := readData(r.r, int(capLen))
+	if err != nil {
+		return Record{}, r.recordErr(fmt.Errorf("%w: record data: %v", ErrTruncated, err))
 	}
 	r.records++
 	r.bytes += int64(len(hdr)) + int64(capLen)
@@ -190,6 +248,39 @@ func (r *Reader) Next() (Record, error) {
 		OrigLen:    int(origLen),
 		Data:       data,
 	}, nil
+}
+
+// recordErr wraps a record-level failure with its position.
+func (r *Reader) recordErr(err error) error {
+	return &RecordError{Index: r.records, Offset: r.bytes, Err: err}
+}
+
+// readData reads exactly n record bytes. Small records (the overwhelmingly
+// common case) are read in one allocation; implausibly large claims are
+// read incrementally so a lying header over a short file cannot force a
+// huge up-front allocation.
+func readData(r io.Reader, n int) ([]byte, error) {
+	const chunk = 1 << 16
+	if n <= chunk {
+		data := make([]byte, n)
+		if _, err := io.ReadFull(r, data); err != nil {
+			return nil, err
+		}
+		return data, nil
+	}
+	data := make([]byte, 0, chunk)
+	for len(data) < n {
+		step := n - len(data)
+		if step > chunk {
+			step = chunk
+		}
+		off := len(data)
+		data = append(data, make([]byte, step)...)
+		if _, err := io.ReadFull(r, data[off:]); err != nil {
+			return nil, err
+		}
+	}
+	return data, nil
 }
 
 // Each streams every record in r through fn without buffering the file —

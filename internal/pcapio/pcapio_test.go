@@ -67,9 +67,22 @@ func TestReaderRejectsBadMagic(t *testing.T) {
 }
 
 func TestReaderRejectsShortHeader(t *testing.T) {
+	// Short garbage is the wrong file, not a damaged capture.
 	_, err := NewReader(bytes.NewReader(make([]byte, 10)))
+	if !errors.Is(err, ErrBadMagic) {
+		t.Errorf("short garbage err = %v, want ErrBadMagic", err)
+	}
+	// A short header that starts with the pcap magic is a truncated capture.
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], magicLE)
+	_, err = NewReader(bytes.NewReader(hdr[:10]))
 	if !errors.Is(err, ErrTruncated) {
-		t.Errorf("err = %v, want ErrTruncated", err)
+		t.Errorf("truncated header err = %v, want ErrTruncated", err)
+	}
+	// Under four bytes nothing can be judged: treat as truncated.
+	_, err = NewReader(bytes.NewReader(hdr[:2]))
+	if !errors.Is(err, ErrTruncated) {
+		t.Errorf("2-byte file err = %v, want ErrTruncated", err)
 	}
 }
 

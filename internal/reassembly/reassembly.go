@@ -7,6 +7,7 @@
 package reassembly
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 
@@ -33,6 +34,15 @@ type Result struct {
 	// pre-capture history); decoding stops at the first persistent hole so
 	// framing is never guessed.
 	MissingRanges []timerange.Range
+	// TruncatedBytes counts recovered contiguous bytes beyond the caller's
+	// byte cap that were left undecoded — the lenient resource cap a
+	// corrupt-sequence capture cannot blow past.
+	TruncatedBytes int64
+	// LooksLikeBGP reports that the recovered stream opens with the BGP
+	// synchronization marker (or decoded at least one message): a framing
+	// error then means a damaged BGP transfer, not some other protocol on
+	// the wire.
+	LooksLikeBGP bool
 }
 
 // span records when the stream bytes up to end first became available.
@@ -43,6 +53,15 @@ type span struct {
 
 // Reassemble rebuilds the byte stream of c and splits it into BGP messages.
 func Reassemble(c *flows.Connection) (*Result, error) {
+	return ReassembleLimited(c, 0)
+}
+
+// ReassembleLimited is Reassemble with a cap on the linearized stream:
+// at most maxBytes of the contiguous prefix are materialized and decoded
+// (0 means unlimited). A hostile capture whose sequence numbers claim a
+// multi-gigabyte contiguous stream then costs at most maxBytes of memory;
+// what the cap cut off is reported in Result.TruncatedBytes.
+func ReassembleLimited(c *flows.Connection, maxBytes int64) (*Result, error) {
 	type seg struct {
 		data []byte
 		time timerange.Micros
@@ -78,6 +97,10 @@ func Reassemble(c *flows.Connection) (*Result, error) {
 	}
 	res.StreamBytes = contig
 	res.MissingRanges = covered.Complement(timerange.R(0, limit)).Ranges()
+	if maxBytes > 0 && contig > maxBytes {
+		res.TruncatedBytes = contig - maxBytes
+		contig = maxBytes
+	}
 
 	// Linearize the contiguous prefix, remembering per-segment arrival
 	// boundaries for message timestamping.
@@ -95,6 +118,8 @@ func Reassemble(c *flows.Connection) (*Result, error) {
 		spans = append(spans, span{end: end, time: s.time})
 	}
 	sort.Slice(spans, func(i, j int) bool { return spans[i].end < spans[j].end })
+
+	res.LooksLikeBGP = len(stream) >= len(bgpMarker) && bytes.Equal(stream[:len(bgpMarker)], bgpMarker)
 
 	// Split into BGP messages.
 	msgs, consumed, err := bgp.SplitStream(stream)

@@ -193,3 +193,44 @@ func TestReassembleGarbageStream(t *testing.T) {
 		t.Error("garbage stream reassembled without error")
 	}
 }
+
+func TestReassembleLimitedTruncates(t *testing.T) {
+	// A byte cap below the stream size: decoding covers only the capped
+	// prefix and the excess is reported, not silently dropped.
+	stream := bgpStream(t, 20)
+	pkts := packetsFor(stream, 200, func(i int) flows.Micros { return flows.Micros(i) })
+	c := extractOne(t, pkts)
+	full, err := Reassemble(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := full.StreamBytes / 2
+	res, err := ReassembleLimited(c, cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TruncatedBytes != full.StreamBytes-cap {
+		t.Errorf("TruncatedBytes = %d, want %d", res.TruncatedBytes, full.StreamBytes-cap)
+	}
+	if len(res.Messages) == 0 || len(res.Messages) >= len(full.Messages) {
+		t.Errorf("capped decode recovered %d of %d messages", len(res.Messages), len(full.Messages))
+	}
+	if !res.LooksLikeBGP {
+		t.Error("BGP stream not recognized as BGP")
+	}
+}
+
+func TestReassembleNonBGPNotFlagged(t *testing.T) {
+	// A connection carrying something other than BGP: the framing error is
+	// expected, and LooksLikeBGP must stay false so callers can tell
+	// "damaged BGP" from "not BGP at all".
+	payload := make([]byte, 64) // zeros: no marker, framing fails
+	pkts := packetsFor(payload, 64, func(i int) flows.Micros { return flows.Micros(i) })
+	res, err := ReassembleLimited(extractOne(t, pkts), 0)
+	if err == nil {
+		t.Fatal("zero-filled stream framed as BGP")
+	}
+	if res.LooksLikeBGP {
+		t.Error("zero-filled stream flagged as BGP")
+	}
+}

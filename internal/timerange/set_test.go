@@ -415,3 +415,89 @@ func TestSetString(t *testing.T) {
 		t.Errorf("String() = %q, want %q", got, want)
 	}
 }
+
+func TestSetEdgeCases(t *testing.T) {
+	// Degenerate inputs a damaged capture feeds the interval algebra:
+	// empty, zero-width, and inverted ranges must be inert, and adjacency
+	// must coalesce without double-counting. The reassembly layer builds
+	// MissingRanges out of hostile sequence numbers, so "garbage in,
+	// normalized set out" is a hard requirement, not a nicety.
+	cases := []struct {
+		name string
+		add  []Range
+		want []Range
+		size Micros
+	}{
+		{name: "no ranges", add: nil, want: nil, size: 0},
+		{name: "single empty range", add: []Range{R(5, 5)}, want: nil, size: 0},
+		{name: "inverted range", add: []Range{R(9, 3)}, want: nil, size: 0},
+		{name: "empty among real", add: []Range{R(0, 4), R(6, 6), R(8, 10)},
+			want: []Range{R(0, 4), R(8, 10)}, size: 6},
+		{name: "exactly adjacent coalesce", add: []Range{R(0, 5), R(5, 9)},
+			want: []Range{R(0, 9)}, size: 9},
+		{name: "adjacent chain out of order", add: []Range{R(6, 9), R(0, 3), R(3, 6)},
+			want: []Range{R(0, 9)}, size: 9},
+		{name: "duplicate range", add: []Range{R(2, 7), R(2, 7)},
+			want: []Range{R(2, 7)}, size: 5},
+		{name: "contained range", add: []Range{R(0, 10), R(3, 5)},
+			want: []Range{R(0, 10)}, size: 10},
+		{name: "negative times", add: []Range{R(-10, -5), R(-5, 0)},
+			want: []Range{R(-10, 0)}, size: 10},
+		{name: "one-micro ranges", add: []Range{R(0, 1), R(2, 3), R(1, 2)},
+			want: []Range{R(0, 3)}, size: 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := NewSet(tc.add...)
+			got := s.Ranges()
+			if len(got) != len(tc.want) {
+				t.Fatalf("Ranges() = %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("Ranges() = %v, want %v", got, tc.want)
+				}
+			}
+			if s.Size() != tc.size {
+				t.Errorf("Size() = %d, want %d", s.Size(), tc.size)
+			}
+			if s.Empty() != (len(tc.want) == 0) {
+				t.Errorf("Empty() = %v with %d ranges", s.Empty(), len(tc.want))
+			}
+		})
+	}
+}
+
+func TestSetOpsOnEmptySets(t *testing.T) {
+	// Every binary operation must treat the empty set as a unit or a zero,
+	// never panic on it.
+	empty := NewSet()
+	some := NewSet(R(2, 8))
+	if got := empty.Union(some); !got.Equal(some) {
+		t.Errorf("∅ ∪ s = %v", got)
+	}
+	if got := some.Intersect(empty); !got.Empty() {
+		t.Errorf("s ∩ ∅ = %v", got)
+	}
+	if got := some.Subtract(empty); !got.Equal(some) {
+		t.Errorf("s − ∅ = %v", got)
+	}
+	if got := empty.Subtract(some); !got.Empty() {
+		t.Errorf("∅ − s = %v", got)
+	}
+	if got := empty.Complement(R(0, 10)); got.Size() != 10 {
+		t.Errorf("complement of ∅ over [0,10) = %v", got)
+	}
+	if got := empty.Complement(R(5, 5)); !got.Empty() {
+		t.Errorf("complement over an empty window = %v", got)
+	}
+	if gaps := empty.Gaps(); len(gaps) != 0 {
+		t.Errorf("Gaps() on ∅ = %v", gaps)
+	}
+	if _, ok := empty.Bounds(); ok {
+		t.Error("Bounds() on ∅ reported a range")
+	}
+	if empty.Contains(0) {
+		t.Error("∅ contains 0")
+	}
+}

@@ -1,0 +1,35 @@
+#!/bin/sh
+# covercheck.sh — enforce per-package statement-coverage floors on the
+# ingest-path packages. The floors are checked in (scripts/coverfloor.txt)
+# and sit a couple of points below measured coverage, so the check trips on
+# genuine erosion — a new code path with no test — not on noise.
+#
+# Usage: sh scripts/covercheck.sh [coverdir]
+# Writes per-package profiles plus a merged cover.html into coverdir
+# (default: ./cover).
+set -eu
+
+dir=${1:-cover}
+floors=$(dirname "$0")/coverfloor.txt
+mkdir -p "$dir"
+
+fail=0
+merged="$dir/cover.out"
+echo "mode: set" > "$merged"
+while read -r pkg floor; do
+	case $pkg in ''|\#*) continue ;; esac
+	profile="$dir/$(echo "$pkg" | tr / _).out"
+	go test -coverprofile="$profile" "./$pkg" > /dev/null
+	grep -v '^mode:' "$profile" >> "$merged"
+	pct=$(go tool cover -func="$profile" | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+	ok=$(awk -v p="$pct" -v f="$floor" 'BEGIN {print (p >= f) ? 1 : 0}')
+	if [ "$ok" = 1 ]; then
+		echo "ok   $pkg ${pct}% (floor ${floor}%)"
+	else
+		echo "FAIL $pkg ${pct}% below floor ${floor}%" >&2
+		fail=1
+	fi
+done < "$floors"
+
+go tool cover -html="$merged" -o "$dir/cover.html"
+exit "$fail"
