@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from current output")
+
+// TestGoldenReport runs the full CLI on the committed clean trace and
+// compares the complete report text against the checked-in golden file, so
+// output-format changes are deliberate (rerun with -update to accept them).
+// The same run is repeated at several worker counts: a clean trace's report
+// must be byte-identical regardless of pool size.
+func TestGoldenReport(t *testing.T) {
+	trace := filepath.Join("testdata", "clean.pcap")
+	golden := filepath.Join("testdata", "clean.golden")
+
+	render := func(workers string) string {
+		var out, errBuf bytes.Buffer
+		args := []string{"-series", "-workers", workers, "-log-level", "error", trace}
+		if code := run(args, &out, &errBuf); code != 0 {
+			t.Fatalf("run(workers=%s) = %d, stderr:\n%s", workers, code, errBuf.String())
+		}
+		return out.String()
+	}
+
+	got := render("1")
+	for _, w := range []string{"2", "8"} {
+		if alt := render(w); alt != got {
+			t.Errorf("report differs between -workers 1 and -workers %s", w)
+		}
+	}
+
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(got))
+		return
+	}
+
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/tdat -run TestGoldenReport -update` to seed it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("report differs from %s (rerun with -update if intended)\n--- got\n%s\n--- want\n%s",
+			golden, got, want)
+	}
+}
+
+// TestGoldenJSON pins the machine-readable output the same way.
+func TestGoldenJSON(t *testing.T) {
+	trace := filepath.Join("testdata", "clean.pcap")
+	golden := filepath.Join("testdata", "clean.json.golden")
+
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-json", "-log-level", "error", trace}, &out, &errBuf); code != 0 {
+		t.Fatalf("run = %d, stderr:\n%s", code, errBuf.String())
+	}
+	got := out.String()
+
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/tdat -run TestGoldenJSON -update` to seed it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("JSON output differs from %s (rerun with -update if intended)\n--- got\n%s\n--- want\n%s",
+			golden, got, want)
+	}
+}
+
+// TestUsageExitCode: bad invocations exit 2 without touching stdout.
+func TestUsageExitCode(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run(nil, &out, &errBuf); code != 2 {
+		t.Errorf("no-args exit = %d, want 2", code)
+	}
+	if out.Len() != 0 {
+		t.Errorf("usage error wrote to stdout: %q", out.String())
+	}
+	if code := run([]string{"-sniffer", "bogus", "x.pcap"}, &out, &errBuf); code != 2 {
+		t.Errorf("bad-sniffer exit = %d, want 2", code)
+	}
+}

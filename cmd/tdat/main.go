@@ -34,6 +34,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/netip"
 	"os"
@@ -49,38 +50,44 @@ import (
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
+// run is main with its dependencies injected — the golden end-to-end test
+// drives it in-process with a buffer for stdout.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tdat", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		plotSeries = flag.Bool("series", false, "render the event-series lanes per connection")
-		threshold  = flag.Float64("threshold", 0.3, "major factor-group threshold (fraction of transfer duration)")
-		sniffer    = flag.String("sniffer", "receiver", "sniffer location: receiver or sender")
-		noShift    = flag.Bool("noshift", false, "disable sniffer-location ACK shifting")
-		mrtPath    = flag.String("mrt", "", "collector MRT archive to pin transfer ends (Quagga pipeline)")
-		asJSON     = flag.Bool("json", false, "emit machine-readable JSON per connection")
-		workers    = flag.Int("workers", 0, "analysis worker count (0 = all CPUs, 1 = sequential); output is identical for any value")
-		strict     = flag.Bool("strict", false, "refuse damaged captures: fail at the first degradation event instead of analyzing leniently")
-		maxConns   = flag.Int("max-connections", 0, "cap simultaneously tracked connections; when full the oldest open one is force-completed (0 = unlimited)")
-		maxReasm   = flag.Int64("max-reassembly-bytes", 0, "cap per-connection reassembled stream bytes (0 = unlimited)")
+		plotSeries = fs.Bool("series", false, "render the event-series lanes per connection")
+		threshold  = fs.Float64("threshold", 0.3, "major factor-group threshold (fraction of transfer duration)")
+		sniffer    = fs.String("sniffer", "receiver", "sniffer location: receiver or sender")
+		noShift    = fs.Bool("noshift", false, "disable sniffer-location ACK shifting")
+		mrtPath    = fs.String("mrt", "", "collector MRT archive to pin transfer ends (Quagga pipeline)")
+		asJSON     = fs.Bool("json", false, "emit machine-readable JSON per connection")
+		workers    = fs.Int("workers", 0, "analysis worker count (0 = all CPUs, 1 = sequential); output is identical for any value")
+		strict     = fs.Bool("strict", false, "refuse damaged captures: fail at the first degradation event instead of analyzing leniently")
+		maxConns   = fs.Int("max-connections", 0, "cap simultaneously tracked connections; when full the oldest open one is force-completed (0 = unlimited)")
+		maxReasm   = fs.Int64("max-reassembly-bytes", 0, "cap per-connection reassembled stream bytes (0 = unlimited)")
 
-		logLevel    = flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
-		progress    = flag.Bool("progress", false, "report ingest progress on stderr while analyzing")
-		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (\":0\" picks a port)")
-		metricsHold = flag.Duration("metrics-hold", 0, "keep the metrics listener up this long after analysis (lets scrapers catch one-shot runs)")
-		spanLog     = flag.String("span-log", "", "append per-stage tracing spans as JSON lines to this file")
-		selfProfile = flag.Bool("self-profile", false, "print the analyzer self delay-factor profile after the report")
-		metricsJSON = flag.String("metrics-json", "", "write a JSON metrics snapshot to this file at exit (offline runs)")
+		logLevel    = fs.String("log-level", "info", "log verbosity: debug, info, warn, or error")
+		progress    = fs.Bool("progress", false, "report ingest progress on stderr while analyzing")
+		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (\":0\" picks a port)")
+		metricsHold = fs.Duration("metrics-hold", 0, "keep the metrics listener up this long after analysis (lets scrapers catch one-shot runs)")
+		spanLog     = fs.String("span-log", "", "append per-stage tracing spans as JSON lines to this file")
+		selfProfile = fs.Bool("self-profile", false, "print the analyzer self delay-factor profile after the report")
+		metricsJSON = fs.String("metrics-json", "", "write a JSON metrics snapshot to this file at exit (offline runs)")
 	)
-	flag.Parse()
-	if err := obs.InitLogging(os.Stderr, *logLevel); err != nil {
-		fmt.Fprintf(os.Stderr, "tdat: %v\n", err)
+	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tdat [flags] trace.pcap")
-		flag.PrintDefaults()
+	if err := obs.InitLogging(stderr, *logLevel); err != nil {
+		fmt.Fprintf(stderr, "tdat: %v\n", err)
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: tdat [flags] trace.pcap")
+		fs.PrintDefaults()
 		return 2
 	}
 
@@ -138,7 +145,7 @@ func run() int {
 			"endpoints", "/metrics /debug/vars /debug/pprof")
 	}
 
-	f, err := os.Open(flag.Arg(0))
+	f, err := os.Open(fs.Arg(0))
 	if err != nil {
 		slog.Error("opening trace", "err", err)
 		return 1
@@ -150,7 +157,7 @@ func run() int {
 
 	stopProgress := func() {}
 	if *progress {
-		stopProgress = o.Progress.Run(os.Stderr, 2*time.Second)
+		stopProgress = o.Progress.Run(stderr, 2*time.Second)
 	}
 
 	analyzer := core.New(cfg)
@@ -180,26 +187,26 @@ func run() int {
 	code := 0
 	if *asJSON {
 		for _, t := range rep.Transfers {
-			if err := t.WriteJSON(os.Stdout); err != nil {
+			if err := t.WriteJSON(stdout); err != nil {
 				slog.Error("writing report", "err", err)
 				code = 1
 				break
 			}
 		}
 	} else {
-		fmt.Printf("%d connection(s)\n\n", len(rep.Transfers))
+		fmt.Fprintf(stdout, "%d connection(s)\n\n", len(rep.Transfers))
 		for _, t := range rep.Transfers {
-			if err := t.WriteText(os.Stdout, *plotSeries); err != nil {
+			if err := t.WriteText(stdout, *plotSeries); err != nil {
 				slog.Error("writing report", "err", err)
 				code = 1
 				break
 			}
-			fmt.Println()
+			fmt.Fprintln(stdout)
 		}
 		// Printed only for damaged input, so clean-trace output is
 		// byte-identical with and without the lenient machinery.
 		if code == 0 && !rep.Degradation.Empty() {
-			if err := rep.Degradation.WriteText(os.Stdout); err != nil {
+			if err := rep.Degradation.WriteText(stdout); err != nil {
 				slog.Error("writing degradation report", "err", err)
 				code = 1
 			}
@@ -207,7 +214,7 @@ func run() int {
 	}
 
 	if *selfProfile && code == 0 {
-		o.WriteSelfProfile(os.Stdout)
+		o.WriteSelfProfile(stdout)
 	}
 	if *metricsJSON != "" {
 		mf, err := os.Create(*metricsJSON)

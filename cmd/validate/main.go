@@ -1,0 +1,86 @@
+// Command validate runs the ground-truth validation sweep: simulator
+// scenarios with authoritative event records are analyzed by the full
+// T-DAT pipeline, the inferred series and factors are scored against the
+// truth, and the scorecard is gated on accuracy floors. CI runs it via
+// scripts/validatecheck.sh; a non-zero exit means the analyzer regressed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"tdat/internal/oracle"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("validate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	quick := fs.Bool("quick", false, "one representative case per scenario kind (the CI mode)")
+	seed := fs.Int64("seed", 0, "scenario seed offset")
+	workers := fs.Int("workers", 0, "analyzer worker-pool size (0 = GOMAXPROCS)")
+	routes := fs.Int("routes", 0, "routes per scenario table (0 = default)")
+	jsonPath := fs.String("json", "", "also write the JSON report to this path")
+	floorPath := fs.String("floors", "", "floor file overriding the built-in gate (see scripts/validatefloor.txt)")
+	noGate := fs.Bool("nogate", false, "report only; never fail on floors")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	floors := oracle.DefaultFloors()
+	if *floorPath != "" {
+		f, err := os.Open(*floorPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "validate: %v\n", err)
+			return 2
+		}
+		floors, err = oracle.ParseFloors(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(stderr, "validate: %v\n", err)
+			return 2
+		}
+	}
+
+	res := oracle.Run(oracle.Config{
+		Quick:   *quick,
+		Seed:    *seed,
+		Workers: *workers,
+		Routes:  *routes,
+	})
+	res.WriteText(stdout)
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "validate: %v\n", err)
+			return 2
+		}
+		err = res.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "validate: %v\n", err)
+			return 2
+		}
+	}
+
+	if breaches := res.Check(floors); len(breaches) > 0 {
+		fmt.Fprintf(stdout, "\nFLOOR BREACHES (%d):\n", len(breaches))
+		for _, b := range breaches {
+			fmt.Fprintf(stdout, "  - %s\n", b)
+		}
+		if !*noGate {
+			return 1
+		}
+	} else {
+		fmt.Fprintf(stdout, "\nall floors hold\n")
+	}
+	return 0
+}

@@ -97,14 +97,18 @@ func (g *PeerGroup) pumpMember(mb *member, floor int) {
 	for mb.next < len(g.queue) {
 		if g.slack > 0 && mb.next-floor >= g.slack {
 			s.blockedByGroup = true
+			s.noteGroupBlocked(true)
+			s.notePacingBlocked(false)
 			return
 		}
 		msg := g.queue[mb.next]
 		if !s.takeToken() {
+			s.notePacingBlocked(true)
 			return
 		}
 		if s.peer.Endpoint().SendBufAvailable() < len(msg) {
 			s.returnToken()
+			s.notePacingBlocked(false)
 			return
 		}
 		s.peer.send(msg)
@@ -112,6 +116,8 @@ func (g *PeerGroup) pumpMember(mb *member, floor int) {
 		mb.next++
 	}
 	s.blockedByGroup = false
+	s.noteGroupBlocked(false)
+	s.notePacingBlocked(false)
 }
 
 // remove drops a member (session died) and unblocks the rest.
@@ -136,9 +142,43 @@ type Session struct {
 	sentUpdates    int
 	blockedByGroup bool
 
+	pacingBlockedState bool
+	groupBlockedState  bool
+
 	// OnTransferQueued fires when a table transfer has been serialized and
 	// enqueued for this session.
 	OnTransferQueued func(nUpdates int, nBytes int)
+	// OnPacingBlocked fires when the session transitions into (blocked=true)
+	// or out of (blocked=false) a state where pending updates wait solely on
+	// the pacing timer — the application-level idle gaps of paper §IV-A. A
+	// stall on TCP send-buffer space is backpressure, not app idle, and
+	// clears this state. Ground-truth hook; never alters pump behavior.
+	OnPacingBlocked func(t sim.Micros, blocked bool)
+	// OnGroupBlocked fires on peer-group slack-bound stall transitions
+	// (paper §II-B3). Ground-truth hook; never alters pump behavior.
+	OnGroupBlocked func(t sim.Micros, blocked bool)
+}
+
+// notePacingBlocked reports pacing-stall transitions to the truth hook.
+func (s *Session) notePacingBlocked(blocked bool) {
+	if blocked == s.pacingBlockedState {
+		return
+	}
+	s.pacingBlockedState = blocked
+	if s.OnPacingBlocked != nil {
+		s.OnPacingBlocked(s.speaker.eng.Now(), blocked)
+	}
+}
+
+// noteGroupBlocked reports group-stall transitions to the truth hook.
+func (s *Session) noteGroupBlocked(blocked bool) {
+	if blocked == s.groupBlockedState {
+		return
+	}
+	s.groupBlockedState = blocked
+	if s.OnGroupBlocked != nil {
+		s.OnGroupBlocked(s.speaker.eng.Now(), blocked)
+	}
 }
 
 // Peer exposes the session's BGP state machine.
@@ -249,16 +289,19 @@ func (s *Session) pump() {
 	for s.queueNext < len(s.queue) {
 		msg := s.queue[s.queueNext]
 		if !s.takeToken() {
+			s.notePacingBlocked(true)
 			return
 		}
 		if s.peer.Endpoint().SendBufAvailable() < len(msg) {
 			s.returnToken()
+			s.notePacingBlocked(false)
 			return
 		}
 		s.peer.send(msg)
 		s.sentUpdates++
 		s.queueNext++
 	}
+	s.notePacingBlocked(false)
 }
 
 // Speaker is an operational BGP router serving table transfers to one or

@@ -51,6 +51,12 @@ type Link struct {
 	LossRate float64
 	// LossHook, if set, is consulted first and can drop deterministically.
 	LossHook LossFunc
+	// DropHook, if set, observes every packet the link drops — scripted,
+	// random, and tail drops alike — at the drop instant. tail reports a
+	// queue overflow. This is the simulator's authoritative loss record (the
+	// ground truth a passive analyzer must infer); it never affects link
+	// behavior.
+	DropHook func(t sim.Micros, p *packet.Packet, tail bool)
 
 	stats     LinkStats
 	busyUntil sim.Micros
@@ -74,15 +80,18 @@ func (l *Link) Send(p *packet.Packet) {
 	now := l.eng.Now()
 	if l.LossHook != nil && l.LossHook(now, p) {
 		l.stats.DroppedLoss++
+		l.recordDrop(now, p, false)
 		return
 	}
 	if l.LossRate > 0 && l.eng.Rand().Float64() < l.LossRate {
 		l.stats.DroppedLoss++
+		l.recordDrop(now, p, false)
 		return
 	}
 	transmitting := l.busyUntil > now
 	if transmitting && l.QueueCap > 0 && l.waiting >= l.QueueCap {
 		l.stats.DroppedTail++
+		l.recordDrop(now, p, true)
 		return
 	}
 
@@ -108,6 +117,13 @@ func (l *Link) Send(p *packet.Packet) {
 		l.stats.BytesOut += int64(p.WireLen())
 	})
 	l.eng.At(done+l.Delay, func() { l.dst(p) })
+}
+
+// recordDrop reports a dropped packet to the ground-truth hook.
+func (l *Link) recordDrop(t sim.Micros, p *packet.Packet, tail bool) {
+	if l.DropHook != nil {
+		l.DropHook(t, p, tail)
+	}
 }
 
 // Direction labels which way a captured packet was heading relative to the

@@ -1,0 +1,215 @@
+package oracle
+
+import (
+	"sort"
+
+	"tdat/internal/core"
+	"tdat/internal/factors"
+)
+
+// SeriesScore is one scored series in the final result.
+type SeriesScore struct {
+	Name      string  `json:"name"`
+	Kind      string  `json:"kind"` // "interval" or "event"
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	F1        float64 `json:"f1"`
+	Runs      int     `json:"runs"`
+}
+
+// FactorError is the per-factor delay-ratio error against truth ratios.
+type FactorError struct {
+	Name string  `json:"name"`
+	MAE  float64 `json:"mae"` // mean absolute error of the ratio
+	Max  float64 `json:"max"` // worst single-run absolute error
+	Runs int     `json:"runs"`
+}
+
+// errAccum accumulates signed ratio errors.
+type errAccum struct {
+	sumAbs float64
+	max    float64
+	runs   int
+}
+
+func (e *errAccum) add(err float64) {
+	if err < 0 {
+		err = -err
+	}
+	e.sumAbs += err
+	if err > e.max {
+		e.max = err
+	}
+	e.runs++
+}
+
+func (e *errAccum) result(name string) FactorError {
+	fe := FactorError{Name: name, Max: e.max, Runs: e.runs}
+	if e.runs > 0 {
+		fe.MAE = e.sumAbs / float64(e.runs)
+	}
+	return fe
+}
+
+// Confusion is the dominant-group confusion matrix over the sweep.
+type Confusion struct {
+	// Matrix[expected][got] counts verdicts; group order is
+	// sender, receiver, network.
+	Matrix   [3][3]int `json:"matrix"`
+	Total    int       `json:"total"`
+	Correct  int       `json:"correct"`
+	Accuracy float64   `json:"accuracy"`
+}
+
+// Detection summarizes the §IV-B detector checks.
+type Detection struct {
+	Checked int     `json:"checked"`
+	Passed  int     `json:"passed"`
+	Rate    float64 `json:"rate"`
+}
+
+// Result is the full validation scorecard.
+type Result struct {
+	Quick   bool          `json:"quick"`
+	Seed    int64         `json:"seed"`
+	Cases   int           `json:"cases"`
+	Series  []SeriesScore `json:"series"`
+	Factors []FactorError `json:"factors"`
+	Conf    Confusion     `json:"confusion"`
+	Detect  Detection     `json:"detection"`
+	// Outcomes lists every case's expected-vs-got verdict.
+	Outcomes []caseOutcome `json:"outcomes"`
+	// Violations lists everything that went wrong: misattributed cases,
+	// missed detections, broken invariants, worker-count divergence. The
+	// floor check treats specific classes as gating; the rest is context.
+	Violations []string `json:"violations,omitempty"`
+}
+
+// SeriesByName returns the named series score.
+func (r *Result) SeriesByName(name string) (SeriesScore, bool) {
+	for _, s := range r.Series {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return SeriesScore{}, false
+}
+
+// FactorByName returns the named factor error.
+func (r *Result) FactorByName(name string) (FactorError, bool) {
+	for _, f := range r.Factors {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return FactorError{}, false
+}
+
+// validator carries the sweep's accumulators.
+type validator struct {
+	cfg         Config
+	analyzer    *core.Analyzer
+	altAnalyzer *core.Analyzer
+
+	zeroWindow intervalAccum
+	advBlocked intervalAccum
+	appIdle    intervalAccum
+	upLoss     eventAccum
+	downLoss   eventAccum
+
+	confusion [3][3]int
+	outcomes  []caseOutcome
+
+	detectChecked int
+	detectPassed  int
+
+	factorErr map[string]*errAccum
+}
+
+// Run executes the validation sweep and returns the scorecard.
+func Run(cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	altWorkers := 1
+	if cfg.Workers == 1 {
+		altWorkers = 4
+	}
+	v := &validator{
+		cfg:         cfg,
+		analyzer:    core.New(core.Config{Workers: cfg.Workers}),
+		altAnalyzer: core.New(core.Config{Workers: altWorkers}),
+		factorErr: map[string]*errAccum{
+			"bgp-sender-app": {},
+			"adv-bounded":    {},
+		},
+	}
+
+	cases := Cases(cfg)
+	var violations []string
+	for _, c := range cases {
+		violations = append(violations, v.scoreCase(c)...)
+	}
+
+	res := &Result{
+		Quick: cfg.Quick,
+		Seed:  cfg.Seed,
+		Cases: len(cases),
+		Series: []SeriesScore{
+			seriesScore("zero-window", v.zeroWindow.score()),
+			seriesScore("adv-blocked", v.advBlocked.score()),
+			seriesScore("app-idle", v.appIdle.score()),
+			eventScore("upstream-loss", v.upLoss.score()),
+			eventScore("downstream-loss", v.downLoss.score()),
+		},
+		Outcomes:   v.outcomes,
+		Violations: violations,
+	}
+
+	names := make([]string, 0, len(v.factorErr))
+	for n := range v.factorErr {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		res.Factors = append(res.Factors, v.factorErr[n].result(n))
+	}
+
+	res.Conf.Matrix = v.confusion
+	for e := 0; e < 3; e++ {
+		for g := 0; g < 3; g++ {
+			res.Conf.Total += v.confusion[e][g]
+			if e == g {
+				res.Conf.Correct += v.confusion[e][g]
+			}
+		}
+	}
+	if res.Conf.Total > 0 {
+		res.Conf.Accuracy = float64(res.Conf.Correct) / float64(res.Conf.Total)
+	}
+
+	res.Detect = Detection{Checked: v.detectChecked, Passed: v.detectPassed}
+	if v.detectChecked > 0 {
+		res.Detect.Rate = float64(v.detectPassed) / float64(v.detectChecked)
+	}
+	return res
+}
+
+func seriesScore(name string, s IntervalScore) SeriesScore {
+	return SeriesScore{
+		Name: name, Kind: "interval",
+		Precision: s.Precision, Recall: s.Recall, F1: s.F1, Runs: s.Runs,
+	}
+}
+
+func eventScore(name string, s EventScore) SeriesScore {
+	return SeriesScore{
+		Name: name, Kind: "event",
+		Precision: s.Precision, Recall: s.Recall, F1: s.F1, Runs: s.Runs,
+	}
+}
+
+// groupNames renders the confusion axes in index order.
+var groupNames = [3]string{
+	factors.GroupSender.String(),
+	factors.GroupReceiver.String(),
+	factors.GroupNetwork.String(),
+}

@@ -1,0 +1,174 @@
+package oracle
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestQuickSweepMeetsFloors is the in-tree copy of the CI accuracy gate:
+// the quick sweep must clear every default floor.
+func TestQuickSweepMeetsFloors(t *testing.T) {
+	res := Run(Config{Quick: true})
+	if breaches := res.Check(DefaultFloors()); len(breaches) > 0 {
+		var buf bytes.Buffer
+		res.WriteText(&buf)
+		t.Fatalf("quick sweep breaches floors:\n%s\n\nscorecard:\n%s",
+			strings.Join(breaches, "\n"), buf.String())
+	}
+	if res.Cases == 0 || res.Conf.Total != res.Cases {
+		t.Fatalf("confusion total %d != cases %d", res.Conf.Total, res.Cases)
+	}
+}
+
+// TestSweepDeterministic: the sweep is a pure function of its config — two
+// runs must render byte-identical scorecards (text and JSON).
+func TestSweepDeterministic(t *testing.T) {
+	render := func() (string, string) {
+		res := Run(Config{Quick: true})
+		var txt, js bytes.Buffer
+		res.WriteText(&txt)
+		if err := res.WriteJSON(&js); err != nil {
+			t.Fatal(err)
+		}
+		return txt.String(), js.String()
+	}
+	txt1, js1 := render()
+	txt2, js2 := render()
+	if txt1 != txt2 {
+		t.Errorf("text scorecards differ:\n--- run 1\n%s\n--- run 2\n%s", txt1, txt2)
+	}
+	if js1 != js2 {
+		t.Errorf("JSON reports differ")
+	}
+}
+
+// TestToleranceMonotonic: widening the interval-matching tolerance can only
+// admit more matched time, so no interval F1 may decrease.
+func TestToleranceMonotonic(t *testing.T) {
+	tight := Run(Config{Quick: true, IntervalTolMicros: 10_000})
+	loose := Run(Config{Quick: true, IntervalTolMicros: 80_000})
+	for _, s := range tight.Series {
+		if s.Kind != "interval" {
+			continue
+		}
+		ls, ok := loose.SeriesByName(s.Name)
+		if !ok {
+			t.Fatalf("series %s missing from loose run", s.Name)
+		}
+		if ls.F1 < s.F1-1e-9 {
+			t.Errorf("series %s: F1 fell from %.4f to %.4f as tolerance widened",
+				s.Name, s.F1, ls.F1)
+		}
+	}
+}
+
+// TestScoresBounded: every reported rate is a probability.
+func TestScoresBounded(t *testing.T) {
+	res := Run(Config{Quick: true})
+	check := func(name string, v float64) {
+		if v < 0 || v > 1 {
+			t.Errorf("%s = %v outside [0,1]", name, v)
+		}
+	}
+	for _, s := range res.Series {
+		check(s.Name+".precision", s.Precision)
+		check(s.Name+".recall", s.Recall)
+		check(s.Name+".f1", s.F1)
+	}
+	check("confusion.accuracy", res.Conf.Accuracy)
+	check("detect.rate", res.Detect.Rate)
+	for _, f := range res.Factors {
+		if f.MAE < 0 || f.Max < f.MAE {
+			t.Errorf("factor %s: MAE %v, max %v inconsistent", f.Name, f.MAE, f.Max)
+		}
+	}
+}
+
+func TestParseFloors(t *testing.T) {
+	in := `
+# comment
+series.zero-window.f1 0.85
+confusion.accuracy 0.9
+detect.rate 1.0
+factor.bgp-sender-app.mae 0.2
+violations.max 3
+`
+	fl, err := ParseFloors(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fl.SeriesF1["zero-window"] != 0.85 {
+		t.Errorf("series floor = %v", fl.SeriesF1["zero-window"])
+	}
+	if fl.ConfusionAccuracy != 0.9 || fl.DetectRate != 1.0 {
+		t.Errorf("accuracy/detect floors = %v/%v", fl.ConfusionAccuracy, fl.DetectRate)
+	}
+	if fl.FactorMAE["bgp-sender-app"] != 0.2 {
+		t.Errorf("factor ceiling = %v", fl.FactorMAE["bgp-sender-app"])
+	}
+	if !fl.hasMaxViolations || fl.MaxViolations != 3 {
+		t.Errorf("violations.max = %v (set %v)", fl.MaxViolations, fl.hasMaxViolations)
+	}
+}
+
+func TestParseFloorsErrors(t *testing.T) {
+	for _, bad := range []string{
+		"series.zero-window.f1",        // missing value
+		"series.zero-window.f1 x",      // non-numeric
+		"unknown.key 1.0",              // unknown key
+		"series.zero-window.f1 0.9 ex", // trailing field
+	} {
+		if _, err := ParseFloors(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseFloors(%q) accepted", bad)
+		}
+	}
+}
+
+func TestCheckReportsBreaches(t *testing.T) {
+	res := &Result{
+		Series: []SeriesScore{{Name: "zero-window", Kind: "interval", F1: 0.5, Runs: 1}},
+		Conf:   Confusion{Total: 4, Correct: 2, Accuracy: 0.5},
+		Detect: Detection{Checked: 2, Passed: 1, Rate: 0.5},
+		Factors: []FactorError{
+			{Name: "bgp-sender-app", MAE: 0.4, Max: 0.4, Runs: 1},
+		},
+		Violations: []string{"case-x: boom"},
+	}
+	breaches := res.Check(DefaultFloors())
+	want := []string{
+		"series adv-blocked: not scored",
+		"series zero-window: F1 0.500 below floor",
+		"confusion accuracy 0.500 below floor",
+		"detection rate 0.500 below floor",
+		"factor adv-bounded: not scored",
+		"factor bgp-sender-app: MAE 0.4000 above ceiling",
+		"1 violations exceed the allowed 0",
+	}
+	for _, w := range want {
+		found := false
+		for _, b := range breaches {
+			if strings.Contains(b, w) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("breach %q not reported; got %v", w, breaches)
+		}
+	}
+	if got := res.Check(Floors{}); len(got) != 0 {
+		t.Errorf("empty floors produced breaches: %v", got)
+	}
+}
+
+// BenchmarkOracleSweep times one full quick sweep — the CI validate job's
+// dominant cost (tracked in BENCH_validate.json).
+func BenchmarkOracleSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := Run(Config{Quick: true})
+		if res.Cases == 0 {
+			b.Fatal("empty sweep")
+		}
+	}
+}

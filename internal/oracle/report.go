@@ -1,0 +1,198 @@
+package oracle
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteText renders the human-readable scorecard.
+func (r *Result) WriteText(w io.Writer) {
+	mode := "full"
+	if r.Quick {
+		mode = "quick"
+	}
+	fmt.Fprintf(w, "T-DAT validation scorecard (%s sweep, %d cases, seed %d)\n\n", mode, r.Cases, r.Seed)
+
+	fmt.Fprintf(w, "%-17s %-9s %5s %7s %7s %7s\n", "series", "scoring", "runs", "prec", "recall", "F1")
+	for _, s := range r.Series {
+		fmt.Fprintf(w, "%-17s %-9s %5d %7.3f %7.3f %7.3f\n",
+			s.Name, s.Kind, s.Runs, s.Precision, s.Recall, s.F1)
+	}
+
+	fmt.Fprintf(w, "\n%-17s %5s %9s %9s\n", "factor ratio", "runs", "MAE", "max err")
+	for _, f := range r.Factors {
+		fmt.Fprintf(w, "%-17s %5d %9.4f %9.4f\n", f.Name, f.Runs, f.MAE, f.Max)
+	}
+
+	fmt.Fprintf(w, "\ndominant-group confusion (rows = truth, cols = verdict):\n")
+	fmt.Fprintf(w, "%-10s", "")
+	for _, n := range groupNames {
+		fmt.Fprintf(w, " %9s", n)
+	}
+	fmt.Fprintln(w)
+	for e := 0; e < 3; e++ {
+		fmt.Fprintf(w, "%-10s", groupNames[e])
+		for g := 0; g < 3; g++ {
+			fmt.Fprintf(w, " %9d", r.Conf.Matrix[e][g])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "accuracy: %d/%d = %.3f\n", r.Conf.Correct, r.Conf.Total, r.Conf.Accuracy)
+
+	fmt.Fprintf(w, "\ndetection checks (timer / consecutive-loss / zero-ack-bug): %d/%d passed\n",
+		r.Detect.Passed, r.Detect.Checked)
+
+	if len(r.Violations) > 0 {
+		fmt.Fprintf(w, "\nviolations (%d):\n", len(r.Violations))
+		for _, v := range r.Violations {
+			fmt.Fprintf(w, "  - %s\n", v)
+		}
+	} else {
+		fmt.Fprintf(w, "\nno violations\n")
+	}
+}
+
+// WriteJSON renders the machine-readable report.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Floors are the gating thresholds for a validation run. Keys mirror
+// scripts/validatefloor.txt:
+//
+//	series.<name>.f1 <min>    — per-series F1 floor
+//	confusion.accuracy <min>  — dominant-group accuracy floor
+//	detect.rate <min>         — detector-check pass-rate floor
+//	factor.<name>.mae <max>   — per-factor ratio error CEILING
+//	violations.max <max>      — total violation CEILING
+type Floors struct {
+	SeriesF1          map[string]float64
+	ConfusionAccuracy float64
+	DetectRate        float64
+	FactorMAE         map[string]float64
+	MaxViolations     int
+	hasMaxViolations  bool
+}
+
+// DefaultFloors returns the gate the CI validate job enforces when no floor
+// file overrides it: F1 ≥ 0.9 on every scored series, confusion accuracy
+// ≥ 0.95, every detector check passing, and zero violations.
+func DefaultFloors() Floors {
+	return Floors{
+		SeriesF1: map[string]float64{
+			"zero-window":     0.90,
+			"adv-blocked":     0.90,
+			"app-idle":        0.90,
+			"upstream-loss":   0.90,
+			"downstream-loss": 0.90,
+		},
+		ConfusionAccuracy: 0.95,
+		DetectRate:        1.0,
+		FactorMAE: map[string]float64{
+			"bgp-sender-app": 0.10,
+			"adv-bounded":    0.15,
+		},
+		MaxViolations:    0,
+		hasMaxViolations: true,
+	}
+}
+
+// ParseFloors reads a floor file (see Floors for the key syntax). Blank
+// lines and #-comments are ignored.
+func ParseFloors(r io.Reader) (Floors, error) {
+	f := Floors{SeriesF1: map[string]float64{}, FactorMAE: map[string]float64{}}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return f, fmt.Errorf("floor line %d: want \"key value\", got %q", line, text)
+		}
+		val, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return f, fmt.Errorf("floor line %d: bad value %q: %v", line, fields[1], err)
+		}
+		key := fields[0]
+		switch {
+		case strings.HasPrefix(key, "series.") && strings.HasSuffix(key, ".f1"):
+			name := strings.TrimSuffix(strings.TrimPrefix(key, "series."), ".f1")
+			f.SeriesF1[name] = val
+		case key == "confusion.accuracy":
+			f.ConfusionAccuracy = val
+		case key == "detect.rate":
+			f.DetectRate = val
+		case strings.HasPrefix(key, "factor.") && strings.HasSuffix(key, ".mae"):
+			name := strings.TrimSuffix(strings.TrimPrefix(key, "factor."), ".mae")
+			f.FactorMAE[name] = val
+		case key == "violations.max":
+			f.MaxViolations = int(val)
+			f.hasMaxViolations = true
+		default:
+			return f, fmt.Errorf("floor line %d: unknown key %q", line, key)
+		}
+	}
+	return f, sc.Err()
+}
+
+// Check compares the result against the floors and returns the list of
+// breaches (empty when the gate passes).
+func (r *Result) Check(fl Floors) []string {
+	var out []string
+	names := make([]string, 0, len(fl.SeriesF1))
+	for n := range fl.SeriesF1 {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		min := fl.SeriesF1[n]
+		s, ok := r.SeriesByName(n)
+		if !ok {
+			out = append(out, fmt.Sprintf("series %s: not scored (floor %.2f)", n, min))
+			continue
+		}
+		if s.F1 < min {
+			out = append(out, fmt.Sprintf("series %s: F1 %.3f below floor %.2f", n, s.F1, min))
+		}
+	}
+	if r.Conf.Accuracy < fl.ConfusionAccuracy {
+		out = append(out, fmt.Sprintf("confusion accuracy %.3f below floor %.2f",
+			r.Conf.Accuracy, fl.ConfusionAccuracy))
+	}
+	if r.Detect.Rate < fl.DetectRate {
+		out = append(out, fmt.Sprintf("detection rate %.3f below floor %.2f",
+			r.Detect.Rate, fl.DetectRate))
+	}
+	names = names[:0]
+	for n := range fl.FactorMAE {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		max := fl.FactorMAE[n]
+		f, ok := r.FactorByName(n)
+		if !ok {
+			out = append(out, fmt.Sprintf("factor %s: not scored (ceiling %.2f)", n, max))
+			continue
+		}
+		if f.MAE > max {
+			out = append(out, fmt.Sprintf("factor %s: MAE %.4f above ceiling %.2f", n, f.MAE, max))
+		}
+	}
+	if fl.hasMaxViolations && len(r.Violations) > fl.MaxViolations {
+		out = append(out, fmt.Sprintf("%d violations exceed the allowed %d",
+			len(r.Violations), fl.MaxViolations))
+	}
+	return out
+}

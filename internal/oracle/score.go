@@ -1,0 +1,198 @@
+// Package oracle validates the analyzer against simulator ground truth: it
+// runs the full pipeline (core.Analyze) on simulator-generated traces whose
+// authoritative event record (tracegen.Truth) is known, scores the inferred
+// event series and delay factors against that record, and aggregates the
+// scores into a gated scorecard (cmd/validate, scripts/validatecheck.sh).
+//
+// Scoring follows the validation methodology of trace-driven rate analyzers
+// (Zhang et al., "On the Characteristics and Origins of Internet Flow
+// Rates"): inference is compared against known causes, with tolerances where
+// passive inference is structurally late (an RTO-repaired loss only becomes
+// visible at the retransmission) rather than wrong.
+package oracle
+
+import (
+	"sort"
+
+	"tdat/internal/timerange"
+)
+
+// Micros aliases the trace time unit.
+type Micros = timerange.Micros
+
+// Dilate returns a copy of s with every range widened by tol on both sides
+// (coalescing as needed). Dilation implements the scorer's time tolerance:
+// an inferred interval matches truth if it lands within tol of it.
+func Dilate(s *timerange.Set, tol Micros) *timerange.Set {
+	if tol <= 0 {
+		return s.Clone()
+	}
+	out := timerange.NewSet()
+	for _, r := range s.Ranges() {
+		out.Add(timerange.Range{Start: r.Start - tol, End: r.End + tol})
+	}
+	return out
+}
+
+// clip restricts s to the analysis window.
+func clip(s *timerange.Set, w timerange.Range) *timerange.Set {
+	return s.Intersect(timerange.NewSet(w))
+}
+
+// IntervalScore is a time-weighted precision/recall over interval series:
+//
+//	precision = |A ∩ dilate(T, tol)| / |A|   (inferred time that is near truth)
+//	recall    = |T ∩ dilate(A, tol)| / |T|   (truth time that was inferred)
+//
+// Time-weighting (rather than per-interval matching) makes the score robust
+// to interval splitting and coalescing: truth intervals from adjacent pacing
+// windows merge inside timerange.Set, and the analyzer may report one merged
+// recovery where the simulator logged two — neither should count as error.
+type IntervalScore struct {
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	F1        float64 `json:"f1"`
+	// InferredMicros and TruthMicros are the total durations compared.
+	InferredMicros Micros `json:"inferred_micros"`
+	TruthMicros    Micros `json:"truth_micros"`
+	// Runs counts sweep runs that contributed (either side non-empty).
+	Runs int `json:"runs"`
+}
+
+// intervalAccum micro-averages interval scores across sweep runs: the
+// overlap and size numerators accumulate, and precision/recall are computed
+// once at the end, so short runs cannot dominate the score.
+type intervalAccum struct {
+	overlapAT Micros // |A ∩ dilate(T)|
+	sizeA     Micros // |A|
+	overlapTA Micros // |T ∩ dilate(A)|
+	sizeT     Micros // |T|
+	runs      int
+}
+
+// add scores one run's inferred set A against truth T inside window w.
+func (a *intervalAccum) add(inferred, truth *timerange.Set, tol Micros, w timerange.Range) {
+	A := clip(inferred, w)
+	T := clip(truth, w)
+	if A.Empty() && T.Empty() {
+		return
+	}
+	a.runs++
+	a.sizeA += A.Size()
+	a.sizeT += T.Size()
+	a.overlapAT += A.Intersect(Dilate(T, tol)).Size()
+	a.overlapTA += T.Intersect(Dilate(A, tol)).Size()
+}
+
+// merge folds another accumulator (one case's contribution) into a.
+func (a *intervalAccum) merge(o intervalAccum) {
+	a.overlapAT += o.overlapAT
+	a.sizeA += o.sizeA
+	a.overlapTA += o.overlapTA
+	a.sizeT += o.sizeT
+	a.runs += o.runs
+}
+
+// score computes the micro-averaged result. With no inferred (or no truth)
+// time at all, the undefined ratio defaults to 1 so the other side alone
+// determines F1.
+func (a *intervalAccum) score() IntervalScore {
+	s := IntervalScore{
+		Precision:      1,
+		Recall:         1,
+		InferredMicros: a.sizeA,
+		TruthMicros:    a.sizeT,
+		Runs:           a.runs,
+	}
+	if a.sizeA > 0 {
+		s.Precision = float64(a.overlapAT) / float64(a.sizeA)
+	}
+	if a.sizeT > 0 {
+		s.Recall = float64(a.overlapTA) / float64(a.sizeT)
+	}
+	if s.Precision+s.Recall > 0 {
+		s.F1 = 2 * s.Precision * s.Recall / (s.Precision + s.Recall)
+	}
+	return s
+}
+
+// EventScore is precision/recall for instantaneous truth events (packet
+// drops) against inferred recovery intervals:
+//
+//	recall    = truth events covered by dilate(A, tol) / all truth events
+//	precision = inferred ranges containing ≥1 truth event within tol / ranges
+//
+// The analyzer infers recovery *periods*, not drop instants, so events score
+// by coverage rather than time overlap; the tolerance absorbs detection
+// latency (an RTO-repaired drop surfaces seconds after the drop).
+type EventScore struct {
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	F1        float64 `json:"f1"`
+	Events    int     `json:"events"`
+	Ranges    int     `json:"ranges"`
+	Runs      int     `json:"runs"`
+}
+
+type eventAccum struct {
+	covered int // truth events inside the dilated inferred set
+	events  int
+	hit     int // inferred ranges with ≥1 truth event within tol
+	ranges  int
+	runs    int
+}
+
+// add scores one run's inferred recovery set against truth drop instants.
+func (a *eventAccum) add(inferred *timerange.Set, events []Micros, tol Micros, w timerange.Range) {
+	A := clip(inferred, w)
+	inWindow := make([]Micros, 0, len(events))
+	for _, t := range events {
+		if w.Contains(t) {
+			inWindow = append(inWindow, t)
+		}
+	}
+	if A.Empty() && len(inWindow) == 0 {
+		return
+	}
+	a.runs++
+	sort.Slice(inWindow, func(i, j int) bool { return inWindow[i] < inWindow[j] })
+
+	dilated := Dilate(A, tol)
+	for _, t := range inWindow {
+		if dilated.Contains(t) {
+			a.covered++
+		}
+	}
+	a.events += len(inWindow)
+
+	for _, r := range A.Ranges() {
+		a.ranges++
+		lo := sort.Search(len(inWindow), func(i int) bool { return inWindow[i] >= r.Start-tol })
+		if lo < len(inWindow) && inWindow[lo] < r.End+tol {
+			a.hit++
+		}
+	}
+}
+
+// merge folds another accumulator (one case's contribution) into a.
+func (a *eventAccum) merge(o eventAccum) {
+	a.covered += o.covered
+	a.events += o.events
+	a.hit += o.hit
+	a.ranges += o.ranges
+	a.runs += o.runs
+}
+
+func (a *eventAccum) score() EventScore {
+	s := EventScore{Precision: 1, Recall: 1, Events: a.events, Ranges: a.ranges, Runs: a.runs}
+	if a.ranges > 0 {
+		s.Precision = float64(a.hit) / float64(a.ranges)
+	}
+	if a.events > 0 {
+		s.Recall = float64(a.covered) / float64(a.events)
+	}
+	if s.Precision+s.Recall > 0 {
+		s.F1 = 2 * s.Precision * s.Recall / (s.Precision + s.Recall)
+	}
+	return s
+}

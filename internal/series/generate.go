@@ -262,6 +262,15 @@ func (c *Catalog) detectBandwidth() *timerange.Set {
 		// this connection, it is not the bottleneck bandwidth.
 		return bw
 	}
+	if serMSS > 4*rtt {
+		// The tightest observed spacing already exceeds several RTTs per
+		// segment. A wire that slow is indistinguishable from application
+		// pacing (the same cutoff the run filter applies below) — and when
+		// an application emits one segment per timer tick, the pacing
+		// period itself masquerades as the serialization time. Bail before
+		// it anchors the proportionality test.
+		return bw
+	}
 	const hdrLen = 54 // Ethernet + IP + TCP
 	wireMSS := Micros(mss + hdrLen)
 
@@ -279,9 +288,25 @@ func (c *Catalog) detectBandwidth() *timerange.Set {
 		// ≈RTT (one-window-per-round ACK clocking) and anything beyond a
 		// few RTTs (a wire that slow is indistinguishable from — and in
 		// BGP practice almost always is — application pacing).
+		//
+		// The ≈RTT exclusion has a counter-signal: a queue draining at R
+		// bytes/sec releases a small packet a few ms behind a full one,
+		// while ACK clocking spaces packets a whole RTT apart regardless
+		// of size. A sub-half-MSS packet closing well inside the RTT is
+		// evidence the cadence is serialization, not the ACK clock, even
+		// when the full-segment spacing happens to coincide with the RTT.
 		avgGap := r.Len() / Micros(end-runStart)
 		if avgGap >= rtt*3/5 && avgGap <= rtt*8/5 {
-			return
+			sized := false
+			for i := runStart + 1; i <= end; i++ {
+				if data[i].Len <= mss/2 && data[i].Time-data[i-1].Time <= rtt/3 {
+					sized = true
+					break
+				}
+			}
+			if !sized {
+				return
+			}
 		}
 		if avgGap > 4*rtt {
 			return
@@ -436,7 +461,13 @@ func (c *Catalog) operate() {
 		}
 	}
 	c.set(AdvBndOut, adv)
-	c.set(CwndBndOut, cwnd)
+	// A bottleneck queue clocks ACKs at the drain rate, so every flight
+	// follows its predecessor's completion "immediately" and the cwnd rule
+	// fires across the whole drain — but there the congestion window merely
+	// tracks the bandwidth-delay product. The wire is the binding
+	// constraint; charge it, not the window (same precedence SendAppLimited
+	// applies above).
+	c.set(CwndBndOut, cwnd.Subtract(c.Get(BandwidthLimited)))
 
 	// Set algebra (rule 4).
 	active := c.Get(ActiveTransfer)

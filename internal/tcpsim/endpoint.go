@@ -34,7 +34,12 @@ type Endpoint struct {
 	dupAcks      int
 	inRecovery   bool
 	recoverPoint int64
-	peerWnd      int
+	// Post-timeout go-back-N repair: rtoRecover marks how far data was
+	// outstanding when the timeout fired (0 = no repair in progress), and
+	// rexmitNxt is the next byte the repair walk will retransmit.
+	rtoRecover int64
+	rexmitNxt  int64
+	peerWnd    int
 
 	// RTT estimation (RFC 6298), all in microseconds.
 	srtt, rttvar float64
@@ -64,6 +69,11 @@ type Endpoint struct {
 	finOffset  int64
 
 	ipID uint16
+
+	// Ground-truth probe state (see probe.go).
+	probe             *Probe
+	probeZeroState    bool
+	probeBlockedState bool
 
 	// Close handshake state.
 	appClosed bool
@@ -306,6 +316,7 @@ func (e *Endpoint) newPacket(flags uint8, seq, ack uint32, payload []byte) *pack
 	if adv == 0 {
 		e.stats.ZeroWindowAcks++
 	}
+	e.probeZeroWindow(adv)
 	return &packet.Packet{
 		IP: packet.IPv4{
 			ID:  e.ipID,

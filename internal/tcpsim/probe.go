@@ -1,0 +1,71 @@
+package tcpsim
+
+// Probe is a set of optional ground-truth callbacks an observer (the
+// trace-generation oracle) attaches to an endpoint. The endpoint reports
+// authoritative internal events — things a passive sniffer can only infer —
+// at the moment they happen. Probes never alter endpoint behavior: every
+// callback fires after the state transition it reports, and a nil Probe (or
+// nil callback) costs one pointer test.
+type Probe struct {
+	// OnTimeout fires when a retransmission timeout expires and actually
+	// retransmits data (SYN retransmissions included). The paper's passive
+	// analyzer must infer these from duplicate bytes on the wire; here they
+	// are exact.
+	OnTimeout func(t Micros)
+	// OnZeroWindow fires when the advertised receive window transitions to
+	// zero (zero=true) or reopens (zero=false), as stamped on an outgoing
+	// segment — i.e. at the instant the zero window becomes visible on the
+	// wire.
+	OnZeroWindow func(t Micros, zero bool)
+	// OnSendBlocked fires when the sender transitions into (blocked=true) or
+	// out of (blocked=false) a state where buffered data cannot be
+	// transmitted because the peer's advertised window is the binding
+	// constraint (including full zero-window stalls).
+	OnSendBlocked func(t Micros, blocked bool)
+	// OnBugDrop fires when the zero-window probe-discard bug consumes an
+	// outgoing segment (paper §IV-B): the bytes vanish before reaching the
+	// wire, repairable only by a retransmission timeout.
+	OnBugDrop func(t Micros)
+}
+
+// SetProbe attaches ground-truth callbacks to the endpoint (nil detaches).
+func (e *Endpoint) SetProbe(p *Probe) { e.probe = p }
+
+// probeTimeout reports an RTO retransmission.
+func (e *Endpoint) probeTimeout() {
+	if e.probe != nil && e.probe.OnTimeout != nil {
+		e.probe.OnTimeout(e.eng.Now())
+	}
+}
+
+// probeZeroWindow reports advertised-window zero transitions. Called from
+// newPacket with the window just stamped on an outgoing segment.
+func (e *Endpoint) probeZeroWindow(adv int) {
+	zero := adv == 0
+	if zero == e.probeZeroState {
+		return
+	}
+	e.probeZeroState = zero
+	if e.probe != nil && e.probe.OnZeroWindow != nil {
+		e.probe.OnZeroWindow(e.eng.Now(), zero)
+	}
+}
+
+// probeSendBlocked reports peer-window stall transitions. Called from
+// trySend after the transmission loop has settled.
+func (e *Endpoint) probeSendBlocked(blocked bool) {
+	if blocked == e.probeBlockedState {
+		return
+	}
+	e.probeBlockedState = blocked
+	if e.probe != nil && e.probe.OnSendBlocked != nil {
+		e.probe.OnSendBlocked(e.eng.Now(), blocked)
+	}
+}
+
+// probeBugDrop reports a probe-discard bug casualty.
+func (e *Endpoint) probeBugDrop() {
+	if e.probe != nil && e.probe.OnBugDrop != nil {
+		e.probe.OnBugDrop(e.eng.Now())
+	}
+}

@@ -1,6 +1,8 @@
 package tcpsim
 
-import "tdat/internal/packet"
+import (
+	"tdat/internal/packet"
+)
 
 // This file holds the sender half: segment pacing under the congestion and
 // advertised windows, Reno congestion control, RFC 6298 retransmission
@@ -47,6 +49,27 @@ func (e *Endpoint) trySend() {
 	if e.peerWnd == 0 && e.sndNxt == e.sndUna && e.sndNxt < dataEnd {
 		e.armPersist()
 	}
+	// Ground truth: the sender is advertised-window blocked when the peer
+	// window (not cwnd) is the binding constraint and the sender has more
+	// to move — either buffered data remains unsent, or the send buffer is
+	// packed with unacked bytes that only a window release can retire (the
+	// application is stalled behind the full buffer). "Binding" means the
+	// window, net of in-flight data, has less than a few segments of room:
+	// below that the sender either cannot emit a full segment or ends up in
+	// the Nagle/silly-window interlock where its sub-MSS tail waits on a
+	// window update the receiver is withholding until its buffer drains.
+	// Three segments of slack matches the analyzer's window-fill test
+	// (series.Config.WindowSlackMSS) — shared as the *definition* of a
+	// filled window, while the states compared remain independent (endpoint
+	// internals here, flight structure inferred from the wire there).
+	if e.probe != nil {
+		inflight := e.sndNxt - e.sndUna
+		pw := int64(e.peerWnd)
+		wantsMore := e.sndNxt < dataEnd || e.SendBufAvailable() < e.cfg.MSS
+		slack := int64(3 * e.cfg.MSS)
+		blocked := wantsMore && pw <= int64(e.cwnd) && pw-inflight < slack
+		e.probeSendBlocked(blocked)
+	}
 }
 
 // sendSegment emits payload [off, off+n) from the send buffer. The
@@ -60,6 +83,7 @@ func (e *Endpoint) sendSegment(off int64, n int) {
 	if e.bugDropArmed {
 		e.bugDropArmed = false
 		e.stats.BugDrops++
+		e.probeBugDrop()
 		return
 	}
 	if !e.timing {
@@ -158,6 +182,14 @@ func (e *Endpoint) onNewAck(ackOff int64) {
 		}
 	}
 
+	if e.rtoRecover > 0 {
+		if e.sndUna >= e.rtoRecover {
+			e.rtoRecover = 0 // hole repaired
+		} else {
+			e.retransmitHole()
+		}
+	}
+
 	if e.sndNxt > e.sndUna {
 		e.armRTO()
 	} else {
@@ -167,6 +199,34 @@ func (e *Endpoint) onNewAck(ackOff int64) {
 		e.OnSendSpace()
 	}
 	e.maybeSendFIN()
+}
+
+// retransmitHole continues go-back-N repair after a retransmission timeout:
+// each new ACK below the recovery point retransmits the next congestion
+// window's worth of the presumed-lost flight, so a flight wiped out by a
+// loss episode is repaired at slow-start pace once connectivity returns
+// instead of one segment per backed-off timeout.
+func (e *Endpoint) retransmitHole() {
+	if e.rexmitNxt < e.sndUna {
+		e.rexmitNxt = e.sndUna
+	}
+	for e.rexmitNxt < e.rtoRecover {
+		n := int64(e.cfg.MSS)
+		if rem := e.rtoRecover - e.rexmitNxt; rem < n {
+			n = rem
+		}
+		if room := int64(e.cwnd) - (e.rexmitNxt - e.sndUna); room < n {
+			n = room
+		}
+		if n <= 0 {
+			return
+		}
+		start := e.rexmitNxt - e.sndUna
+		e.timing = false // Karn's algorithm: never time retransmitted data
+		e.emit(packet.FlagACK|packet.FlagPSH, e.wireSeq(e.rexmitNxt), e.wireAck(),
+			e.sndBuf[start:start+n], true)
+		e.rexmitNxt += n
+	}
 }
 
 func (e *Endpoint) onDupAck() {
@@ -211,6 +271,7 @@ func (e *Endpoint) onRTO() {
 	case StateSynSent, StateSynReceived:
 		e.rtoShift++
 		e.stats.Timeouts++
+		e.probeTimeout()
 		e.synRetx = true
 		e.sendSyn(e.state == StateSynReceived)
 		e.armRTO()
@@ -223,11 +284,18 @@ func (e *Endpoint) onRTO() {
 		return // everything acked in the meantime
 	}
 	e.stats.Timeouts++
+	e.probeTimeout()
 	flight := float64(e.sndNxt - e.sndUna)
 	e.ssthresh = maxf(flight/2, float64(2*e.cfg.MSS))
 	e.cwnd = float64(e.cfg.MSS)
 	e.inRecovery = false
 	e.dupAcks = 0
+	// Everything outstanding is presumed lost: retransmit the first segment
+	// now and walk the rest forward as ACKs reopen the congestion window
+	// (go-back-N slow-start repair), rather than one segment per backed-off
+	// timeout.
+	e.rtoRecover = e.sndNxt
+	e.rexmitNxt = e.sndUna
 	e.retransmitFirst()
 	e.rtoShift++
 	e.armRTO()

@@ -1,0 +1,132 @@
+package timerange
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genSet draws a small random set: up to 8 ranges over a compact domain so
+// overlaps, adjacency, and containment all occur often.
+type genSet struct{ S *Set }
+
+func (genSet) Generate(r *rand.Rand, _ int) reflect.Value {
+	s := NewSet()
+	for n := r.Intn(8); n > 0; n-- {
+		start := Micros(r.Intn(200))
+		s.Add(R(start, start+Micros(1+r.Intn(40))))
+	}
+	return reflect.ValueOf(genSet{s})
+}
+
+// wellFormed checks the Set's structural invariant: sorted, non-empty,
+// non-overlapping, non-adjacent ranges.
+func wellFormed(s *Set) bool {
+	rs := s.Ranges()
+	for i, r := range rs {
+		if r.Empty() {
+			return false
+		}
+		if i > 0 && rs[i-1].End >= r.Start {
+			return false
+		}
+	}
+	return true
+}
+
+func quickCheck(t *testing.T, name string, f any) {
+	t.Helper()
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Errorf("%s: %v", name, err)
+	}
+}
+
+func TestSetAlgebraLaws(t *testing.T) {
+	quickCheck(t, "results well-formed", func(a, b genSet) bool {
+		return wellFormed(a.S.Union(b.S)) &&
+			wellFormed(a.S.Intersect(b.S)) &&
+			wellFormed(a.S.Subtract(b.S))
+	})
+	quickCheck(t, "union commutative", func(a, b genSet) bool {
+		return a.S.Union(b.S).Equal(b.S.Union(a.S))
+	})
+	quickCheck(t, "intersect commutative", func(a, b genSet) bool {
+		return a.S.Intersect(b.S).Equal(b.S.Intersect(a.S))
+	})
+	quickCheck(t, "union associative", func(a, b, c genSet) bool {
+		return a.S.Union(b.S).Union(c.S).Equal(a.S.Union(b.S.Union(c.S)))
+	})
+	quickCheck(t, "intersect associative", func(a, b, c genSet) bool {
+		return a.S.Intersect(b.S).Intersect(c.S).Equal(a.S.Intersect(b.S.Intersect(c.S)))
+	})
+	quickCheck(t, "union idempotent", func(a genSet) bool {
+		return a.S.Union(a.S).Equal(a.S)
+	})
+	quickCheck(t, "intersect idempotent", func(a genSet) bool {
+		return a.S.Intersect(a.S).Equal(a.S)
+	})
+	quickCheck(t, "subtract self empty", func(a genSet) bool {
+		return a.S.Subtract(a.S).Empty()
+	})
+	quickCheck(t, "subtract disjoint from subtrahend", func(a, b genSet) bool {
+		return a.S.Subtract(b.S).Intersect(b.S).Empty()
+	})
+	quickCheck(t, "distributivity a∩(b∪c)", func(a, b, c genSet) bool {
+		left := a.S.Intersect(b.S.Union(c.S))
+		right := a.S.Intersect(b.S).Union(a.S.Intersect(c.S))
+		return left.Equal(right)
+	})
+	quickCheck(t, "De Morgan a∖(b∪c)", func(a, b, c genSet) bool {
+		left := a.S.Subtract(b.S.Union(c.S))
+		right := a.S.Subtract(b.S).Subtract(c.S)
+		return left.Equal(right)
+	})
+}
+
+func TestSetDurationConservation(t *testing.T) {
+	// |a| + |b| = |a∪b| + |a∩b| — inclusion-exclusion on total covered time.
+	quickCheck(t, "inclusion-exclusion", func(a, b genSet) bool {
+		return a.S.Size()+b.S.Size() == a.S.Union(b.S).Size()+a.S.Intersect(b.S).Size()
+	})
+	// Subtraction partitions a: |a| = |a∖b| + |a∩b|.
+	quickCheck(t, "subtract partitions", func(a, b genSet) bool {
+		return a.S.Size() == a.S.Subtract(b.S).Size()+a.S.Intersect(b.S).Size()
+	})
+	// Complement within a window partitions the window.
+	quickCheck(t, "complement partitions window", func(a genSet) bool {
+		w := R(0, 300)
+		clipped := a.S.Intersect(NewSet(w))
+		return clipped.Size()+a.S.Complement(w).Size() == w.Len()
+	})
+}
+
+func TestSetPointMembership(t *testing.T) {
+	// Contains agrees with the set operations at every point of the domain.
+	quickCheck(t, "membership algebra", func(a, b genSet) bool {
+		u, x, d := a.S.Union(b.S), a.S.Intersect(b.S), a.S.Subtract(b.S)
+		for t := Micros(0); t < 250; t++ {
+			ia, ib := a.S.Contains(t), b.S.Contains(t)
+			if u.Contains(t) != (ia || ib) {
+				return false
+			}
+			if x.Contains(t) != (ia && ib) {
+				return false
+			}
+			if d.Contains(t) != (ia && !ib) {
+				return false
+			}
+		}
+		return true
+	})
+	// Add is order-independent: a set equals the same ranges added shuffled.
+	quickCheck(t, "add order-independent", func(a genSet, seed int64) bool {
+		rs := a.S.Ranges()
+		shuffled := append([]Range(nil), rs...)
+		rand.New(rand.NewSource(seed)).Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		return NewSet(shuffled...).Equal(a.S)
+	})
+}

@@ -135,12 +135,24 @@ type Scenario struct {
 	LossRate float64
 	// LossEpisode optionally scripts a loss window instead of i.i.d. loss.
 	LossEpisode timerange.Range
+	// LossEpisodes adds further scripted loss windows (a flapping link);
+	// combined with LossEpisode when both are set.
+	LossEpisodes []timerange.Range
 	// UpstreamRate configures KindBandwidth in bytes/sec (default 40k).
 	UpstreamRate int64
 	// RTT is the round-trip propagation (default 8 ms).
 	RTT Micros
 	// Horizon bounds the simulation (default 1200 s).
 	Horizon Micros
+}
+
+// lossWindows collects every scripted loss window of the scenario.
+func (s Scenario) lossWindows() []timerange.Range {
+	var out []timerange.Range
+	if !s.LossEpisode.Empty() {
+		out = append(out, s.LossEpisode)
+	}
+	return append(out, s.LossEpisodes...)
 }
 
 func (s Scenario) withDefaults() Scenario {
@@ -191,6 +203,9 @@ type Trace struct {
 	RoutesDelivered int
 	// RouterStats snapshots the sender TCP endpoint counters.
 	RouterStats tcpsim.Stats
+	// Truth is the simulator's authoritative event record (see Truth); the
+	// oracle scores the analyzer's inferences against it.
+	Truth *Truth
 }
 
 // Packets converts the capture for the flows layer.
@@ -201,6 +216,11 @@ func (t *Trace) Packets() []flows.TimedPacket {
 	}
 	return out
 }
+
+// WithDefaults returns the scenario with every zero field replaced by its
+// documented default — the effective parameters Run will use. Validation
+// harnesses need it to know, e.g., the pacing timer a detector must find.
+func (s Scenario) WithDefaults() Scenario { return s.withDefaults() }
 
 // Run executes one scenario.
 func Run(sc Scenario) *Trace { return runScenario(sc, 0, 0) }
@@ -238,14 +258,14 @@ func runScenario(sc Scenario, rtoBackoff float64, collectorBuf int) *Trace {
 	case KindSmallWindow:
 		spec.CollectorTCP.RecvBuf = sc.RecvBuf
 	case KindUpstreamLoss:
-		if !sc.LossEpisode.Empty() {
-			spec.Path.UpstreamHook = netem.LossEpisodes(sc.LossEpisode)
+		if wins := sc.lossWindows(); len(wins) > 0 {
+			spec.Path.UpstreamHook = netem.LossEpisodes(wins...)
 		} else {
 			spec.Path.UpstreamLoss = sc.LossRate
 		}
 	case KindDownstreamLoss:
-		if !sc.LossEpisode.Empty() {
-			spec.Path.DownstreamHook = netem.LossEpisodes(sc.LossEpisode)
+		if wins := sc.lossWindows(); len(wins) > 0 {
+			spec.Path.DownstreamHook = netem.LossEpisodes(wins...)
 		} else {
 			spec.Path.DownstreamLoss = sc.LossRate
 		}
@@ -273,6 +293,8 @@ func runScenario(sc Scenario, rtoBackoff float64, collectorBuf int) *Trace {
 	sess.OnTransferQueued = func(n, _ int) { queued = n }
 	host := bgpsim.NewCollectorHost(eng, ccfg)
 	csess := host.AddSession(conn.CollectorPeer, 7018)
+	rec := newTruthRecorder()
+	rec.attach(conn, sess)
 
 	// Run in chunks and stop shortly after the collector has processed the
 	// whole table — keepalive timers keep the event queue alive forever, so
@@ -296,6 +318,7 @@ func runScenario(sc Scenario, rtoBackoff float64, collectorBuf int) *Trace {
 		Captures:    conn.Sniffer().Captures(),
 		Archive:     csess.Archive(),
 		RouterStats: conn.RouterPeer.Endpoint().Stats(),
+		Truth:       rec.finish(eng.Now()),
 	}
 	for _, e := range tr.Archive {
 		if m, err := bgp.Parse(e.Raw); err == nil {
@@ -350,6 +373,8 @@ func RunChurn(sc Scenario, idleAfter Micros, churnFrac float64) *ChurnTrace {
 	sess.OnTransferQueued = func(n, _ int) { queued = n }
 	host := bgpsim.NewCollectorHost(eng, bgpsim.CollectorConfig{TotalRate: sc.CollectorRate})
 	csess := host.AddSession(conn.CollectorPeer, 7018)
+	rec := newTruthRecorder()
+	rec.attach(conn, sess)
 
 	// Run the initial transfer to completion.
 	const chunk = 5_000_000
@@ -406,6 +431,7 @@ func RunChurn(sc Scenario, idleAfter Micros, churnFrac float64) *ChurnTrace {
 		Captures:    conn.Sniffer().Captures(),
 		Archive:     csess.Archive(),
 		RouterStats: conn.RouterPeer.Endpoint().Stats(),
+		Truth:       rec.finish(eng.Now()),
 	}
 	for _, e := range tr.Archive {
 		if m, err := bgp.Parse(e.Raw); err == nil {

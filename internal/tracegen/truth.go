@@ -1,0 +1,148 @@
+package tracegen
+
+import (
+	"tdat/internal/bgpsim"
+	"tdat/internal/packet"
+	"tdat/internal/sim"
+	"tdat/internal/tcpsim"
+	"tdat/internal/timerange"
+)
+
+// Truth is the simulator's authoritative record of what happened during a
+// run — the events a passive analyzer can only infer from the capture. It is
+// assembled from the ground-truth hooks threaded through tcpsim (endpoint
+// probes), netem (link drop hooks), and bgpsim (pacing/group stall hooks),
+// and carried alongside the Trace so a differential validator can score the
+// analyzer's inferences against it.
+type Truth struct {
+	// UpstreamDrops are the instants payload-bearing data packets were lost
+	// between the sender and the sniffer (invisible to the capture except
+	// through the retransmission that follows). BugDrops are counted here
+	// too: the probe-discard bug consumes the segment before it reaches the
+	// wire, which is upstream of the sniffer by construction.
+	UpstreamDrops []Micros
+	// DownstreamDrops are losses between the sniffer and the collector: the
+	// sniffer sees the original and the retransmission.
+	DownstreamDrops []Micros
+	// AckDrops are losses on the reverse (collector→sender) path.
+	AckDrops []Micros
+	// Timeouts are the instants the sender's retransmission timer fired and
+	// retransmitted (RFC 6298 backoff included).
+	Timeouts []Micros
+	// BugDrops are the instants the zero-window probe-discard bug consumed a
+	// segment (paper §IV-B).
+	BugDrops []Micros
+
+	// ZeroWindow covers periods where the collector advertised a zero
+	// receive window (from the zero advertisement to the reopening).
+	ZeroWindow *timerange.Set
+	// AdvBlocked covers periods where the sender had data buffered but the
+	// peer's advertised window was the binding constraint (zero-window
+	// stalls included).
+	AdvBlocked *timerange.Set
+	// AppIdle covers periods where pending updates waited solely on the
+	// sender's pacing timer — application-level idle, not TCP backpressure.
+	AppIdle *timerange.Set
+	// GroupBlocked covers periods where the session stalled on the
+	// peer-group slack bound (paper §II-B3).
+	GroupBlocked *timerange.Set
+}
+
+// newTruth allocates an empty record.
+func newTruth() *Truth {
+	return &Truth{
+		ZeroWindow:   timerange.NewSet(),
+		AdvBlocked:   timerange.NewSet(),
+		AppIdle:      timerange.NewSet(),
+		GroupBlocked: timerange.NewSet(),
+	}
+}
+
+// truthRecorder accumulates hook events into a Truth, tracking the open
+// interval of each binary state until finish closes it.
+type truthRecorder struct {
+	truth *Truth
+
+	zeroOpen    Micros
+	zeroActive  bool
+	advOpen     Micros
+	advActive   bool
+	idleOpen    Micros
+	idleActive  bool
+	groupOpen   Micros
+	groupActive bool
+}
+
+func newTruthRecorder() *truthRecorder {
+	return &truthRecorder{truth: newTruth()}
+}
+
+// open/close helpers add [start, t) on the falling edge of a state.
+func (r *truthRecorder) edge(set *timerange.Set, open *Micros, active *bool, t Micros, on bool) {
+	if on == *active {
+		return
+	}
+	if on {
+		*open = t
+	} else if t > *open {
+		set.Add(timerange.Range{Start: *open, End: t})
+	}
+	*active = on
+}
+
+// attach wires the recorder into every truth hook of one wired connection
+// and its sender session. It must run before the engine does.
+func (r *truthRecorder) attach(conn *bgpsim.Conn, sess *bgpsim.Session) {
+	t := r.truth
+
+	conn.RouterPeer.Endpoint().SetProbe(&tcpsim.Probe{
+		OnTimeout: func(at tcpsim.Micros) { t.Timeouts = append(t.Timeouts, at) },
+		OnBugDrop: func(at tcpsim.Micros) {
+			t.BugDrops = append(t.BugDrops, at)
+			t.UpstreamDrops = append(t.UpstreamDrops, at)
+		},
+		OnSendBlocked: func(at tcpsim.Micros, blocked bool) {
+			r.edge(t.AdvBlocked, &r.advOpen, &r.advActive, at, blocked)
+		},
+	})
+	conn.CollectorPeer.Endpoint().SetProbe(&tcpsim.Probe{
+		OnZeroWindow: func(at tcpsim.Micros, zero bool) {
+			r.edge(t.ZeroWindow, &r.zeroOpen, &r.zeroActive, at, zero)
+		},
+	})
+
+	// Only payload-bearing drops matter on the data path: a lost pure ACK or
+	// control segment does not create the retransmission signature the
+	// analyzer attributes to data loss.
+	conn.Path.UpstreamData.DropHook = func(at sim.Micros, p *packet.Packet, _ bool) {
+		if p.PayloadLen() > 0 {
+			t.UpstreamDrops = append(t.UpstreamDrops, at)
+		}
+	}
+	conn.Path.DownstreamData.DropHook = func(at sim.Micros, p *packet.Packet, _ bool) {
+		if p.PayloadLen() > 0 {
+			t.DownstreamDrops = append(t.DownstreamDrops, at)
+		}
+	}
+	conn.Path.AckPath.DropHook = func(at sim.Micros, _ *packet.Packet, _ bool) {
+		t.AckDrops = append(t.AckDrops, at)
+	}
+
+	sess.OnPacingBlocked = func(at sim.Micros, blocked bool) {
+		r.edge(t.AppIdle, &r.idleOpen, &r.idleActive, at, blocked)
+	}
+	sess.OnGroupBlocked = func(at sim.Micros, blocked bool) {
+		r.edge(t.GroupBlocked, &r.groupOpen, &r.groupActive, at, blocked)
+	}
+}
+
+// finish closes any interval still open at simulation end and returns the
+// completed record.
+func (r *truthRecorder) finish(end Micros) *Truth {
+	t := r.truth
+	r.edge(t.ZeroWindow, &r.zeroOpen, &r.zeroActive, end, false)
+	r.edge(t.AdvBlocked, &r.advOpen, &r.advActive, end, false)
+	r.edge(t.AppIdle, &r.idleOpen, &r.idleActive, end, false)
+	r.edge(t.GroupBlocked, &r.groupOpen, &r.groupActive, end, false)
+	return t
+}

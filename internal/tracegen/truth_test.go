@@ -1,0 +1,87 @@
+package tracegen
+
+import "testing"
+
+// TestTruthCapture checks that each scenario kind populates the ground-truth
+// fields its pathology should produce.
+func TestTruthCapture(t *testing.T) {
+	t.Parallel()
+	small := func(k Kind) Scenario { return Scenario{Kind: k, Seed: 7, Routes: 3000} }
+
+	t.Run("paced records app idle", func(t *testing.T) {
+		t.Parallel()
+		tr := Run(small(KindPaced))
+		if tr.Truth == nil {
+			t.Fatal("Truth not recorded")
+		}
+		if tr.Truth.AppIdle.Size() == 0 {
+			t.Error("paced scenario recorded no AppIdle truth")
+		}
+		if frac := float64(tr.Truth.AppIdle.Size()) / float64(tr.GroundDuration); frac < 0.5 {
+			t.Errorf("paced AppIdle covers %.2f of transfer, want > 0.5", frac)
+		}
+	})
+
+	t.Run("upstream loss records upstream drops", func(t *testing.T) {
+		t.Parallel()
+		tr := Run(small(KindUpstreamLoss))
+		if len(tr.Truth.UpstreamDrops) == 0 {
+			t.Error("upstream-loss scenario recorded no upstream drops")
+		}
+		if len(tr.Truth.DownstreamDrops) != 0 {
+			t.Errorf("upstream-loss scenario recorded %d downstream drops, want 0",
+				len(tr.Truth.DownstreamDrops))
+		}
+		if len(tr.Truth.Timeouts) == 0 && tr.RouterStats.Timeouts > 0 {
+			t.Error("router stats count timeouts but truth recorded none")
+		}
+	})
+
+	t.Run("downstream loss records downstream drops", func(t *testing.T) {
+		t.Parallel()
+		tr := Run(small(KindDownstreamLoss))
+		if len(tr.Truth.DownstreamDrops) == 0 {
+			t.Error("downstream-loss scenario recorded no downstream drops")
+		}
+		if len(tr.Truth.UpstreamDrops) != 0 {
+			t.Errorf("downstream-loss scenario recorded %d upstream drops, want 0",
+				len(tr.Truth.UpstreamDrops))
+		}
+	})
+
+	t.Run("small window records adv blocking", func(t *testing.T) {
+		t.Parallel()
+		tr := Run(small(KindSmallWindow))
+		if tr.Truth.AdvBlocked.Size() == 0 {
+			t.Error("small-window scenario recorded no AdvBlocked truth")
+		}
+	})
+
+	t.Run("zero-ack bug records bug drops and zero windows", func(t *testing.T) {
+		t.Parallel()
+		tr := Run(small(KindZeroAckBug))
+		if len(tr.Truth.BugDrops) == 0 {
+			t.Error("zero-ack-bug scenario recorded no bug drops")
+		}
+		if tr.Truth.ZeroWindow.Size() == 0 {
+			t.Error("zero-ack-bug scenario recorded no zero-window truth")
+		}
+		if got, want := len(tr.Truth.BugDrops), tr.RouterStats.BugDrops; got != want {
+			t.Errorf("truth recorded %d bug drops, endpoint stats say %d", got, want)
+		}
+	})
+
+	t.Run("clean trace stays mostly quiet", func(t *testing.T) {
+		t.Parallel()
+		tr := Run(small(KindClean))
+		if n := len(tr.Truth.UpstreamDrops) + len(tr.Truth.DownstreamDrops); n != 0 {
+			t.Errorf("clean scenario recorded %d drops, want 0", n)
+		}
+		if n := len(tr.Truth.Timeouts); n != 0 {
+			t.Errorf("clean scenario recorded %d timeouts, want 0", n)
+		}
+		if tr.Truth.ZeroWindow.Size() != 0 {
+			t.Error("clean scenario recorded zero-window truth")
+		}
+	})
+}

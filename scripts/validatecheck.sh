@@ -1,0 +1,30 @@
+#!/bin/sh
+# validatecheck.sh — run the ground-truth validation sweep and gate it on
+# the checked-in accuracy floors (scripts/validatefloor.txt). Simulator
+# scenarios with authoritative event records go through the full T-DAT
+# pipeline; the inferred series, delay factors, verdicts, and detectors are
+# scored against the recorded truth. A non-zero exit means the analyzer
+# regressed against the simulator.
+#
+# Usage: sh scripts/validatecheck.sh [outdir] [quick|full]
+# Writes scorecard.txt and validate.json into outdir (default: ./validate).
+# Mode defaults to quick (the CI mode; full is the local investigation grid).
+set -eu
+
+dir=${1:-validate}
+mode=${2:-quick}
+floors=$(dirname "$0")/validatefloor.txt
+mkdir -p "$dir"
+
+flags="-floors $floors -json $dir/validate.json"
+case $mode in
+quick) flags="$flags -quick" ;;
+full) ;;
+*)
+	echo "validatecheck.sh: unknown mode \"$mode\" (want quick or full)" >&2
+	exit 2
+	;;
+esac
+
+# shellcheck disable=SC2086 # flags is a deliberate word list
+go run ./cmd/validate $flags | tee "$dir/scorecard.txt"
