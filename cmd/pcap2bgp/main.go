@@ -14,11 +14,13 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"log/slog"
 	"net/netip"
 	"os"
+	"sort"
 
 	"tdat/internal/bgp"
 	"tdat/internal/flows"
@@ -198,7 +200,27 @@ func runOnline(recs []pcapio.Record, out string, verbose bool) int {
 		slog.Warn("undecodable packets skipped", "count", skipped)
 	}
 	total := 0
-	for k, st := range streams {
+	// Report in a fixed direction order, not map order, so repeated runs
+	// over one capture emit byte-identical summaries.
+	keys := make([]dirKey, 0, len(streams))
+	for k := range streams {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.src != b.src {
+			return bytes.Compare(a.src[:], b.src[:]) < 0
+		}
+		if a.dst != b.dst {
+			return bytes.Compare(a.dst[:], b.dst[:]) < 0
+		}
+		if a.sport != b.sport {
+			return a.sport < b.sport
+		}
+		return a.dport < b.dport
+	})
+	for _, k := range keys {
+		st := streams[k]
 		if st.messages == 0 {
 			continue
 		}

@@ -1,0 +1,100 @@
+// Command tdatlint runs T-DAT's in-repo static analyzers — the mechanized
+// form of the invariants the compiler cannot see: passive (trace-derived)
+// time, map-order-independent output, seed-reproducible simulators,
+// non-mutating timerange.Set algebra, and the obs nil-fast-path contract.
+//
+// Usage:
+//
+//	tdatlint [-dir d] [-json] [-analyzers a,b] [-list] [packages...]
+//
+// Packages default to ./... relative to -dir. Exit status is 0 when the
+// tree is clean, 1 when diagnostics were reported, and 2 on usage or load
+// errors. Suppress a single finding with an explanatory comment on the
+// flagged line or the line above:
+//
+//	//tdatlint:ignore wallclock the self-profile times the analyzer, not the trace
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"tdat/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tdatlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		dir      = fs.String("dir", ".", "module directory to analyze from")
+		jsonOut  = fs.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+		onlyList = fs.Bool("list", false, "list registered analyzers and exit")
+		names    = fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		count    = fs.Bool("count-ignores", false, "print the number of //tdatlint:ignore comments and exit (the suppression ratchet)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: tdatlint [flags] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := lint.Analyzers()
+	if *onlyList {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *names != "" {
+		var picked []*lint.Analyzer
+		for _, name := range strings.Split(*names, ",") {
+			name = strings.TrimSpace(name)
+			a := lint.Lookup(name)
+			if a == nil {
+				fmt.Fprintf(stderr, "tdatlint: unknown analyzer %q (use -list)\n", name)
+				return 2
+			}
+			picked = append(picked, a)
+		}
+		analyzers = picked
+	}
+	pkgs, err := lint.Load(*dir, fs.Args()...)
+	if err != nil {
+		fmt.Fprintf(stderr, "tdatlint: %v\n", err)
+		return 2
+	}
+	if *count {
+		fmt.Fprintln(stdout, lint.CountIgnores(pkgs))
+		return 0
+	}
+	diags := lint.Run(pkgs, analyzers)
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(stderr, "tdatlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "tdatlint: %d diagnostic(s) in %d package(s)\n", len(diags), len(pkgs))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"tdat/internal/lint"
+)
+
+// fixture is the lint package's fixture mini-module — a self-contained
+// go.mod tree with known violations in every analyzer's scope.
+const fixture = "../../internal/lint/testdata/mod"
+
+func runDriver(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code = run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestExitCodes(t *testing.T) {
+	if code, _, _ := runDriver(t, "-list"); code != 0 {
+		t.Errorf("-list exit = %d, want 0", code)
+	}
+	// The fixture timerange package is clean under nilobs (wrong scope), so
+	// a scoped run is the clean-exit case.
+	if code, out, _ := runDriver(t, "-dir", fixture, "-analyzers", "nilobs", "./internal/timerange"); code != 0 || out != "" {
+		t.Errorf("clean run exit = %d stdout %q, want 0 and empty", code, out)
+	}
+	if code, out, _ := runDriver(t, "-dir", fixture, "./..."); code != 1 || out == "" {
+		t.Errorf("dirty run exit = %d (stdout %d bytes), want 1 with diagnostics", code, len(out))
+	}
+	if code, _, stderr := runDriver(t, "-analyzers", "nope"); code != 2 || !strings.Contains(stderr, "unknown analyzer") {
+		t.Errorf("unknown analyzer exit = %d stderr %q, want 2", code, stderr)
+	}
+	if code, _, _ := runDriver(t, "-dir", "/definitely/not/a/module"); code != 2 {
+		t.Errorf("bad dir exit = %d, want 2", code)
+	}
+	if code, _, _ := runDriver(t, "-badflag"); code != 2 {
+		t.Errorf("bad flag exit = %d, want 2", code)
+	}
+}
+
+func TestListNamesEveryAnalyzer(t *testing.T) {
+	_, out, _ := runDriver(t, "-list")
+	for _, a := range lint.Analyzers() {
+		if !strings.Contains(out, a.Name) {
+			t.Errorf("-list output missing analyzer %s", a.Name)
+		}
+	}
+}
+
+// TestJSONSchema pins the machine-readable mode: valid JSON, one object per
+// diagnostic, every field populated, codes drawn from the registered set.
+func TestJSONSchema(t *testing.T) {
+	code, out, _ := runDriver(t, "-dir", fixture, "-json", "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var diags []lint.Diagnostic
+	if err := json.Unmarshal([]byte(out), &diags); err != nil {
+		t.Fatalf("output is not a JSON diagnostic array: %v\n%s", err, out)
+	}
+	if len(diags) == 0 {
+		t.Fatal("fixture run produced no diagnostics")
+	}
+	known := map[string]bool{"badignore": true, "unusedignore": true}
+	for _, a := range lint.Analyzers() {
+		known[a.Name] = true
+	}
+	for _, d := range diags {
+		if d.File == "" || d.Line <= 0 || d.Col <= 0 || d.Message == "" {
+			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+		if !known[d.Code] {
+			t.Errorf("diagnostic carries unregistered code %q", d.Code)
+		}
+		if strings.Contains(d.File, "\\") || strings.HasPrefix(d.File, "/") {
+			t.Errorf("file should be module-relative with forward slashes: %q", d.File)
+		}
+	}
+}
+
+// TestJSONCleanIsEmptyArray pins that a clean -json run emits [] rather
+// than null, so downstream jq pipelines never special-case.
+func TestJSONCleanIsEmptyArray(t *testing.T) {
+	code, out, _ := runDriver(t, "-dir", fixture, "-json", "-analyzers", "nilobs", "./internal/timerange")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	if strings.TrimSpace(out) != "[]" {
+		t.Errorf("clean -json output = %q, want []", out)
+	}
+}
+
+// TestMetamorphicIdenticalRuns is the driver-level determinism check: two
+// full runs over the same tree produce byte-identical stdout in both text
+// and JSON modes.
+func TestMetamorphicIdenticalRuns(t *testing.T) {
+	for _, mode := range [][]string{
+		{"-dir", fixture, "./..."},
+		{"-dir", fixture, "-json", "./..."},
+	} {
+		code1, out1, _ := runDriver(t, mode...)
+		code2, out2, _ := runDriver(t, mode...)
+		if code1 != code2 || out1 != out2 {
+			t.Errorf("runs diverge for %v: exits %d/%d\n--- first ---\n%s--- second ---\n%s",
+				mode, code1, code2, out1, out2)
+		}
+	}
+}
+
+// TestCountIgnores pins the suppression ratchet's counter: the fixture
+// module carries exactly three //tdatlint:ignore comments (used, reasonless,
+// stale), and documentation examples inside other comments don't count.
+func TestCountIgnores(t *testing.T) {
+	code, out, _ := runDriver(t, "-dir", fixture, "-count-ignores", "./...")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	if got := strings.TrimSpace(out); got != "3" {
+		t.Errorf("-count-ignores = %q, want 3", got)
+	}
+}
+
+// TestDiagnosticsSorted pins the output ordering contract: file, then line,
+// then column.
+func TestDiagnosticsSorted(t *testing.T) {
+	_, out, _ := runDriver(t, "-dir", fixture, "-json", "./...")
+	var diags []lint.Diagnostic
+	if err := json.Unmarshal([]byte(out), &diags); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1], diags[i]
+		if a.File > b.File || (a.File == b.File && a.Line > b.Line) {
+			t.Errorf("diagnostics out of order: %v before %v", a, b)
+		}
+	}
+}

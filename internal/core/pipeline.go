@@ -261,7 +261,7 @@ func (a *Analyzer) AnalyzePcapWith(r io.Reader, analyze func(*flows.Connection) 
 				for j := range jobs {
 					if o != nil {
 						depthG.Add(-1)
-						queueWait.Observe(time.Since(j.enq).Microseconds())
+						queueWait.Observe(obs.Since(j.enq).Microseconds())
 					}
 					analyzeOne(j.idx, j.conn)
 				}
@@ -274,7 +274,7 @@ func (a *Analyzer) AnalyzePcapWith(r io.Reader, analyze func(*flows.Connection) 
 			j := connJob{idx: idx, conn: c}
 			if o != nil {
 				depthG.Add(1)
-				j.enq = time.Now()
+				j.enq = obs.Now()
 			}
 			jobs <- j
 		} else {
@@ -305,9 +305,9 @@ func (a *Analyzer) AnalyzePcapWith(r io.Reader, analyze func(*flows.Connection) 
 			recordsC.Inc()
 			o.Progress.AddRecords(1)
 			o.Progress.SetBytesRead(pr.BytesRead())
-			t0 := time.Now()
+			t0 := obs.Now()
 			p, err := packet.Decode(rec.Data)
-			t1 := time.Now()
+			t1 := obs.Now()
 			o.StageObserve(obs.StageDecode, t1.Sub(t0).Microseconds())
 			if err != nil {
 				if a.cfg.Strict {
@@ -318,7 +318,7 @@ func (a *Analyzer) AnalyzePcapWith(r io.Reader, analyze func(*flows.Connection) 
 				return nil
 			}
 			d.Add(flows.TimedPacket{Time: rec.TimeMicros, Pkt: p})
-			o.StageObserve(obs.StageDemux, time.Since(t1).Microseconds())
+			o.StageObserve(obs.StageDemux, obs.Since(t1).Microseconds())
 			return nil
 		})
 	}

@@ -3,12 +3,12 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"time"
 
 	"tdat/internal/asciiplot"
 	"tdat/internal/core"
 	"tdat/internal/detect"
 	"tdat/internal/flows"
+	"tdat/internal/obs"
 	"tdat/internal/series"
 	"tdat/internal/tracegen"
 )
@@ -173,13 +173,13 @@ func MeasureThroughput(n int, seed int64) Throughput {
 		inputs = append(inputs, pkts)
 	}
 	analyzer := core.New(core.Config{})
-	start := time.Now()
+	start := obs.Now()
 	conns := 0
 	for _, pkts := range inputs {
 		rep := analyzer.AnalyzePackets(pkts)
 		conns += len(rep.Transfers)
 	}
-	wall := time.Since(start).Seconds()
+	wall := obs.Since(start).Seconds()
 	t := Throughput{Connections: conns, Packets: packets, WallSeconds: wall}
 	if conns > 0 {
 		t.PerConnection = wall / float64(conns)

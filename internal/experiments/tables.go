@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"tdat/internal/core"
 	"tdat/internal/detect"
@@ -95,7 +96,15 @@ func slowSample(s *Suite) []*AnalyzedTransfer {
 		for i, t := range ds.Transfers {
 			byRouter[t.Router.ID] = append(byRouter[t.Router.ID], i)
 		}
-		for _, idxs := range byRouter {
+		// Visit routers in ID order, not map order, so the sampled-transfer
+		// table is deterministic.
+		routers := make([]int, 0, len(byRouter))
+		for id := range byRouter {
+			routers = append(routers, id)
+		}
+		sort.Ints(routers)
+		for _, id := range routers {
+			idxs := byRouter[id]
 			durs := make([]float64, len(idxs))
 			for j, i := range idxs {
 				durs[j] = ds.Transfers[i].Duration()

@@ -1,0 +1,34 @@
+// Package lint is T-DAT's in-repo static-analysis framework: a stdlib-only
+// (go/parser + go/ast + go/types) analog of go/analysis, purpose-built to
+// check the correctness contracts the compiler cannot see.
+//
+// T-DAT's credibility rests on source-level invariants that ordinary tests
+// only catch after they have shipped a flaky diff:
+//
+//   - the analyzer is passive — all time must come from the trace, never the
+//     wall clock (PAPER.md §III); enforced by the wallclock analyzer,
+//   - reports are byte-identical at any worker count; map iteration order
+//     must never leak into output (the determinism contract behind the
+//     ordered merge); enforced by the maporder analyzer,
+//   - simulators are seed-reproducible so the ground-truth oracle can score
+//     them; enforced by the globalrand analyzer,
+//   - timerange.Set operations are non-mutating, so the quick-check algebra
+//     laws quantify over real behavior; enforced by the setpurity analyzer,
+//   - internal/obs keeps its nil-fast-path contract (a nil receiver is a
+//     no-op); enforced by the nilobs analyzer.
+//
+// Analyzers self-register via Register in an init function and run over
+// type-checked packages produced by Load. Diagnostics carry a
+// machine-readable code (the analyzer name) and can be suppressed, one site
+// at a time, with an explanatory comment:
+//
+//	//tdatlint:ignore wallclock the self-profile measures the analyzer, not the trace
+//
+// placed on the flagged line or the line directly above it. A suppression
+// without a code or a reason is itself a diagnostic (badignore), and a
+// suppression that no longer matches anything is reported too
+// (unusedignore), so the ignore inventory can only ratchet down — see
+// scripts/lintcheck.sh.
+//
+// The driver lives in cmd/tdatlint.
+package lint

@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// globalrandAllowed are the math/rand package-level names that construct an
+// explicitly seeded generator rather than drawing from the shared global
+// source.
+var globalrandAllowed = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+func init() {
+	Register(&Analyzer{
+		Name: "globalrand",
+		Doc: "forbids the math/rand global-source functions (rand.Intn, rand.Float64, ...) " +
+			"and wall-clock-seeded generators outside tests: tracegen/tcpsim/netem runs must " +
+			"be reproducible from a seed for the ground-truth oracle to score them",
+		Run: runGlobalrand,
+	})
+}
+
+func runGlobalrand(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name, ok := pkgFuncCall(p.Info, call)
+			if !ok || pkg != "math/rand" {
+				return true
+			}
+			if !globalrandAllowed[name] {
+				p.Reportf(call.Pos(),
+					"rand.%s draws from the process-global source; thread a seeded *rand.Rand instead (simulator reproducibility)",
+					name)
+				return true
+			}
+			if (name == "New" || name == "NewSource") && containsWallclockSeed(p, call) {
+				p.Reportf(call.Pos(),
+					"rand.%s seeded from the wall clock defeats reproducibility; take the seed from a flag or config", name)
+			}
+			return true
+		})
+	}
+}
+
+// containsWallclockSeed reports whether any argument of call reaches into
+// time.Now (the classic rand.NewSource(time.Now().UnixNano()) anti-pattern).
+func containsWallclockSeed(p *Pass, call *ast.CallExpr) bool {
+	found := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			inner, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pkg, name, ok := pkgFuncCall(p.Info, inner); ok && pkg == "time" && name == "Now" {
+				found = true
+				return false
+			}
+			return true
+		})
+	}
+	return found
+}

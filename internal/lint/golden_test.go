@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// loadFixture loads the fixture mini-module once for every golden test.
+var loadFixture = sync.OnceValues(func() ([]*Package, error) {
+	return Load("testdata/mod")
+})
+
+// render formats diagnostics the way the goldens store them.
+func render(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// checkGolden compares got against testdata/golden/<name>.golden,
+// rewriting it under -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name+".golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run go test ./internal/lint -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("diagnostics diverge from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestAnalyzerGoldens runs each analyzer alone over the fixture module and
+// pins its exact diagnostics. Every analyzer must both trigger (non-empty
+// golden) and stay quiet on the fixture's clean idioms (pinned by the
+// golden being exactly these lines and no more).
+func TestAnalyzerGoldens(t *testing.T) {
+	pkgs, err := loadFixture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range Analyzers() {
+		t.Run(a.Name, func(t *testing.T) {
+			got := render(Run(pkgs, []*Analyzer{a}))
+			if got == "" {
+				t.Fatalf("analyzer %s found nothing in the fixture module; every analyzer needs a triggering fixture", a.Name)
+			}
+			checkGolden(t, a.Name, got)
+		})
+	}
+}
+
+// TestAllGolden runs the full analyzer set — the driver's default — and
+// pins the combined, suppression-filtered output, including the badignore
+// and unusedignore framework diagnostics.
+func TestAllGolden(t *testing.T) {
+	pkgs, err := loadFixture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := render(Run(pkgs, Analyzers()))
+	for _, code := range []string{"badignore", "unusedignore"} {
+		if !strings.Contains(got, code) {
+			t.Errorf("combined run should exercise %s", code)
+		}
+	}
+	if strings.Contains(got, "ignored.go:12") {
+		t.Error("the documented suppression in Jitter should have silenced its diagnostic")
+	}
+	checkGolden(t, "all", got)
+}
+
+// TestRunDeterministic is the metamorphic check: loading and linting the
+// same tree twice yields byte-identical diagnostics — the linter holds
+// itself to the determinism bar it enforces.
+func TestRunDeterministic(t *testing.T) {
+	first, err := Load("testdata/mod")
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Load("testdata/mod")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := render(Run(first, Analyzers()))
+	b := render(Run(second, Analyzers()))
+	if a != b {
+		t.Errorf("two identical runs diverge:\n--- first ---\n%s--- second ---\n%s", a, b)
+	}
+}
+
+// TestSelfClean lints this repository with its own analyzers — the tree
+// must stay clean, mirroring scripts/lintcheck.sh in-process so the gate
+// also binds plain `go test ./...` runs.
+func TestSelfClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-repo type-check is slow; covered by scripts/lintcheck.sh in CI")
+	}
+	pkgs, err := Load("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run(pkgs, Analyzers()); len(diags) > 0 {
+		t.Errorf("repository is not lint-clean:\n%s", render(diags))
+	}
+}

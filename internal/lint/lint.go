@@ -1,0 +1,301 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Diagnostic is one finding: a position, a machine-readable code (the
+// analyzer name, or one of the framework codes "badignore"/"unusedignore"),
+// and a human-readable message.
+type Diagnostic struct {
+	File    string `json:"file"` // module-root-relative path
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// String renders the diagnostic in the classic file:line:col: code: message
+// form every editor understands.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Code, d.Message)
+}
+
+// Analyzer is one self-contained check. Name doubles as the diagnostic code
+// and the suppression-comment key.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass hands one type-checked package to one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	// RelPath is the package path relative to the module root ("." for the
+	// root package), the key analyzers use for their scope rules so fixtures
+	// under any module name exercise the same logic as the real tree.
+	RelPath string
+
+	report func(Diagnostic)
+	relDir string
+}
+
+// PkgName returns the package's declared name ("main" for commands).
+func (p *Pass) PkgName() string { return p.Pkg.Name() }
+
+// Reportf emits a diagnostic at pos under the pass's analyzer code.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	p.report(Diagnostic{
+		File:    relFile(p.relDir, position.Filename),
+		Line:    position.Line,
+		Col:     position.Column,
+		Code:    p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+var (
+	registryMu sync.Mutex
+	registry   = map[string]*Analyzer{}
+)
+
+// Register adds a to the global analyzer set. Analyzers call it from init,
+// so importing the package assembles the full catalog.
+func Register(a *Analyzer) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[a.Name]; dup {
+		panic("lint: duplicate analyzer " + a.Name)
+	}
+	registry[a.Name] = a
+}
+
+// Analyzers returns the registered analyzers sorted by name.
+func Analyzers() []*Analyzer {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	out := make([]*Analyzer, 0, len(registry))
+	for _, a := range registry {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Lookup returns the named analyzer, or nil.
+func Lookup(name string) *Analyzer {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	return registry[name]
+}
+
+// Run applies every analyzer to every package, applies suppression
+// comments, and returns the surviving diagnostics sorted by position then
+// code. Suppressed diagnostics are dropped; malformed or unused
+// suppressions become diagnostics of their own (codes "badignore" and
+// "unusedignore").
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var raw []Diagnostic
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	var sup suppressions
+	for _, pkg := range pkgs {
+		sup.collect(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				RelPath:  pkg.RelPath,
+				relDir:   pkg.ModRoot,
+				report:   func(d Diagnostic) { raw = append(raw, d) },
+			}
+			a.Run(pass)
+		}
+	}
+	out := raw[:0]
+	for _, d := range raw {
+		if sup.matches(d) {
+			continue
+		}
+		out = append(out, d)
+	}
+	out = append(out, sup.problems(ran)...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		return a.Message < b.Message
+	})
+	// Nested constructs (e.g. a map range inside a map range) can attribute
+	// one site to two scopes; identical diagnostics collapse to one.
+	dedup := out[:0]
+	for i, d := range out {
+		if i == 0 || d != out[i-1] {
+			dedup = append(dedup, d)
+		}
+	}
+	return dedup
+}
+
+// IgnorePrefix is the suppression-comment marker: //tdatlint:ignore CODE reason.
+const IgnorePrefix = "tdatlint:ignore"
+
+// CountIgnores returns the number of suppression comments (well-formed or
+// not) across pkgs — the quantity scripts/lintcheck.sh ratchets against
+// scripts/lintfloor.txt. Parsing the ASTs, rather than grepping, keeps
+// documentation examples and string literals out of the count.
+func CountIgnores(pkgs []*Package) int {
+	var s suppressions
+	for _, pkg := range pkgs {
+		s.collect(pkg)
+	}
+	return len(s.list)
+}
+
+// ignore is one parsed suppression comment.
+type ignore struct {
+	file   string // module-root-relative
+	line   int    // line the comment sits on
+	col    int
+	code   string
+	reason string
+	bad    string // non-empty: malformed, with explanation
+	used   bool
+}
+
+// suppressions indexes the //tdatlint:ignore comments of a package set.
+type suppressions struct {
+	list []*ignore
+	// byKey maps file -> line -> ignores on that line.
+	byKey map[string]map[int][]*ignore
+}
+
+// collect parses the suppression comments out of pkg's files.
+func (s *suppressions) collect(pkg *Package) {
+	if s.byKey == nil {
+		s.byKey = map[string]map[int][]*ignore{}
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				ig, ok := parseIgnore(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				ig.file = relFile(pkg.ModRoot, pos.Filename)
+				ig.line = pos.Line
+				ig.col = pos.Column
+				s.list = append(s.list, ig)
+				if s.byKey[ig.file] == nil {
+					s.byKey[ig.file] = map[int][]*ignore{}
+				}
+				s.byKey[ig.file][ig.line] = append(s.byKey[ig.file][ig.line], ig)
+			}
+		}
+	}
+}
+
+// parseIgnore recognizes a //tdatlint:ignore comment, reporting whether the
+// comment is a suppression at all; malformed suppressions come back with a
+// non-empty bad field.
+func parseIgnore(text string) (*ignore, bool) {
+	body, ok := strings.CutPrefix(text, "//")
+	if !ok {
+		return nil, false // /* */ comments are not suppression carriers
+	}
+	body = strings.TrimSpace(body)
+	rest, ok := strings.CutPrefix(body, IgnorePrefix)
+	if !ok {
+		return nil, false
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil, false // e.g. tdatlint:ignorexyz — not ours
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return &ignore{bad: "missing code: want //tdatlint:ignore CODE reason"}, true
+	}
+	if len(fields) == 1 {
+		return &ignore{code: fields[0], bad: fmt.Sprintf("missing reason for suppressed code %q", fields[0])}, true
+	}
+	return &ignore{code: fields[0], reason: strings.Join(fields[1:], " ")}, true
+}
+
+// matches reports whether d is suppressed by an ignore on its own line or
+// the line directly above, consuming the ignore.
+func (s *suppressions) matches(d Diagnostic) bool {
+	lines := s.byKey[d.File]
+	for _, ln := range []int{d.Line, d.Line - 1} {
+		for _, ig := range lines[ln] {
+			if ig.bad == "" && ig.code == d.Code {
+				ig.used = true
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// problems returns diagnostics for malformed ignores and for well-formed
+// ignores that suppressed nothing (only for codes whose analyzer actually
+// ran, so a filtered -analyzers run never cries wolf).
+func (s *suppressions) problems(ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, ig := range s.list {
+		switch {
+		case ig.bad != "":
+			out = append(out, Diagnostic{
+				File: ig.file, Line: ig.line, Col: ig.col,
+				Code: "badignore", Message: ig.bad,
+			})
+		case !ig.used && ran[ig.code]:
+			out = append(out, Diagnostic{
+				File: ig.file, Line: ig.line, Col: ig.col,
+				Code:    "unusedignore",
+				Message: fmt.Sprintf("suppression for %q matches no diagnostic; delete it (suppressions only ratchet down)", ig.code),
+			})
+		}
+	}
+	return out
+}
+
+// relFile rebases filename onto the module root; absolute paths outside the
+// root (which should not happen) pass through unchanged.
+func relFile(root, filename string) string {
+	if root == "" {
+		return filename
+	}
+	if rel, ok := strings.CutPrefix(filename, root+"/"); ok {
+		return rel
+	}
+	return filename
+}

@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseIgnore(t *testing.T) {
+	cases := []struct {
+		name   string
+		text   string
+		isIg   bool
+		code   string
+		reason string
+		bad    bool
+	}{
+		{"well-formed", "//tdatlint:ignore wallclock the profile times itself", true, "wallclock", "the profile times itself", false},
+		{"leading space", "// tdatlint:ignore maporder keys sorted upstream", true, "maporder", "keys sorted upstream", false},
+		{"missing reason", "//tdatlint:ignore wallclock", true, "wallclock", "", true},
+		{"missing code", "//tdatlint:ignore", true, "", "", true},
+		{"missing code whitespace", "//tdatlint:ignore   ", true, "", "", true},
+		{"not ours", "// just a comment", false, "", "", false},
+		{"prefix collision", "//tdatlint:ignorexyz wallclock r", false, "", "", false},
+		{"block comment", "/*tdatlint:ignore wallclock r*/", false, "", "", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ig, ok := parseIgnore(tc.text)
+			if ok != tc.isIg {
+				t.Fatalf("parseIgnore(%q) recognized=%v, want %v", tc.text, ok, tc.isIg)
+			}
+			if !ok {
+				return
+			}
+			if ig.code != tc.code || ig.reason != tc.reason || (ig.bad != "") != tc.bad {
+				t.Errorf("parseIgnore(%q) = code %q reason %q bad %q; want code %q reason %q bad=%v",
+					tc.text, ig.code, ig.reason, ig.bad, tc.code, tc.reason, tc.bad)
+			}
+		})
+	}
+}
+
+func TestSuppressionMatching(t *testing.T) {
+	mk := func(line int) *suppressions {
+		ig := &ignore{file: "a.go", line: line, code: "wallclock", reason: "r"}
+		return &suppressions{
+			list:  []*ignore{ig},
+			byKey: map[string]map[int][]*ignore{"a.go": {line: {ig}}},
+		}
+	}
+	diag := Diagnostic{File: "a.go", Line: 10, Code: "wallclock"}
+
+	if s := mk(10); !s.matches(diag) {
+		t.Error("same-line ignore should suppress")
+	}
+	if s := mk(9); !s.matches(diag) {
+		t.Error("line-above ignore should suppress")
+	}
+	if s := mk(8); s.matches(diag) {
+		t.Error("ignore two lines up must not suppress")
+	}
+	if s := mk(11); s.matches(diag) {
+		t.Error("ignore below the diagnostic must not suppress")
+	}
+	other := diag
+	other.Code = "maporder"
+	if s := mk(10); s.matches(other) {
+		t.Error("code mismatch must not suppress")
+	}
+	wrongFile := diag
+	wrongFile.File = "b.go"
+	if s := mk(10); s.matches(wrongFile) {
+		t.Error("file mismatch must not suppress")
+	}
+}
+
+func TestSuppressionProblems(t *testing.T) {
+	used := &ignore{file: "a.go", line: 3, code: "wallclock", reason: "r", used: true}
+	unused := &ignore{file: "a.go", line: 5, code: "wallclock", reason: "r"}
+	otherAnalyzer := &ignore{file: "a.go", line: 7, code: "maporder", reason: "r"}
+	malformed := &ignore{file: "a.go", line: 9, bad: "missing code"}
+	s := &suppressions{list: []*ignore{used, unused, otherAnalyzer, malformed}}
+
+	got := s.problems(map[string]bool{"wallclock": true})
+	if len(got) != 2 {
+		t.Fatalf("problems = %d diagnostics (%v), want 2", len(got), got)
+	}
+	var codes []string
+	for _, d := range got {
+		codes = append(codes, d.Code)
+	}
+	joined := strings.Join(codes, ",")
+	if !strings.Contains(joined, "unusedignore") || !strings.Contains(joined, "badignore") {
+		t.Errorf("problems codes = %v, want one unusedignore and one badignore", codes)
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{File: "internal/core/pipeline.go", Line: 12, Col: 3, Code: "wallclock", Message: "m"}
+	want := "internal/core/pipeline.go:12:3: wallclock: m"
+	if d.String() != want {
+		t.Errorf("String() = %q, want %q", d.String(), want)
+	}
+}
+
+func TestRelFile(t *testing.T) {
+	if got := relFile("/repo", "/repo/internal/a.go"); got != "internal/a.go" {
+		t.Errorf("relFile inside root = %q", got)
+	}
+	if got := relFile("/repo", "/elsewhere/b.go"); got != "/elsewhere/b.go" {
+		t.Errorf("relFile outside root = %q", got)
+	}
+	if got := relFile("", "c.go"); got != "c.go" {
+		t.Errorf("relFile empty root = %q", got)
+	}
+}
+
+func TestAnalyzersRegistered(t *testing.T) {
+	want := []string{"globalrand", "maporder", "nilobs", "setpurity", "wallclock"}
+	got := Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("registered %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("analyzer[%d] = %s, want %s (sorted)", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %s missing Doc or Run", a.Name)
+		}
+		if Lookup(a.Name) != a {
+			t.Errorf("Lookup(%s) does not round-trip", a.Name)
+		}
+	}
+	if Lookup("nope") != nil {
+		t.Error("Lookup of unknown analyzer should be nil")
+	}
+}

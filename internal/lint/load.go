@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	ImportPath string
+	RelPath    string // relative to the module root; "." for the root package
+	Dir        string
+	ModRoot    string // absolute module root directory
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listedPackage is the slice of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+}
+
+// Load enumerates patterns (e.g. "./...") relative to dir with the go
+// command, parses each package's non-test sources, and type-checks them
+// with the stdlib source importer — no external dependencies, per the
+// module's zero-dep rule. Test files are deliberately excluded: the
+// invariants tdatlint enforces (trace-derived time, seeded randomness)
+// do not bind test harness code.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	modPath, modRoot, err := modInfo(dir)
+	if err != nil {
+		return nil, err
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	var pkgs []*Package
+	for _, lp := range listed {
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("lint: parse %s: %w", name, err)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		}
+		var typeErrs []error
+		conf := types.Config{
+			Importer: imp,
+			Error:    func(err error) { typeErrs = append(typeErrs, err) },
+		}
+		tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+		if err != nil && tpkg == nil {
+			return nil, fmt.Errorf("lint: type-check %s: %w", lp.ImportPath, err)
+		}
+		if len(typeErrs) > 0 {
+			return nil, fmt.Errorf("lint: type-check %s: %v (and %d more)", lp.ImportPath, typeErrs[0], len(typeErrs)-1)
+		}
+		pkgs = append(pkgs, &Package{
+			ImportPath: lp.ImportPath,
+			RelPath:    relPkgPath(modPath, lp.ImportPath),
+			Dir:        lp.Dir,
+			ModRoot:    modRoot,
+			Fset:       fset,
+			Files:      files,
+			Types:      tpkg,
+			Info:       info,
+		})
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return pkgs, nil
+}
+
+// modInfo returns the module path and root directory governing dir.
+func modInfo(dir string) (path, root string, err error) {
+	out, err := runGo(dir, "list", "-m", "-f", "{{.Path}}\n{{.Dir}}")
+	if err != nil {
+		return "", "", err
+	}
+	fields := strings.SplitN(strings.TrimSpace(out), "\n", 2)
+	if len(fields) != 2 || fields[0] == "" || fields[1] == "" {
+		return "", "", fmt.Errorf("lint: cannot resolve module for %s (output %q)", dir, out)
+	}
+	return fields[0], fields[1], nil
+}
+
+// relPkgPath strips the module prefix off importPath.
+func relPkgPath(modPath, importPath string) string {
+	if importPath == modPath {
+		return "."
+	}
+	if rel, ok := strings.CutPrefix(importPath, modPath+"/"); ok {
+		return rel
+	}
+	return importPath
+}
+
+// goList resolves package patterns to their file sets.
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-json=ImportPath,Dir,Name,GoFiles", "--"}, patterns...)
+	out, err := runGo(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(strings.NewReader(out))
+	var pkgs []listedPackage
+	for dec.More() {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err != nil {
+			return nil, fmt.Errorf("lint: decode go list output: %w", err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, nil
+}
+
+// runGo invokes the go command in dir and returns its stdout.
+func runGo(dir string, args ...string) (string, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		msg := strings.TrimSpace(stderr.String())
+		if msg == "" {
+			msg = err.Error()
+		}
+		return "", fmt.Errorf("lint: go %s: %s", strings.Join(args, " "), msg)
+	}
+	return stdout.String(), nil
+}

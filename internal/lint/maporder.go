@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+func init() {
+	Register(&Analyzer{
+		Name: "maporder",
+		Doc: "flags map iterations whose body lets Go's randomized iteration order escape — " +
+			"appending to a slice that is never sorted afterwards, writing to an io.Writer, " +
+			"or sending on a channel — the source-level shadow of the byte-identical-report " +
+			"determinism contract",
+		Run: runMaporder,
+	})
+}
+
+// writerMethods are the methods whose call on an io.Writer-ish value emits
+// output in iteration order.
+var writerMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+func runMaporder(p *Pass) {
+	eachFuncBody(p.Files, func(body *ast.BlockStmt) {
+		inspectShallow(body, func(n ast.Node) {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !isMapRange(p.Info, rs) {
+				return
+			}
+			checkMapRange(p, body, rs)
+		})
+	})
+}
+
+// isMapRange reports whether rs iterates a map.
+func isMapRange(info *types.Info, rs *ast.RangeStmt) bool {
+	t := info.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	_, isMap := t.Underlying().(*types.Map)
+	return isMap
+}
+
+// checkMapRange inspects one map-range body for order leaks. enclosing is
+// the innermost function body containing rs, used to look for a sort call
+// dominating the loop's append targets.
+func checkMapRange(p *Pass, enclosing *ast.BlockStmt, rs *ast.RangeStmt) {
+	// appends maps each appended-to object to the first append position.
+	appends := map[types.Object]token.Pos{}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.SendStmt:
+			p.Reportf(s.Pos(), "send on a channel during map iteration: map order becomes message order; iterate sorted keys instead")
+		case *ast.AssignStmt:
+			for i, rhs := range s.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(p.Info, call) || i >= len(s.Lhs) {
+					continue
+				}
+				id := rootIdent(s.Lhs[i])
+				if id == nil {
+					continue
+				}
+				obj := objOf(p.Info, id)
+				if obj == nil || obj.Name() == "_" {
+					continue
+				}
+				// A slice declared inside the loop body is rebuilt every
+				// iteration; order cannot accumulate across iterations.
+				if obj.Pos() >= rs.Body.Pos() && obj.Pos() <= rs.Body.End() {
+					continue
+				}
+				if _, seen := appends[obj]; !seen {
+					appends[obj] = call.Pos()
+				}
+			}
+		case *ast.CallExpr:
+			checkOrderedOutput(p, s)
+		}
+		return true
+	})
+	for obj, pos := range appends {
+		if !sortedAfter(p, enclosing, rs, obj) {
+			p.Reportf(pos,
+				"append to %q during map iteration with no later sort in this function: map order leaks into the slice; sort it after the loop or iterate sorted keys",
+				obj.Name())
+		}
+	}
+}
+
+// checkOrderedOutput flags calls that emit output in iteration order:
+// fmt.Fprint*/fmt.Print* and Write* methods on io.Writer implementations.
+func checkOrderedOutput(p *Pass, call *ast.CallExpr) {
+	if pkg, name, ok := pkgFuncCall(p.Info, call); ok {
+		if pkg == "fmt" && (strings.HasPrefix(name, "Fprint") || strings.HasPrefix(name, "Print")) {
+			p.Reportf(call.Pos(), "fmt.%s during map iteration writes output in map order; iterate sorted keys instead", name)
+		}
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !writerMethods[sel.Sel.Name] {
+		return
+	}
+	if implementsWriter(p.Info.TypeOf(sel.X)) {
+		p.Reportf(call.Pos(), "%s on an io.Writer during map iteration writes output in map order; iterate sorted keys instead", sel.Sel.Name)
+	}
+}
+
+// sortedAfter reports whether a sort call mentioning obj appears in
+// enclosing after rs ends — the keys-collect-then-sort idiom that makes an
+// in-loop append deterministic.
+func sortedAfter(p *Pass, enclosing *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		pkg, name, ok := pkgFuncCall(p.Info, call)
+		if !ok || (pkg != "sort" && pkg != "slices") {
+			return true
+		}
+		if pkg == "sort" && !sortNames[name] {
+			return true
+		}
+		if pkg == "slices" && !strings.HasPrefix(name, "Sort") {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok && objOf(p.Info, id) == obj {
+					found = true
+					return false
+				}
+				return true
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// sortNames are the sort-package entry points accepted as dominating sorts.
+var sortNames = map[string]bool{
+	"Sort": true, "Stable": true, "Slice": true, "SliceStable": true,
+	"Strings": true, "Ints": true, "Float64s": true,
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := objOf(info, id).(*types.Builtin)
+	return isBuiltin
+}
+
+// eachFuncBody visits every function body — declarations and literals.
+func eachFuncBody(files []*ast.File, fn func(*ast.BlockStmt)) {
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					fn(d.Body)
+				}
+			case *ast.FuncLit:
+				fn(d.Body)
+			}
+			return true
+		})
+	}
+}
+
+// inspectShallow walks body without descending into nested function
+// literals (each literal gets its own eachFuncBody visit).
+func inspectShallow(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}

@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+func init() {
+	Register(&Analyzer{
+		Name: "nilobs",
+		Doc: "requires every exported pointer-receiver method in internal/obs to begin " +
+			"with a nil-receiver guard (or delegate to one that does): the disabled " +
+			"observability fast path hands nil handles to the hot pipeline, so a missing " +
+			"guard is a latent crash exactly when metrics are off",
+		Run: runNilobs,
+	})
+}
+
+func runNilobs(p *Pass) {
+	if p.RelPath != "internal/obs" {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil || !fd.Name.IsExported() {
+				continue
+			}
+			recvName, ok := pointerRecvName(p, fd)
+			if !ok {
+				continue
+			}
+			if recvName == "" || recvName == "_" {
+				continue // body cannot dereference an unnamed receiver
+			}
+			if len(fd.Body.List) == 0 || isNilGuard(fd.Body.List[0], recvName) || isDelegation(fd.Body, recvName) {
+				continue
+			}
+			p.Reportf(fd.Name.Pos(),
+				"exported method %s has a pointer receiver but no leading nil guard (if %s == nil { ... }); internal/obs promises nil receivers are no-ops",
+				fd.Name.Name, recvName)
+		}
+	}
+}
+
+// pointerRecvName returns the receiver identifier when fd's receiver is a
+// pointer type; ok=false for value receivers (copy semantics make them
+// nil-proof already).
+func pointerRecvName(p *Pass, fd *ast.FuncDecl) (name string, ok bool) {
+	field := fd.Recv.List[0]
+	var obj types.Object
+	if len(field.Names) > 0 {
+		name = field.Names[0].Name
+		obj = p.Info.Defs[field.Names[0]]
+	}
+	var t types.Type
+	if obj != nil {
+		t = obj.Type()
+	} else {
+		t = p.Info.TypeOf(field.Type)
+	}
+	if t == nil {
+		return "", false
+	}
+	_, isPtr := t.(*types.Pointer)
+	return name, isPtr
+}
+
+// isNilGuard recognizes a leading `if recv == nil { ... }` (or != nil
+// wrapping the body, or a switch-free comparison either way round).
+func isNilGuard(stmt ast.Stmt, recv string) bool {
+	ifs, ok := stmt.(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		return false
+	}
+	bin, ok := ifs.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	isRecv := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == recv
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	comparesRecvNil := (isRecv(bin.X) && isNil(bin.Y)) || (isNil(bin.X) && isRecv(bin.Y))
+	if !comparesRecvNil {
+		return false
+	}
+	switch bin.Op.String() {
+	case "==", "!=":
+		return true
+	}
+	return false
+}
+
+// isDelegation recognizes a single-statement body that forwards to another
+// method on the same receiver (c.Add(1) from Inc) — the guard lives in the
+// callee.
+func isDelegation(body *ast.BlockStmt, recv string) bool {
+	if len(body.List) != 1 {
+		return false
+	}
+	var call ast.Expr
+	switch s := body.List[0].(type) {
+	case *ast.ExprStmt:
+		call = s.X
+	case *ast.ReturnStmt:
+		if len(s.Results) != 1 {
+			return false
+		}
+		call = s.Results[0]
+	default:
+		return false
+	}
+	ce, ok := call.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ce.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == recv
+}

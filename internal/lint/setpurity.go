@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+func init() {
+	Register(&Analyzer{
+		Name: "setpurity",
+		Doc: "enforces that internal/timerange set algebra is non-mutating: a function " +
+			"taking a Set must not write through a Set parameter, and a method that " +
+			"returns a Set must not write through its receiver — ops return fresh sets, " +
+			"so the quick-check algebra laws quantify over real behavior",
+		Run: runSetpurity,
+	})
+}
+
+func runSetpurity(p *Pass) {
+	if p.RelPath != "internal/timerange" {
+		return
+	}
+	setObj := p.Pkg.Scope().Lookup("Set")
+	if _, ok := setObj.(*types.TypeName); !ok {
+		return
+	}
+	mutators := receiverMutators(p, setObj)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			protected := protectedSets(p, setObj, fd)
+			if len(protected) == 0 {
+				continue
+			}
+			checkPurity(p, fd, protected, mutators)
+		}
+	}
+}
+
+// isSetBased reports whether t is Set, *Set, []Set, or []*Set (the variadic
+// ...*Set parameter arrives as a slice).
+func isSetBased(setObj types.Object, t types.Type) bool {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Named:
+			return u.Obj() == setObj
+		default:
+			return false
+		}
+	}
+}
+
+// protectedSets returns the Set-typed objects fd must not mutate: every
+// Set parameter, plus the receiver when fd also returns a Set (a pure op —
+// explicit builder methods like Add return nothing and may mutate).
+func protectedSets(p *Pass, setObj types.Object, fd *ast.FuncDecl) map[types.Object]string {
+	protected := map[types.Object]string{}
+	addField := func(field *ast.Field, role string) {
+		for _, name := range field.Names {
+			obj := p.Info.Defs[name]
+			if obj != nil && name.Name != "_" && isSetBased(setObj, obj.Type()) {
+				protected[obj] = role
+			}
+		}
+	}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			addField(field, "parameter")
+		}
+	}
+	if fd.Recv != nil && fd.Type.Results != nil {
+		returnsSet := false
+		for _, res := range fd.Type.Results.List {
+			if t := p.Info.TypeOf(res.Type); t != nil && isSetBased(setObj, t) {
+				returnsSet = true
+			}
+		}
+		if returnsSet {
+			for _, field := range fd.Recv.List {
+				addField(field, "receiver")
+			}
+		}
+	}
+	return protected
+}
+
+// receiverMutators returns the names of Set methods that write through
+// their receiver — calling one of these on a protected set is as impure as
+// writing to it directly.
+func receiverMutators(p *Pass, setObj types.Object) map[string]bool {
+	out := map[string]bool{}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			field := fd.Recv.List[0]
+			if len(field.Names) == 0 {
+				continue
+			}
+			recvObj := p.Info.Defs[field.Names[0]]
+			if recvObj == nil || !isSetBased(setObj, recvObj.Type()) {
+				continue
+			}
+			if writesThrough(p, fd.Body, map[types.Object]string{recvObj: "receiver"}, nil) {
+				out[fd.Name.Name] = true
+			}
+		}
+	}
+	return out
+}
+
+// writesThrough walks body looking for writes through any protected object
+// (s.ranges[i] = x, o.ranges = append(...), s.ranges[i].End++). When report
+// is non-nil each finding is reported; either way it returns whether any
+// write was found.
+func writesThrough(p *Pass, body *ast.BlockStmt, protected map[types.Object]string, report func(pos ast.Node, obj types.Object, role string)) bool {
+	found := false
+	flag := func(n ast.Node, e ast.Expr) {
+		// A plain rebind of the identifier itself (o = nil) copies the
+		// pointer and mutates nothing; only writes through a selector or
+		// index reach the caller's set.
+		if _, plain := e.(*ast.Ident); plain {
+			return
+		}
+		root := rootIdent(e)
+		if root == nil {
+			return
+		}
+		obj := objOf(p.Info, root)
+		role, ok := protected[obj]
+		if !ok {
+			return
+		}
+		found = true
+		if report != nil {
+			report(n, obj, role)
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				flag(s, lhs)
+			}
+		case *ast.IncDecStmt:
+			flag(s, s.X)
+		}
+		return true
+	})
+	return found
+}
+
+// checkPurity reports every mutation of a protected set in fd: direct
+// writes and calls to receiver-mutating methods.
+func checkPurity(p *Pass, fd *ast.FuncDecl, protected map[types.Object]string, mutators map[string]bool) {
+	writesThrough(p, fd.Body, protected, func(n ast.Node, obj types.Object, role string) {
+		p.Reportf(n.Pos(),
+			"%s mutates Set %s %q in place; Set ops must build and return fresh sets",
+			fd.Name.Name, role, obj.Name())
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !mutators[sel.Sel.Name] {
+			return true
+		}
+		root := rootIdent(sel.X)
+		if root == nil {
+			return true
+		}
+		if role, ok := protected[objOf(p.Info, root)]; ok {
+			p.Reportf(call.Pos(),
+				"%s calls mutating method %s on Set %s %q; Set ops must build and return fresh sets",
+				fd.Name.Name, sel.Sel.Name, role, root.Name)
+		}
+		return true
+	})
+}

@@ -1,0 +1,17 @@
+// Command tool is a lint fixture for the cmd/ exemptions: wall-clock reads
+// are fine in a front-end, but a wall-clock-seeded generator still defeats
+// reproducibility and globalrand must flag it.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func main() {
+	start := time.Now() // wallclock: clean (cmd/ is exempt)
+	bad := rand.New(rand.NewSource(time.Now().UnixNano()))
+	good := rand.New(rand.NewSource(7))
+	fmt.Println(bad.Intn(6), good.Intn(6), time.Since(start))
+}

@@ -1,0 +1,3 @@
+module fix.example/mod
+
+go 1.22

@@ -1,0 +1,74 @@
+// Package analyzer is a lint fixture standing in for a T-DAT analyzer
+// package: wallclock, maporder, and globalrand must all fire here, and
+// their clean idioms must not.
+package analyzer
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Stamp reads the wall clock in analyzer code (wallclock: 2 findings).
+func Stamp() (time.Time, time.Duration) {
+	start := time.Now()
+	return start, time.Since(start)
+}
+
+// Elapsed only mentions time types, never the clock (wallclock: clean).
+func Elapsed(d time.Duration) float64 { return d.Seconds() }
+
+// Draw uses the process-global source (globalrand: finding).
+func Draw() int { return rand.Intn(6) }
+
+// DrawSeeded threads an explicit seed (globalrand: clean).
+func DrawSeeded(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Intn(6)
+}
+
+// Render writes during map iteration (maporder: finding).
+func Render(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// Keys appends during map iteration and never sorts (maporder: finding).
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys appends then sorts after the loop (maporder: clean).
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Publish sends map entries into a channel (maporder: finding).
+func Publish(m map[string]int, ch chan<- int) {
+	for _, v := range m {
+		ch <- v
+	}
+}
+
+// Invert builds a map from a map; no order leaks (maporder: clean).
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+		scratch := []string{}
+		scratch = append(scratch, k) // per-iteration slice: clean
+		_ = scratch
+	}
+	return out
+}

@@ -1,0 +1,27 @@
+// Package ignored is a lint fixture for suppression comments: a used
+// ignore silences its diagnostic, a reason-less ignore is badignore, and an
+// ignore matching nothing is unusedignore.
+package ignored
+
+import "math/rand"
+
+// Jitter is legitimately nondeterministic and documents why
+// (suppressed: no globalrand finding here).
+func Jitter() int {
+	//tdatlint:ignore globalrand fixture models sanctioned jitter with a documented waiver
+	return rand.Intn(3)
+}
+
+// Roll carries a reason-less ignore (badignore finding) that therefore
+// suppresses nothing (globalrand finding too).
+func Roll() int {
+	//tdatlint:ignore globalrand
+	return rand.Intn(3)
+}
+
+// Fixed is deterministic; its stale ignore must be reported
+// (unusedignore finding).
+func Fixed(seed int64) int {
+	//tdatlint:ignore globalrand stale waiver left behind after the fix
+	return rand.New(rand.NewSource(seed)).Intn(3)
+}

@@ -1,0 +1,42 @@
+// Package obs is a lint fixture for the nil-fast-path contract: every
+// exported pointer-receiver method must open with a nil guard or delegate
+// to one that does.
+package obs
+
+// Meter is the fixture metric handle.
+type Meter struct{ n int64 }
+
+// Add is guarded (nilobs: clean).
+func (m *Meter) Add(d int64) {
+	if m == nil {
+		return
+	}
+	m.n += d
+}
+
+// Inc delegates to a guarded method (nilobs: clean).
+func (m *Meter) Inc() { m.Add(1) }
+
+// Value inverts the guard, wrapping the body (nilobs: clean).
+func (m *Meter) Value() int64 {
+	if m != nil {
+		return m.n
+	}
+	return 0
+}
+
+// Reset has no guard (nilobs: finding).
+func (m *Meter) Reset() {
+	m.n = 0
+}
+
+// reset is unexported; the contract binds the public surface only
+// (nilobs: clean).
+func (m *Meter) reset() { m.n = 0 }
+
+// Snapshot is a value receiver; a nil pointer cannot reach it without the
+// caller dereferencing first (nilobs: clean).
+type Snapshot struct{ N int64 }
+
+// Level reports the snapshot level (nilobs: clean — value receiver).
+func (s Snapshot) Level() int64 { return s.N }

@@ -1,0 +1,45 @@
+// Package timerange is a lint fixture mirroring the real set algebra:
+// setpurity must flag ops that mutate their receiver or a Set argument and
+// accept the explicit builder plus fresh-set ops.
+package timerange
+
+// Range is one fixture interval.
+type Range struct{ Start, End int64 }
+
+// Set is the fixture set-of-ranges.
+type Set struct{ ranges []Range }
+
+// Add is the explicit builder: it mutates its receiver and returns nothing,
+// which setpurity permits.
+func (s *Set) Add(r Range) {
+	s.ranges = append(s.ranges, r)
+}
+
+// Union is a pure op done right: it builds a fresh set (setpurity: clean).
+func (s *Set) Union(o *Set) *Set {
+	out := &Set{ranges: make([]Range, 0, len(s.ranges)+len(o.ranges))}
+	out.ranges = append(out.ranges, s.ranges...)
+	out.ranges = append(out.ranges, o.ranges...)
+	return out
+}
+
+// Absorb mutates its receiver while claiming to be a pure op
+// (setpurity: finding).
+func (s *Set) Absorb(o *Set) *Set {
+	s.ranges = append(s.ranges, o.ranges...)
+	return s
+}
+
+// Clip mutates its Set argument in place (setpurity: finding).
+func Clip(o *Set, max int64) {
+	for i := range o.ranges {
+		if o.ranges[i].End > max {
+			o.ranges[i].End = max
+		}
+	}
+}
+
+// Merge calls the mutating builder on its argument (setpurity: finding).
+func Merge(dst *Set, r Range) {
+	dst.Add(r)
+}

@@ -1,0 +1,48 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// wallclockBanned lists the time functions that read the wall clock or
+// schedule against it. Analyzer packages must derive every timestamp from
+// the trace (timerange.Micros); only the observability layer and command
+// front-ends may consult real time.
+var wallclockBanned = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Tick": true, "NewTicker": true, "NewTimer": true,
+	"After": true, "AfterFunc": true, "Sleep": true,
+}
+
+func init() {
+	Register(&Analyzer{
+		Name: "wallclock",
+		Doc: "forbids wall-clock reads (time.Now, time.Since, time.Tick, ...) outside " +
+			"internal/obs and cmd/: the analyzer is passive, so all time must come from " +
+			"the trace (PAPER.md §III); self-instrumentation goes through the obs clock",
+		Run: runWallclock,
+	})
+}
+
+func runWallclock(p *Pass) {
+	if p.RelPath == "internal/obs" || strings.HasPrefix(p.RelPath, "cmd/") || p.PkgName() == "main" {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name, ok := pkgFuncCall(p.Info, call)
+			if !ok || pkg != "time" || !wallclockBanned[name] {
+				return true
+			}
+			p.Reportf(call.Pos(),
+				"time.%s reads the wall clock in analyzer code; derive time from the trace, or use obs.Now/obs.Since for self-instrumentation",
+				name)
+			return true
+		})
+	}
+}

@@ -1,0 +1,17 @@
+package obs
+
+import "time"
+
+// This file is the one sanctioned wall-clock source for analyzer code. The
+// wallclock lint analyzer (internal/lint) forbids time.Now and friends
+// outside internal/obs and the cmd front-ends: the analyzer is passive, so
+// every analytic timestamp must come from the trace. Code that needs to
+// time *itself* — queue waits, stage durations, throughput harnesses —
+// reads the clock through these helpers, which keeps every wall-clock
+// dependency greppable and reviewable in one place.
+
+// Now returns the current wall-clock time for self-instrumentation.
+func Now() time.Time { return time.Now() }
+
+// Since returns the elapsed wall-clock time since t.
+func Since(t time.Time) time.Duration { return time.Since(t) }

@@ -98,10 +98,10 @@ type histSnapshot struct {
 // Snapshot returns a point-in-time copy of every metric, keyed by
 // `name{labels}`, suitable for JSON serialization of an offline run.
 func (r *Registry) Snapshot() map[string]any {
-	out := map[string]any{}
 	if r == nil {
-		return out
+		return map[string]any{}
 	}
+	out := map[string]any{}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	key := func(k metricKey) string {
@@ -138,6 +138,12 @@ func (r *Registry) Snapshot() map[string]any {
 // analogue of a /metrics scrape (maps serialize with sorted keys, so the
 // output is deterministic for a fixed metric state).
 func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		// A disabled registry still emits a valid (empty) snapshot, matching
+		// what Snapshot would serialize.
+		_, err := io.WriteString(w, "{}\n")
+		return err
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r.Snapshot())

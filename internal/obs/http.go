@@ -52,8 +52,19 @@ func (o *Obs) Registry() *Registry {
 	return o.Reg
 }
 
-// Addr returns the bound listen address (useful with ":0").
-func (s *Server) Addr() string { return s.ln.Addr().String() }
+// Addr returns the bound listen address (useful with ":0"), or "" on a nil
+// Server.
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
 
-// Close stops the listener.
-func (s *Server) Close() error { return s.srv.Close() }
+// Close stops the listener. A nil Server closes trivially.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

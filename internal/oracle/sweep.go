@@ -2,6 +2,7 @@ package oracle
 
 import (
 	"fmt"
+	"sort"
 
 	"tdat/internal/core"
 	"tdat/internal/factors"
@@ -350,7 +351,15 @@ func checkFactorInvariants(name string, rep *factors.Report) []string {
 		g := factors.GroupOf(f)
 		groups[g] = append(groups[g], f)
 	}
-	for g, members := range groups {
+	// Walk groups in enum order, not map order, so invariant-failure
+	// messages line up byte-for-byte across runs.
+	keys := make([]factors.Group, 0, len(groups))
+	for g := range groups {
+		keys = append(keys, g)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, g := range keys {
+		members := groups[g]
 		gr := rep.G.At(g)
 		if gr < -eps || gr > 1+eps {
 			out = append(out, fmt.Sprintf("%s: group %s ratio %.4f outside [0,1]", name, g, gr))

@@ -117,29 +117,28 @@ func (s *Stream) segment(t timerange.Micros, off int64, payload []byte) error {
 }
 
 // drain splices any held segments the contiguous frontier has reached.
+// Candidates are consumed in ascending offset order — not map order — so
+// that when an adversarial trace retransmits overlapping segments with
+// inconsistent payloads, the reassembled bytes (and therefore the report)
+// are still deterministic.
 func (s *Stream) drain() {
 	for {
-		found := false
-		for o, seg := range s.ooo {
-			segEnd := o + int64(len(seg))
-			if segEnd <= s.next {
-				delete(s.ooo, o)
-				s.oooLen -= len(seg)
-				found = true
-				break
-			}
-			if o <= s.next {
-				s.buf = append(s.buf, seg[s.next-o:]...)
-				s.next = segEnd
-				delete(s.ooo, o)
-				s.oooLen -= len(seg)
-				found = true
-				break
+		best := int64(-1)
+		for o := range s.ooo {
+			if o <= s.next && (best < 0 || o < best) {
+				best = o
 			}
 		}
-		if !found {
-			break
+		if best < 0 {
+			return
 		}
+		seg := s.ooo[best]
+		if segEnd := best + int64(len(seg)); segEnd > s.next {
+			s.buf = append(s.buf, seg[s.next-best:]...)
+			s.next = segEnd
+		}
+		delete(s.ooo, best)
+		s.oooLen -= len(seg)
 	}
 }
 

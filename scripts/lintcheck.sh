@@ -1,0 +1,33 @@
+#!/bin/sh
+# lintcheck.sh — run the in-repo static analyzers (cmd/tdatlint) over the
+# whole module and enforce the suppression ratchet: the number of
+# //tdatlint:ignore comments may never exceed the checked-in floor
+# (scripts/lintfloor.txt), so waivers can only be paid down, never
+# accumulated. Mirrors covercheck.sh/validatecheck.sh.
+#
+# Usage: sh scripts/lintcheck.sh
+set -eu
+
+floorfile=$(dirname "$0")/lintfloor.txt
+fail=0
+
+echo "== tdatlint ./... =="
+if ! go run ./cmd/tdatlint ./...; then
+	echo "FAIL unsuppressed lint diagnostics (see above)" >&2
+	fail=1
+fi
+
+count=$(go run ./cmd/tdatlint -count-ignores ./...)
+floor=$(grep -v '^#' "$floorfile" | head -n1 | tr -d '[:space:]')
+if [ "$count" -gt "$floor" ]; then
+	echo "FAIL suppression count grew: $count //tdatlint:ignore comment(s), floor is $floor" >&2
+	echo "     fix the violation instead of suppressing it, or make the case for raising the floor" >&2
+	fail=1
+elif [ "$count" -lt "$floor" ]; then
+	echo "note: suppression count $count is below the floor $floor — ratchet it down in $floorfile"
+	echo "ok   suppressions $count (floor $floor)"
+else
+	echo "ok   suppressions $count (floor $floor)"
+fi
+
+exit "$fail"
