@@ -46,6 +46,16 @@ type Config struct {
 	// Reports are byte-identical for every value — only wall-clock time
 	// changes (regression-tested by TestParallelAnalysisByteIdentical).
 	Workers int
+	// Shards partitions the streamed pcap path's connection tracking across
+	// N independent demuxers by a deterministic hash of the canonical
+	// 4-tuple (0 or 1 selects a single demuxer). Every packet of a
+	// connection lands in the same shard, packets are numbered globally
+	// before routing, and merged reports are ordered by each connection's
+	// global first-packet arrival sequence — so output is byte-identical at
+	// any worker×shard count (regression-tested alongside Workers). Sharding
+	// bounds per-demuxer index size on captures with very large connection
+	// counts; note that MaxConnections then caps each shard independently.
+	Shards int
 	// Strict refuses damaged captures: the first degradation event —
 	// undecodable record, pcap-level truncation or corruption, timestamp
 	// regression, resource-cap eviction, BGP framing failure — aborts the
@@ -311,7 +321,9 @@ func (a *Analyzer) AnalyzeConnectionWithUpdates(c *flows.Connection, updates []m
 // noting reassembly concessions (framing failure, byte-cap truncation) on
 // the report.
 func (a *Analyzer) reassembleEnd(c *flows.Connection, tr *TransferReport) (mct.Result, bool) {
-	res, err := reassembly.ReassembleLimited(c, a.cfg.MaxReassemblyBytes)
+	// KeepRaw off: MCT only reads the parsed messages, so the per-message
+	// wire-byte copies are skipped.
+	res, err := reassembly.ReassembleOpts(c, reassembly.Options{MaxBytes: a.cfg.MaxReassemblyBytes})
 	if err != nil && (res.LooksLikeBGP || len(res.Messages) > 0) {
 		// Only a stream that demonstrably carried BGP counts as damaged; a
 		// payload of some other protocol is a supported input (Messages

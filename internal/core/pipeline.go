@@ -269,7 +269,26 @@ func (a *Analyzer) AnalyzePcapWith(r io.Reader, analyze func(*flows.Connection) 
 		}
 	}
 
-	d := flows.NewDemuxer(a.cfg.Flows, func(idx int, c *flows.Connection) {
+	// Demux shards: connections partition across independent demuxers by a
+	// deterministic 4-tuple hash. Packets are numbered globally before
+	// routing and merged reports are keyed by each connection's global
+	// first-packet arrival sequence (which, with one shard, increases
+	// exactly in creation order), so the shard count never changes output.
+	shards := a.cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	fopts := a.cfg.Flows
+	var regressC *obs.Counter
+	if shards > 1 {
+		// The global stream's timestamp regressions are counted here at the
+		// reader — each shard sees only a substream and must not count.
+		fopts.ExternalClock = true
+		if o != nil {
+			regressC = o.Reg.Counter("tdat_demux_ts_regressions_total")
+		}
+	}
+	emit := func(idx int, c *flows.Connection) {
 		if parallel {
 			j := connJob{idx: idx, conn: c}
 			if o != nil {
@@ -280,33 +299,64 @@ func (a *Analyzer) AnalyzePcapWith(r io.Reader, analyze func(*flows.Connection) 
 		} else {
 			analyzeOne(idx, c)
 		}
-	})
+	}
+	ds := make([]*flows.Demuxer, shards)
+	for i := range ds {
+		ds[i] = flows.NewDemuxer(fopts, func(_ int, c *flows.Connection) {
+			// The merge is keyed by global arrival sequence, not the
+			// shard-local creation index.
+			emit(int(c.ArrivalSeq()), c)
+		})
+	}
+
+	// Zero-copy ingest: one reused record buffer (pcapio.ReadInto) and one
+	// reused packet struct (packet.DecodeInto). The demuxer copies what it
+	// keeps into per-connection columnar storage before Add returns, so
+	// nothing downstream aliases either buffer.
+	var pkt packet.Packet
+	var (
+		seq      int64 // global arrival sequence of decoded packets
+		lastTime Micros
+		regress  int64 // reader-counted regressions (sharded mode)
+	)
+	addPacket := func(tm Micros) {
+		if shards > 1 {
+			if tm < lastTime {
+				regress++
+				if regressC != nil {
+					regressC.Inc()
+				}
+			}
+			lastTime = tm
+		}
+		ds[flows.ShardOf(&pkt, shards)].AddSeq(seq, tm, &pkt)
+		seq++
+	}
 	records, skipped := 0, 0
 	var readErr error
 	if o == nil {
-		readErr = pr.Each(func(rec pcapio.Record) error {
+		readErr = pr.EachInto(func(rec pcapio.Record) error {
 			records++
-			p, err := packet.Decode(rec.Data)
-			if err != nil {
+			if err := packet.DecodeInto(rec.Data, &pkt); err != nil {
 				if a.cfg.Strict {
 					return fmt.Errorf("%w: record %d undecodable: %v", ErrStrict, records-1, err)
 				}
 				skipped++
 				return nil
 			}
-			d.Add(flows.TimedPacket{Time: rec.TimeMicros, Pkt: p})
+			addPacket(rec.TimeMicros)
 			return nil
 		})
 	} else {
 		// Instrumented ingest: three clock reads per record split the time
 		// between the decode and demux stages.
-		readErr = pr.Each(func(rec pcapio.Record) error {
+		readErr = pr.EachInto(func(rec pcapio.Record) error {
 			records++
 			recordsC.Inc()
 			o.Progress.AddRecords(1)
 			o.Progress.SetBytesRead(pr.BytesRead())
 			t0 := obs.Now()
-			p, err := packet.Decode(rec.Data)
+			err := packet.DecodeInto(rec.Data, &pkt)
 			t1 := obs.Now()
 			o.StageObserve(obs.StageDecode, t1.Sub(t0).Microseconds())
 			if err != nil {
@@ -317,12 +367,14 @@ func (a *Analyzer) AnalyzePcapWith(r io.Reader, analyze func(*flows.Connection) 
 				skippedC.Inc()
 				return nil
 			}
-			d.Add(flows.TimedPacket{Time: rec.TimeMicros, Pkt: p})
+			addPacket(rec.TimeMicros)
 			o.StageObserve(obs.StageDemux, obs.Since(t1).Microseconds())
 			return nil
 		})
 	}
-	total := d.Finish()
+	for _, d := range ds {
+		d.Finish()
+	}
 	if parallel {
 		close(jobs)
 		wg.Wait()
@@ -339,9 +391,21 @@ func (a *Analyzer) AnalyzePcapWith(r io.Reader, analyze func(*flows.Connection) 
 		}
 	}
 
+	var stats flows.DemuxStats
+	for _, d := range ds {
+		s := d.Stats()
+		stats.Packets += s.Packets
+		stats.Opened += s.Opened
+		stats.EarlyEmits += s.EarlyEmits
+		stats.Evicted += s.Evicted
+		stats.Resumed += s.Resumed
+		stats.TimestampRegressions += s.TimestampRegressions
+	}
+	stats.TimestampRegressions += regress // reader-counted (sharded mode only)
+
 	rep := &Report{SkippedPackets: skipped}
 	rep.Degradation.UndecodableRecords = skipped
-	rep.Degradation.fromDemux(d.Stats())
+	rep.Degradation.fromDemux(stats)
 	if readErr != nil {
 		// Lenient path with a readable prefix: the file damage is a
 		// degradation event, located exactly when the pcap layer can.
@@ -353,8 +417,15 @@ func (a *Analyzer) AnalyzePcapWith(r io.Reader, analyze func(*flows.Connection) 
 		rep.Degradation.RecordErrors = append(rep.Degradation.RecordErrors, issue)
 	}
 	sp := a.span(obs.StageMerge)
-	for i := 0; i < total; i++ {
-		if t := results[i]; t != nil {
+	// Merge in global arrival order: the map keys are each connection's
+	// first-packet arrival sequence, unique across shards.
+	order := make([]int, 0, len(results))
+	for k := range results {
+		order = append(order, k)
+	}
+	sort.Ints(order)
+	for _, k := range order {
+		if t := results[k]; t != nil {
 			rep.Transfers = append(rep.Transfers, t)
 			rep.Degradation.addTransfer(t)
 		}

@@ -224,6 +224,66 @@ func TestStreamingPcapMatchesSlicePath(t *testing.T) {
 	}
 }
 
+func TestShardedAnalysisByteIdentical(t *testing.T) {
+	// The demux shard count must never change output: connections hash to
+	// shards whole, packets are numbered globally, and the merge re-orders
+	// by first-packet arrival. Swept against worker counts, over a clean
+	// capture and one with timestamp regressions (where per-shard disorder
+	// detection and reader-side regression counting must agree with the
+	// single-demuxer path).
+	const conns = 8
+	pkts := multiConnPackets(t, conns)
+	clean, _ := writePcap(t, pkts, 0)
+
+	// Disordered variant: at a coarse stride, swap a packet with the first
+	// strictly-later one so the capture clock genuinely regresses (the
+	// merged trace has many timestamp ties, which adjacent swaps wouldn't
+	// disturb).
+	shuffled := append([]flows.TimedPacket(nil), pkts...)
+	for i := 5; i < len(shuffled); i += 29 {
+		for j := i + 1; j < len(shuffled) && j < i+8; j++ {
+			if shuffled[j].Time > shuffled[i].Time {
+				shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+				break
+			}
+		}
+	}
+	disordered, _ := writePcap(t, shuffled, 0)
+
+	for name, data := range map[string][]byte{"clean": clean, "disordered": disordered} {
+		var baseline []byte
+		var baseRegress int64
+		for _, w := range []int{1, 4} {
+			for _, s := range []int{0, 1, 2, 3, 16} {
+				rep, err := New(Config{Workers: w, Shards: s}).AnalyzePcap(bytes.NewReader(data))
+				if err != nil {
+					t.Fatalf("%s workers=%d shards=%d: %v", name, w, s, err)
+				}
+				if len(rep.Transfers) != conns {
+					t.Fatalf("%s workers=%d shards=%d: transfers = %d, want %d",
+						name, w, s, len(rep.Transfers), conns)
+				}
+				out := serializeReport(t, rep)
+				if baseline == nil {
+					baseline = out
+					baseRegress = rep.Degradation.TimestampRegressions
+					continue
+				}
+				if !bytes.Equal(out, baseline) {
+					t.Errorf("%s workers=%d shards=%d: report differs from single-demuxer baseline", name, w, s)
+				}
+				if rep.Degradation.TimestampRegressions != baseRegress {
+					t.Errorf("%s workers=%d shards=%d: regressions = %d, want %d",
+						name, w, s, rep.Degradation.TimestampRegressions, baseRegress)
+				}
+			}
+		}
+		if name == "disordered" && baseRegress == 0 {
+			t.Error("disordered capture produced no timestamp regressions; test is vacuous")
+		}
+	}
+}
+
 func TestDecodeErrorsDropNoConnections(t *testing.T) {
 	// Undecodable records mid-trace (tcpdump corruption) must be counted
 	// and skipped without losing any other connection's analysis, at any

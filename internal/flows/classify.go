@@ -24,7 +24,7 @@ func classifyLosses(c *Connection, opts Options) {
 	c.DownstreamLoss = timerange.NewSet()
 
 	covered := timerange.NewSet() // sequence space captured so far
-	firstSeen := map[int64]Micros{}
+	firstSeen := make(map[int64]Micros, len(c.Data))
 
 	type gap struct {
 		r      timerange.Range // sequence range never captured
@@ -38,10 +38,7 @@ func classifyLosses(c *Connection, opts Options) {
 	for i := range c.Data {
 		d := &c.Data[i]
 		segRange := timerange.R(d.Seq, d.SeqEnd)
-		overlapLen := int64(0)
-		for _, r := range covered.Query(segRange) {
-			overlapLen += r.Len()
-		}
+		overlapLen := int64(covered.OverlapLen(segRange))
 
 		switch {
 		case overlapLen >= int64(d.Len):
@@ -144,6 +141,13 @@ type Options struct {
 	// packets routed) and progress updates when non-nil. It never affects
 	// extraction output.
 	Obs *obs.Obs
+	// ExternalClock tells the Demuxer that its input is one shard's
+	// substream of a globally ordered capture: timestamp regressions are
+	// counted once by the owner of the full stream (core's sharded reader),
+	// so this demuxer must not count them again. Disorder detection for
+	// per-connection re-sorting is unaffected — a regression inside any
+	// connection is always visible within its own shard's substream.
+	ExternalClock bool
 }
 
 // DefaultOptions returns the documented defaults.

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"net/netip"
 	"sort"
+	"sync"
 
 	"tdat/internal/obs"
 	"tdat/internal/packet"
@@ -157,6 +158,9 @@ type Connection struct {
 	// senderISN anchors relative sequence numbers.
 	senderISN   uint32
 	receiverISN uint32
+	// arrival is the global arrival sequence number of the connection's
+	// first packet (see ArrivalSeq).
+	arrival int64
 }
 
 // Span returns the connection's observation window.
@@ -164,27 +168,157 @@ func (c *Connection) Span() timerange.Range {
 	return timerange.Range{Start: c.Profile.Start, End: c.Profile.End + 1}
 }
 
+// ArrivalSeq returns the global arrival sequence number of the connection's
+// first packet — the position of that packet in the full capture stream.
+// Sharded ingest (core.Config.Shards) splits connections across independent
+// demuxers and restores the single-demuxer output order by sorting merged
+// connections on this value: with one shard it increases exactly in
+// creation-index order, so the merge is byte-identical at any shard count.
+func (c *Connection) ArrivalSeq() int64 { return c.arrival }
+
+// pktTable is the columnar (struct-of-arrays) per-connection packet store.
+// One column per field the analyzer reads keeps the accumulation hot path
+// free of per-packet allocations and pointer chasing: appending a packet
+// touches a handful of flat arrays instead of allocating a packet struct,
+// and analysis scans run down dense columns. Payload bytes are copied into
+// a single per-connection arena, so the demuxer retains nothing from the
+// caller's (reused) decode buffer — the ownership boundary that makes
+// zero-copy ingest (pcapio.ReadInto + packet.DecodeInto) safe upstream.
+type pktTable struct {
+	times   []Micros
+	seqs    []uint32 // TCP sequence numbers (wire values)
+	acks    []uint32 // TCP acknowledgment numbers (wire values)
+	ipids   []uint16
+	windows []uint16
+	flags   []uint8
+	dirs    []uint8 // 1 when the packet's source is the canonical key's A side
+	payOff  []int32 // payload start in arena
+	payLen  []int32
+	mss     []uint32 // SYN MSS option, 1<<16|value when present, 0 otherwise
+	arena   []byte   // payload bytes, owned by the table (and later the events)
+}
+
+func (t *pktTable) n() int { return len(t.times) }
+
+// add appends one packet, copying its payload into the arena.
+func (t *pktTable) add(tm Micros, p *packet.Packet, fromA bool) {
+	t.times = append(t.times, tm)
+	t.seqs = append(t.seqs, p.TCP.Seq)
+	t.acks = append(t.acks, p.TCP.Ack)
+	t.ipids = append(t.ipids, p.IP.ID)
+	t.windows = append(t.windows, p.TCP.Window)
+	t.flags = append(t.flags, p.TCP.Flags)
+	var dir uint8
+	if fromA {
+		dir = 1
+	}
+	t.dirs = append(t.dirs, dir)
+	t.payOff = append(t.payOff, int32(len(t.arena)))
+	t.payLen = append(t.payLen, int32(len(p.Payload)))
+	t.arena = append(t.arena, p.Payload...)
+	var m uint32
+	if p.TCP.HasFlag(packet.FlagSYN) {
+		if v, ok := p.TCP.MSS(); ok {
+			m = 1<<16 | uint32(v)
+		}
+	}
+	t.mss = append(t.mss, m)
+}
+
+// payload returns the i-th packet's payload as a capped view into the arena
+// (stable for the lifetime of the emitted events; nil when empty).
+func (t *pktTable) payload(i int) []byte {
+	if t.payLen[i] == 0 {
+		return nil
+	}
+	off, end := t.payOff[i], t.payOff[i]+t.payLen[i]
+	return t.arena[off:end:end]
+}
+
+// sortByTime stably reorders every column by timestamp — the rare
+// disordered-capture path. The arena is untouched: payOff/payLen move with
+// their rows, so payload views stay valid.
+func (t *pktTable) sortByTime() {
+	perm := make([]int, t.n())
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(i, j int) bool { return t.times[perm[i]] < t.times[perm[j]] })
+	permute(perm, t.times)
+	permute(perm, t.seqs)
+	permute(perm, t.acks)
+	permute(perm, t.ipids)
+	permute(perm, t.windows)
+	permute(perm, t.flags)
+	permute(perm, t.dirs)
+	permute(perm, t.payOff)
+	permute(perm, t.payLen)
+	permute(perm, t.mss)
+}
+
+// permute rearranges s so that s[i] = old s[perm[i]].
+func permute[T any](perm []int, s []T) {
+	tmp := make([]T, len(s))
+	for i, p := range perm {
+		tmp[i] = s[p]
+	}
+	copy(s, tmp)
+}
+
+// tablePool recycles pktTable column storage between connections. The arena
+// is NOT recycled — emitted DataEvents alias it — so release detaches it
+// before pooling the numeric columns.
+var tablePool = sync.Pool{New: func() any { return new(pktTable) }}
+
+// newTable returns an empty table with whatever column capacity a previous
+// connection grew.
+func newTable() *pktTable {
+	t := tablePool.Get().(*pktTable)
+	t.times = t.times[:0]
+	t.seqs = t.seqs[:0]
+	t.acks = t.acks[:0]
+	t.ipids = t.ipids[:0]
+	t.windows = t.windows[:0]
+	t.flags = t.flags[:0]
+	t.dirs = t.dirs[:0]
+	t.payOff = t.payOff[:0]
+	t.payLen = t.payLen[:0]
+	t.mss = t.mss[:0]
+	t.arena = nil // previous arena belongs to the emitted events
+	return t
+}
+
+// release returns a table's column storage to the pool.
+func release(t *pktTable) {
+	t.arena = nil
+	tablePool.Put(t)
+}
+
 // rawConn accumulates packets per canonical key before orientation.
 type rawConn struct {
-	key     Key
-	packets []TimedPacket
+	key Key
+	tbl *pktTable
 	// payload bytes seen from each endpoint
 	bytesFromA, bytesFromB int64
-	synFrom                map[Endpoint]Micros
-	// synISN remembers each endpoint's SYN sequence number so a fresh SYN
-	// (new ISN) on a reused tuple can be told apart from a retransmitted
-	// one.
-	synISN     map[Endpoint]uint32
-	sawPayload bool
+	// synTimeA/B record each endpoint's first SYN time; synISNA/B remember
+	// the SYN sequence numbers so a fresh SYN (new ISN) on a reused tuple
+	// can be told apart from a retransmitted one.
+	synTimeA, synTimeB Micros
+	hasSynA, hasSynB   bool
+	synISNA, synISNB   uint32
+	hasISNA, hasISNB   bool
+	sawPayload         bool
 	// established marks that a non-SYN packet was captured: the tuple is
 	// past connection initiation, so a later fresh SYN is a reused tuple
 	// even when the incarnation's own handshake (and any payload) was
 	// never captured — the truncated/no-FIN predecessor case.
 	established bool
-	// idx is the creation index (order of first packet); done marks a
-	// connection the demuxer has already emitted.
-	idx  int
-	done bool
+	// idx is the creation index (order of first packet); arrival is the
+	// global arrival sequence of that packet; done marks a connection the
+	// demuxer has already emitted.
+	idx     int
+	arrival int64
+	done    bool
 }
 
 // Extract groups packets into connections and analyzes each with default
@@ -203,8 +337,11 @@ func ExtractOpts(pkts []TimedPacket, opts Options) []*Connection {
 // statistics (evictions, resumed connections, timestamp regressions)
 // alongside the connections.
 func ExtractOptsStats(pkts []TimedPacket, opts Options) ([]*Connection, DemuxStats) {
-	sorted := append([]TimedPacket(nil), pkts...)
-	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Time < sorted[j].Time })
+	sorted := pkts
+	if !timeSorted(pkts) {
+		sorted = append([]TimedPacket(nil), pkts...)
+		sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Time < sorted[j].Time })
+	}
 
 	byIdx := map[int]*Connection{}
 	d := NewDemuxer(opts, func(idx int, c *Connection) { byIdx[idx] = c })
@@ -219,6 +356,51 @@ func ExtractOptsStats(pkts []TimedPacket, opts Options) ([]*Connection, DemuxSta
 		}
 	}
 	return out, d.Stats()
+}
+
+// ShardOf maps a packet to one of n demux shards by a deterministic FNV-1a
+// hash of its canonical connection key, so both directions of a connection
+// (and every analysis run) land on the same shard. n <= 1 always returns 0.
+func ShardOf(pkt *packet.Packet, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	src := Endpoint{Addr: pkt.IP.Src, Port: pkt.TCP.SrcPort}
+	dst := Endpoint{Addr: pkt.IP.Dst, Port: pkt.TCP.DstPort}
+	k := canonicalKey(src, dst)
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(e Endpoint) {
+		a16 := e.Addr.As16()
+		for _, b := range a16 {
+			h = (h ^ uint64(b)) * prime64
+		}
+		h = (h ^ uint64(e.Port&0xFF)) * prime64
+		h = (h ^ uint64(e.Port>>8)) * prime64
+	}
+	mix(k.A)
+	mix(k.B)
+	// FNV-1a's low-order bits avalanche poorly, so structured keys
+	// (consecutive router addresses or ports) collapse onto one residue for
+	// small n. Fold the high bits in before reducing.
+	h ^= h >> 32
+	h ^= h >> 16
+	return int(h % uint64(n))
+}
+
+// timeSorted reports whether pkts is already in non-decreasing time order —
+// the common case for real captures, where ExtractOptsStats skips the
+// defensive copy-and-sort entirely.
+func timeSorted(pkts []TimedPacket) bool {
+	for i := 1; i < len(pkts); i++ {
+		if pkts[i].Time < pkts[i-1].Time {
+			return false
+		}
+	}
+	return true
 }
 
 // Demuxer incrementally groups a packet stream into TCP connections and
@@ -313,11 +495,11 @@ func (d *Demuxer) Stats() DemuxStats { return d.stats }
 
 // newRawConn registers a fresh raw connection under key k, evicting the
 // oldest tracked connection first when the MaxTracked cap is reached.
-func (d *Demuxer) newRawConn(k Key) *rawConn {
+func (d *Demuxer) newRawConn(k Key, arrival int64) *rawConn {
 	if max := d.opts.MaxTracked; max > 0 && d.open >= max {
 		d.evictOldest()
 	}
-	rc := &rawConn{key: k, synFrom: map[Endpoint]Micros{}, idx: len(d.order)}
+	rc := &rawConn{key: k, tbl: newTable(), idx: len(d.order), arrival: arrival}
 	d.index[k] = rc
 	d.order = append(d.order, rc)
 	d.open++
@@ -348,31 +530,49 @@ func (d *Demuxer) evictOldest() {
 }
 
 // Add routes one packet to its connection, emitting any connection the
-// packet proves complete.
+// packet proves complete. The packet (and its payload view) is fully copied
+// into per-connection columnar storage before Add returns, so callers may
+// reuse tp.Pkt and the buffers it aliases — the contract the zero-copy
+// ingest path (pcapio.ReadInto + packet.DecodeInto) relies on.
 func (d *Demuxer) Add(tp TimedPacket) {
-	if tp.Time < d.lastTime {
+	d.AddSeq(d.stats.Packets, tp.Time, tp.Pkt)
+}
+
+// AddSeq is Add with an explicit global arrival sequence number for the
+// packet. Sharded ingest routes each packet to one of several demuxers but
+// numbers packets globally at the reader, so every connection's ArrivalSeq
+// reflects its position in the whole capture rather than one shard's
+// substream; the unsharded path passes the demuxer's own packet count,
+// which is the same thing.
+func (d *Demuxer) AddSeq(seq int64, tm Micros, pkt *packet.Packet) {
+	if tm < d.lastTime {
 		d.disorder = true
-		d.stats.TimestampRegressions++
-		d.regressC.Inc()
+		if !d.opts.ExternalClock {
+			d.stats.TimestampRegressions++
+			d.regressC.Inc()
+		}
 	}
-	d.lastTime = tp.Time
+	d.lastTime = tm
 	d.packetsC.Inc()
 	d.stats.Packets++
 
-	src := Endpoint{Addr: tp.Pkt.IP.Src, Port: tp.Pkt.TCP.SrcPort}
-	dst := Endpoint{Addr: tp.Pkt.IP.Dst, Port: tp.Pkt.TCP.DstPort}
+	src := Endpoint{Addr: pkt.IP.Src, Port: pkt.TCP.SrcPort}
+	dst := Endpoint{Addr: pkt.IP.Dst, Port: pkt.TCP.DstPort}
 	k := canonicalKey(src, dst)
+	fromA := src == k.A
 	rc, ok := d.index[k]
 	if !ok {
-		rc = d.newRawConn(k)
+		rc = d.newRawConn(k, seq)
 	} else if rc.done {
 		// The tuple's tracked connection was evicted under the MaxTracked
 		// cap but traffic keeps coming: start a fresh partial connection
 		// rather than silently dropping the tail.
-		rc = d.newRawConn(k)
+		rc = d.newRawConn(k, seq)
 		d.stats.Resumed++
 		d.resumedC.Inc()
 	}
+	isSyn := pkt.TCP.HasFlag(packet.FlagSYN)
+	freshSyn := isSyn && !pkt.TCP.HasFlag(packet.FlagACK)
 	// Port reuse across session resets (the ISP_A-1 reset storm): a
 	// fresh SYN with a NEW initial sequence number on a tuple that
 	// already carried traffic starts a new connection; a SYN repeating
@@ -381,40 +581,52 @@ func (d *Demuxer) Add(tp TimedPacket) {
 	// SYN, or any established (non-SYN) traffic proves it was a distinct
 	// connection — the last case covers a predecessor whose capture was
 	// truncated before (or after) its handshake.
-	if tp.Pkt.TCP.HasFlag(packet.FlagSYN) && !tp.Pkt.TCP.HasFlag(packet.FlagACK) &&
-		len(rc.packets) > 0 {
-		if isn, seen := rc.synISN[src]; !seen || isn != tp.Pkt.TCP.Seq {
+	if freshSyn && rc.tbl.n() > 0 {
+		isn, seen := rc.synISN(fromA)
+		if !seen || isn != pkt.TCP.Seq {
 			if seen || rc.sawPayload || rc.established {
 				d.complete(rc) // the old incarnation can get no more packets
-				rc = d.newRawConn(k)
+				rc = d.newRawConn(k, seq)
 			}
 		}
 	}
-	if !tp.Pkt.TCP.HasFlag(packet.FlagSYN) {
+	if !isSyn {
 		rc.established = true
 	}
-	if tp.Pkt.TCP.HasFlag(packet.FlagSYN) && !tp.Pkt.TCP.HasFlag(packet.FlagACK) {
-		if rc.synISN == nil {
-			rc.synISN = map[Endpoint]uint32{}
-		}
-		if _, seen := rc.synISN[src]; !seen {
-			rc.synISN[src] = tp.Pkt.TCP.Seq
+	if freshSyn {
+		if fromA {
+			if !rc.hasISNA {
+				rc.synISNA, rc.hasISNA = pkt.TCP.Seq, true
+			}
+			if !rc.hasSynA {
+				rc.synTimeA, rc.hasSynA = tm, true
+			}
+		} else {
+			if !rc.hasISNB {
+				rc.synISNB, rc.hasISNB = pkt.TCP.Seq, true
+			}
+			if !rc.hasSynB {
+				rc.synTimeB, rc.hasSynB = tm, true
+			}
 		}
 	}
-	rc.packets = append(rc.packets, tp)
-	if n := int64(len(tp.Pkt.Payload)); n > 0 {
+	rc.tbl.add(tm, pkt, fromA)
+	if n := int64(len(pkt.Payload)); n > 0 {
 		rc.sawPayload = true
-		if src == k.A {
+		if fromA {
 			rc.bytesFromA += n
 		} else {
 			rc.bytesFromB += n
 		}
 	}
-	if tp.Pkt.TCP.HasFlag(packet.FlagSYN) && !tp.Pkt.TCP.HasFlag(packet.FlagACK) {
-		if _, seen := rc.synFrom[src]; !seen {
-			rc.synFrom[src] = tp.Time
-		}
+}
+
+// synISN returns the recorded SYN sequence number for the given side.
+func (rc *rawConn) synISN(fromA bool) (uint32, bool) {
+	if fromA {
+		return rc.synISNA, rc.hasISNA
 	}
+	return rc.synISNB, rc.hasISNB
 }
 
 // complete analyzes one raw connection and emits the result.
@@ -429,14 +641,13 @@ func (d *Demuxer) complete(rc *rawConn) {
 		d.earlyC.Inc()
 	}
 	if d.disorder {
-		sort.SliceStable(rc.packets, func(i, j int) bool {
-			return rc.packets[i].Time < rc.packets[j].Time
-		})
+		rc.tbl.sortByTime()
 	}
 	if c := analyze(rc, d.opts); c != nil {
 		d.emit(rc.idx, c)
 	}
-	rc.packets = nil // analysis holds what it needs; free the raw buffer
+	release(rc.tbl) // events alias only the arena; recycle the columns
+	rc.tbl = nil
 }
 
 // Finish completes every still-open connection in creation order and
@@ -468,97 +679,91 @@ func FromPcap(records []pcapio.Record) ([]*Connection, int) {
 
 // analyze orients a raw connection and derives events, labels, and profile.
 func analyze(rc *rawConn, opts Options) *Connection {
-	if len(rc.packets) == 0 {
+	t := rc.tbl
+	if t.n() == 0 {
 		return nil
 	}
-	// Sender = side with most payload; tie broken toward the SYN initiator,
-	// then endpoint order.
+	// Sender = side with most payload; tie broken toward the SYN initiator
+	// (the earlier SYN when both sides sent one, A on an exact tie), then
+	// endpoint order.
 	sender := rc.key.A
 	switch {
 	case rc.bytesFromB > rc.bytesFromA:
 		sender = rc.key.B
 	case rc.bytesFromB == rc.bytesFromA:
-		for ep := range rc.synFrom {
-			sender = ep
-			break
-		}
-		if len(rc.synFrom) > 1 {
-			// Both sent SYNs (normal): the earlier SYN wins.
-			var first Endpoint
-			var firstT Micros = timerange.MaxTime
-			for ep, t := range rc.synFrom {
-				if t < firstT {
-					first, firstT = ep, t
-				}
-			}
-			sender = first
+		if rc.hasSynB && (!rc.hasSynA || rc.synTimeB < rc.synTimeA) {
+			sender = rc.key.B
 		}
 	}
+	senderIsA := sender == rc.key.A
 	receiver := rc.key.A
-	if sender == rc.key.A {
+	if senderIsA {
 		receiver = rc.key.B
 	}
 
-	c := &Connection{Sender: sender, Receiver: receiver}
-	c.Profile.Start = rc.packets[0].Time
-	c.Profile.End = rc.packets[len(rc.packets)-1].Time
-	if t, ok := rc.synFrom[sender]; ok {
+	c := &Connection{Sender: sender, Receiver: receiver, arrival: rc.arrival}
+	c.Profile.Start = t.times[0]
+	c.Profile.End = t.times[t.n()-1]
+	switch {
+	case senderIsA && rc.hasSynA:
 		c.Profile.InitiatorIsSender = true
-		c.Profile.SynTime = t
-	} else if len(rc.synFrom) > 0 {
-		for _, t := range rc.synFrom {
-			c.Profile.SynTime = t
-		}
+		c.Profile.SynTime = rc.synTimeA
+	case !senderIsA && rc.hasSynB:
+		c.Profile.InitiatorIsSender = true
+		c.Profile.SynTime = rc.synTimeB
+	case rc.hasSynA:
+		c.Profile.SynTime = rc.synTimeA
+	case rc.hasSynB:
+		c.Profile.SynTime = rc.synTimeB
 	}
 
-	extractISNs(c, rc.packets)
-	buildEvents(c, rc.packets)
+	extractISNs(c, t, senderIsA)
+	buildEvents(c, t, senderIsA)
 	classifyLosses(c, opts)
-	estimateRTT(c, rc.packets)
+	estimateRTT(c)
 	return c
 }
 
 // extractISNs finds initial sequence numbers and handshake timestamps.
-func extractISNs(c *Connection, pkts []TimedPacket) {
+func extractISNs(c *Connection, t *pktTable, senderIsA bool) {
 	var haveSenderISN, haveReceiverISN bool
-	for _, tp := range pkts {
-		tcp := &tp.Pkt.TCP
-		src := Endpoint{Addr: tp.Pkt.IP.Src, Port: tcp.SrcPort}
-		isSyn := tcp.HasFlag(packet.FlagSYN)
+	for i := 0; i < t.n(); i++ {
+		fromSender := (t.dirs[i] == 1) == senderIsA
+		isSyn := t.flags[i]&packet.FlagSYN != 0
 		switch {
-		case isSyn && src == c.Sender && !haveSenderISN:
-			c.senderISN = tcp.Seq
+		case isSyn && fromSender && !haveSenderISN:
+			c.senderISN = t.seqs[i]
 			haveSenderISN = true
-			if mss, ok := tcp.MSS(); ok {
-				c.Profile.MSS = int(mss)
+			if m := t.mss[i]; m != 0 {
+				c.Profile.MSS = int(m & 0xFFFF)
 			}
-		case isSyn && src == c.Receiver && !haveReceiverISN:
-			c.receiverISN = tcp.Seq
+		case isSyn && !fromSender && !haveReceiverISN:
+			c.receiverISN = t.seqs[i]
 			haveReceiverISN = true
-			if tcp.HasFlag(packet.FlagACK) {
-				c.Profile.SynAckTime = tp.Time
+			if t.flags[i]&packet.FlagACK != 0 {
+				c.Profile.SynAckTime = t.times[i]
 			}
-			if mss, ok := tcp.MSS(); ok && (c.Profile.MSS == 0 || int(mss) < c.Profile.MSS) {
-				c.Profile.MSS = int(mss)
+			if m := t.mss[i]; m != 0 && (c.Profile.MSS == 0 || int(m&0xFFFF) < c.Profile.MSS) {
+				c.Profile.MSS = int(m & 0xFFFF)
 			}
 		case !isSyn && haveSenderISN && haveReceiverISN && c.Profile.HandshakeAckTime == 0 &&
-			src == c.Sender && tcp.HasFlag(packet.FlagACK) && len(tp.Pkt.Payload) == 0:
-			c.Profile.HandshakeAckTime = tp.Time
+			fromSender && t.flags[i]&packet.FlagACK != 0 && t.payLen[i] == 0:
+			c.Profile.HandshakeAckTime = t.times[i]
 		}
 	}
 	if !haveSenderISN {
 		// Mid-stream capture: anchor on the first data packet.
-		for _, tp := range pkts {
-			if (Endpoint{Addr: tp.Pkt.IP.Src, Port: tp.Pkt.TCP.SrcPort}) == c.Sender {
-				c.senderISN = tp.Pkt.TCP.Seq - 1
+		for i := 0; i < t.n(); i++ {
+			if (t.dirs[i] == 1) == senderIsA {
+				c.senderISN = t.seqs[i] - 1
 				break
 			}
 		}
 	}
 	if !haveReceiverISN {
-		for _, tp := range pkts {
-			if (Endpoint{Addr: tp.Pkt.IP.Src, Port: tp.Pkt.TCP.SrcPort}) == c.Receiver {
-				c.receiverISN = tp.Pkt.TCP.Seq - 1
+		for i := 0; i < t.n(); i++ {
+			if (t.dirs[i] == 1) != senderIsA {
+				c.receiverISN = t.seqs[i] - 1
 				break
 			}
 		}
@@ -568,41 +773,57 @@ func extractISNs(c *Connection, pkts []TimedPacket) {
 // relSeq converts a wire sequence number to a payload offset past isn+1.
 func relSeq(seq, isn uint32) int64 { return int64(int32(seq - isn - 1)) }
 
-// buildEvents splits packets into Data and Ack event streams.
-func buildEvents(c *Connection, pkts []TimedPacket) {
-	for _, tp := range pkts {
-		tcp := &tp.Pkt.TCP
-		src := Endpoint{Addr: tp.Pkt.IP.Src, Port: tcp.SrcPort}
-		if src == c.Sender {
-			if len(tp.Pkt.Payload) == 0 {
+// buildEvents splits packets into Data and Ack event streams. Event counts
+// are known exactly from the direction/payload columns, so both slices are
+// allocated once at final size.
+func buildEvents(c *Connection, t *pktTable, senderIsA bool) {
+	nData, nAcks := 0, 0
+	for i := 0; i < t.n(); i++ {
+		if (t.dirs[i] == 1) == senderIsA {
+			if t.payLen[i] > 0 {
+				nData++
+			}
+		} else {
+			nAcks++
+		}
+	}
+	if nData > 0 {
+		c.Data = make([]DataEvent, 0, nData)
+	}
+	if nAcks > 0 {
+		c.Acks = make([]AckEvent, 0, nAcks)
+	}
+	for i := 0; i < t.n(); i++ {
+		if (t.dirs[i] == 1) == senderIsA {
+			if t.payLen[i] == 0 {
 				continue // pure ACKs from the sender are not data events
 			}
-			off := relSeq(tcp.Seq, c.senderISN)
+			off := relSeq(t.seqs[i], c.senderISN)
 			ev := DataEvent{
-				Time:    tp.Time,
+				Time:    t.times[i],
 				Seq:     off,
-				SeqEnd:  off + int64(len(tp.Pkt.Payload)),
-				Len:     len(tp.Pkt.Payload),
-				IPID:    tp.Pkt.IP.ID,
-				Ack:     relSeq(tcp.Ack, c.receiverISN),
-				Window:  int(tcp.Window),
-				Payload: tp.Pkt.Payload,
+				SeqEnd:  off + int64(t.payLen[i]),
+				Len:     int(t.payLen[i]),
+				IPID:    t.ipids[i],
+				Ack:     relSeq(t.acks[i], c.receiverISN),
+				Window:  int(t.windows[i]),
+				Payload: t.payload(i),
 			}
 			c.Data = append(c.Data, ev)
 			c.Profile.TotalDataPackets++
 			c.Profile.TotalDataBytes += int64(ev.Len)
 		} else {
-			ack := relSeq(tcp.Ack, c.senderISN)
+			ack := relSeq(t.acks[i], c.senderISN)
 			ev := AckEvent{
-				Time:       tp.Time,
+				Time:       t.times[i],
 				Ack:        ack,
-				Window:     int(tcp.Window),
-				PayloadLen: len(tp.Pkt.Payload),
+				Window:     int(t.windows[i]),
+				PayloadLen: int(t.payLen[i]),
 			}
 			if n := len(c.Acks); n > 0 {
 				prev := c.Acks[n-1]
 				ev.Dup = ev.PayloadLen == 0 && prev.Ack == ack && prev.Window == ev.Window &&
-					!tcp.HasFlag(packet.FlagSYN) && !tcp.HasFlag(packet.FlagFIN)
+					t.flags[i]&(packet.FlagSYN|packet.FlagFIN) == 0
 			}
 			c.Acks = append(c.Acks, ev)
 			if ev.Window > c.Profile.MaxAdvWindow {
@@ -623,7 +844,7 @@ func buildEvents(c *Connection, pkts []TimedPacket) {
 // the SYNACK→handshake-ACK spacing covers one full round trip; when the
 // handshake is missing we fall back to the median delay between an ACK and
 // the next new data it released.
-func estimateRTT(c *Connection, pkts []TimedPacket) {
+func estimateRTT(c *Connection) {
 	if c.Profile.SynAckTime > 0 && c.Profile.HandshakeAckTime > c.Profile.SynAckTime {
 		c.Profile.RTT = c.Profile.HandshakeAckTime - c.Profile.SynAckTime
 		return

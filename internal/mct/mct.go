@@ -13,6 +13,7 @@
 package mct
 
 import (
+	"encoding/binary"
 	"net/netip"
 	"sort"
 
@@ -70,6 +71,43 @@ type Result struct {
 	UniquePrefixes int
 }
 
+// prefixSet tracks distinct prefixes. IPv4 prefixes — the overwhelming case
+// for the paper's table transfers — pack losslessly into a uint64 key
+// (length in the high word, big-endian address in the low), which hashes
+// several times faster than the 24-byte netip.Prefix struct and halves the
+// map's memory traffic; anything else falls into a lazily created spill map.
+type prefixSet struct {
+	v4    map[uint64]struct{}
+	other map[netip.Prefix]struct{}
+}
+
+func newPrefixSet(sizeHint int) *prefixSet {
+	return &prefixSet{v4: make(map[uint64]struct{}, sizeHint)}
+}
+
+// insert adds p, reporting whether it was previously unseen.
+func (s *prefixSet) insert(p netip.Prefix) bool {
+	if a := p.Addr(); a.Is4() {
+		a4 := a.As4()
+		key := uint64(uint32(p.Bits()))<<32 | uint64(binary.BigEndian.Uint32(a4[:]))
+		if _, ok := s.v4[key]; ok {
+			return false
+		}
+		s.v4[key] = struct{}{}
+		return true
+	}
+	if _, ok := s.other[p]; ok {
+		return false
+	}
+	if s.other == nil {
+		s.other = map[netip.Prefix]struct{}{}
+	}
+	s.other[p] = struct{}{}
+	return true
+}
+
+func (s *prefixSet) len() int { return len(s.v4) + len(s.other) }
+
 // FindEnd locates the transfer end in updates (which must be time-sorted;
 // they are sorted defensively). ok is false for an empty stream.
 func FindEnd(updates []Update, cfg Config) (Result, bool) {
@@ -77,10 +115,23 @@ func FindEnd(updates []Update, cfg Config) (Result, bool) {
 	if len(updates) == 0 {
 		return Result{}, false
 	}
-	ups := append([]Update(nil), updates...)
-	sort.SliceStable(ups, func(i, j int) bool { return ups[i].Time < ups[j].Time })
+	ups := updates
+	for i := 1; i < len(ups); i++ {
+		if ups[i].Time < ups[i-1].Time {
+			ups = append([]Update(nil), updates...)
+			sort.SliceStable(ups, func(i, j int) bool { return ups[i].Time < ups[j].Time })
+			break
+		}
+	}
 
-	seen := map[netip.Prefix]struct{}{}
+	// Presize the seen-set to the announcement count: a table transfer is
+	// mostly distinct prefixes, so this avoids every rehash on the hot path
+	// at the cost of a transient overestimate on repetitive streams.
+	announced := 0
+	for i := range ups {
+		announced += len(ups[i].Prefixes)
+	}
+	seen := newPrefixSet(announced)
 	type point struct {
 		time    Micros
 		total   int // announcements in this update
@@ -88,33 +139,39 @@ func FindEnd(updates []Update, cfg Config) (Result, bool) {
 		cumulen int // unique prefixes after this update
 	}
 	points := make([]point, len(ups))
-	for i, u := range ups {
+	for i := range ups {
+		u := &ups[i]
 		novel := 0
 		for _, p := range u.Prefixes {
-			if _, ok := seen[p]; !ok {
-				seen[p] = struct{}{}
+			if seen.insert(p) {
 				novel++
 			}
 		}
-		points[i] = point{time: u.Time, total: len(u.Prefixes), novel: novel, cumulen: len(seen)}
+		points[i] = point{time: u.Time, total: len(u.Prefixes), novel: novel, cumulen: seen.len()}
 	}
 
 	// Scan forward: the transfer continues while updates keep arriving
-	// densely and keep contributing new prefixes.
+	// densely and keep contributing new prefixes. The trailing novelty
+	// window slides with two pointers — wStart is non-decreasing, so each
+	// point enters and leaves the running total/novel sums exactly once.
 	endIdx := 0
+	lo := 0
+	wTotal, wNovel := points[0].total, points[0].novel
 	for i := 1; i < len(points); i++ {
 		gap := points[i].time - points[i-1].time
 		if gap > cfg.QuietGap {
 			break
 		}
 		// Trailing-window novelty: fraction of announcements that are new.
+		wTotal += points[i].total
+		wNovel += points[i].novel
 		wStart := points[i].time - cfg.NoveltyWindow
-		total, novel := 0, 0
-		for j := i; j >= 0 && points[j].time >= wStart; j-- {
-			total += points[j].total
-			novel += points[j].novel
+		for points[lo].time < wStart {
+			wTotal -= points[lo].total
+			wNovel -= points[lo].novel
+			lo++
 		}
-		if total > 0 && float64(novel)/float64(total) < cfg.MinNovelty {
+		if wTotal > 0 && float64(wNovel)/float64(wTotal) < cfg.MinNovelty {
 			// The stream has stopped revealing table content: end at the
 			// last update that contributed something new.
 			break

@@ -58,3 +58,41 @@ func FuzzDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeEquiv is the differential target keeping the zero-copy decoder
+// honest: on arbitrary input, DecodeInto and the retained reference decoder
+// (Decode) must agree — same accept/reject verdict, same error text, and
+// identical packets on acceptance (byte-slice fields compared by content,
+// since the reference copies where the zero-copy decoder aliases the
+// frame). The struct passed to DecodeInto is reused across inputs, so stale
+// state leaking between decodes is also caught. Seeds come from the
+// adversarial corpus (committed under testdata/fuzz/FuzzDecodeEquiv); CI
+// runs a 30 s smoke window on every push:
+//
+//	go test -run='^$' -fuzz=FuzzDecodeEquiv -fuzztime=30s ./internal/packet
+func FuzzDecodeEquiv(f *testing.F) {
+	good, err := samplePacket().Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add(good[:20])
+	f.Add([]byte{})
+	var zc Packet // reused across inputs, like the analyzer's hot loop
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		ref, refErr := Decode(frame)
+		zcErr := DecodeInto(frame, &zc)
+		if (refErr == nil) != (zcErr == nil) {
+			t.Fatalf("decoders disagree on acceptance: Decode err=%v, DecodeInto err=%v", refErr, zcErr)
+		}
+		if refErr != nil {
+			if refErr.Error() != zcErr.Error() {
+				t.Fatalf("decoders disagree on error: Decode %q, DecodeInto %q", refErr, zcErr)
+			}
+			return
+		}
+		if err := samePacket(ref, &zc); err != nil {
+			t.Fatalf("decoders disagree on %x: %v", frame, err)
+		}
+	})
+}

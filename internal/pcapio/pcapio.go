@@ -159,6 +159,11 @@ type Reader struct {
 	snapLen  uint32
 	records  int64
 	bytes    int64
+	// hdr is the record-header scratch buffer. It lives on the Reader (not
+	// the stack of readRecordHeader) because a stack array passed to
+	// io.ReadFull escapes, costing one heap allocation per record — which
+	// TestReadIntoAllocs pins to zero.
+	hdr [16]byte
 }
 
 // NewReader parses the file header and returns a Reader positioned at the
@@ -214,18 +219,87 @@ func (r *Reader) BytesRead() int64 { return r.bytes }
 // tcpdump drop gaps — the trailing partial data is excluded), and a record
 // header claiming an implausible capture length wraps ErrCorrupt (pcap
 // framing has no resync point, so reading cannot continue past it).
+//
+// Each record's Data is freshly allocated, so callers may retain it. The
+// analyzer's hot path uses ReadInto instead, which reuses a caller-owned
+// buffer and allocates nothing per record.
 func (r *Reader) Next() (Record, error) {
-	var hdr [16]byte
+	capLen, origLen, tm, err := r.readRecordHeader()
+	if err != nil {
+		return Record{}, err
+	}
+	data, err := readData(r.r, int(capLen))
+	if err != nil {
+		return Record{}, r.recordErr(fmt.Errorf("%w: record data: %v", ErrTruncated, err))
+	}
+	r.records++
+	r.bytes += 16 + int64(capLen)
+	return Record{TimeMicros: tm, OrigLen: int(origLen), Data: data}, nil
+}
+
+// ReadInto reads the next record into rec, reusing rec.Data's backing array
+// (growing it only when a record exceeds its capacity). After the first few
+// records the loop performs zero allocations (enforced by
+// TestReadIntoAllocs and the CI bench gate), which is what lets the ingest
+// hot path chew through fleet-sized corpora without per-record garbage.
+//
+// Buffer ownership: rec.Data is owned by the caller and overwritten by the
+// next ReadInto — downstream layers must copy whatever bytes they keep
+// (packet.DecodeInto documents the same rule for its field views). io.EOF
+// marks a clean end of file; damage reporting matches Next.
+func (r *Reader) ReadInto(rec *Record) error {
+	capLen, origLen, tm, err := r.readRecordHeader()
+	if err != nil {
+		return err
+	}
+	n := int(capLen)
+	buf := rec.Data[:0]
+	if cap(buf) >= n {
+		// Steady state: the buffer already fits, one read, no allocation.
+		buf = buf[:n]
+		if _, err := io.ReadFull(r.r, buf); err != nil {
+			rec.Data = buf[:0]
+			return r.recordErr(fmt.Errorf("%w: record data: %v", ErrTruncated, err))
+		}
+	} else {
+		// Growth path — incremental, mirroring readData: a lying header
+		// over a short file must not force a huge up-front allocation.
+		const chunk = 1 << 16
+		for len(buf) < n {
+			step := n - len(buf)
+			if step > chunk {
+				step = chunk
+			}
+			off := len(buf)
+			buf = append(buf, make([]byte, step)...)
+			if _, err := io.ReadFull(r.r, buf[off:]); err != nil {
+				rec.Data = buf[:0]
+				return r.recordErr(fmt.Errorf("%w: record data: %v", ErrTruncated, err))
+			}
+		}
+	}
+	r.records++
+	r.bytes += 16 + int64(capLen)
+	rec.TimeMicros = tm
+	rec.OrigLen = int(origLen)
+	rec.Data = buf
+	return nil
+}
+
+// readRecordHeader parses the next 16-byte record header, applying the
+// corrupt-length clamp shared by Next and ReadInto.
+func (r *Reader) readRecordHeader() (capLen, origLen uint32, timeMicros int64, err error) {
+	hdr := &r.hdr
 	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
 		if err == io.EOF {
-			return Record{}, io.EOF
+			return 0, 0, 0, io.EOF
 		}
-		return Record{}, r.recordErr(fmt.Errorf("%w: record header: %v", ErrTruncated, err))
+		return 0, 0, 0, r.recordErr(fmt.Errorf("%w: record header: %v", ErrTruncated, err))
 	}
 	sec := int64(r.order.Uint32(hdr[0:4]))
 	usec := int64(r.order.Uint32(hdr[4:8]))
-	capLen := r.order.Uint32(hdr[8:12])
-	origLen := r.order.Uint32(hdr[12:16])
+	capLen = r.order.Uint32(hdr[8:12])
+	origLen = r.order.Uint32(hdr[12:16])
 	// Sanity bound against corrupt headers: no honest record exceeds the
 	// declared snap length (plus slack for writers that set it low), and no
 	// snap length is gigabytes — without the clamp a single flipped bit in
@@ -235,19 +309,9 @@ func (r *Reader) Next() (Record, error) {
 		bound = MaxSaneSnapLen
 	}
 	if capLen > bound+65535 {
-		return Record{}, r.recordErr(fmt.Errorf("%w: implausible capture length %d", ErrCorrupt, capLen))
+		return 0, 0, 0, r.recordErr(fmt.Errorf("%w: implausible capture length %d", ErrCorrupt, capLen))
 	}
-	data, err := readData(r.r, int(capLen))
-	if err != nil {
-		return Record{}, r.recordErr(fmt.Errorf("%w: record data: %v", ErrTruncated, err))
-	}
-	r.records++
-	r.bytes += int64(len(hdr)) + int64(capLen)
-	return Record{
-		TimeMicros: sec*1_000_000 + usec,
-		OrigLen:    int(origLen),
-		Data:       data,
-	}, nil
+	return capLen, origLen, sec*1_000_000 + usec, nil
 }
 
 // recordErr wraps a record-level failure with its position.
@@ -292,6 +356,28 @@ func readData(r io.Reader, n int) ([]byte, error) {
 func (r *Reader) Each(fn func(Record) error) error {
 	for {
 		rec, err := r.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+}
+
+// EachInto is Each on the reused-buffer read mode: every record is streamed
+// through fn in one caller-owned Record whose Data buffer is recycled
+// between calls, so a whole-file scan performs no per-record allocation. fn
+// must not retain rec.Data (or any packet.DecodeInto view into it) past its
+// return — layers that keep bytes copy them (the flows demuxer's
+// per-connection arena). Error reporting matches Each.
+func (r *Reader) EachInto(fn func(Record) error) error {
+	var rec Record
+	for {
+		err := r.ReadInto(&rec)
 		if err == io.EOF {
 			return nil
 		}

@@ -1,0 +1,180 @@
+package pcapio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// writeTestCapture builds an in-memory capture of n records with varied
+// sizes (including empty records) and returns the file bytes plus the
+// records as written.
+func writeTestCapture(t testing.TB, n int) ([]byte, []Record) {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	var want []Record
+	for i := 0; i < n; i++ {
+		data := bytes.Repeat([]byte{byte(i)}, (i*37)%256)
+		rec := Record{TimeMicros: int64(1_000_000 + i), Data: data}
+		if err := w.WriteRecord(rec); err != nil {
+			t.Fatal(err)
+		}
+		rec.OrigLen = len(data)
+		want = append(want, rec)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), want
+}
+
+// TestReadIntoMatchesNext proves the reused-buffer mode yields exactly the
+// records Next does, record for record.
+func TestReadIntoMatchesNext(t *testing.T) {
+	file, want := writeTestCapture(t, 64)
+	r, err := NewReader(bytes.NewReader(file))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec Record
+	for i := range want {
+		if err := r.ReadInto(&rec); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if rec.TimeMicros != want[i].TimeMicros || rec.OrigLen != want[i].OrigLen ||
+			!bytes.Equal(rec.Data, want[i].Data) {
+			t.Fatalf("record %d mismatch: got %+v want %+v", i, rec, want[i])
+		}
+	}
+	if err := r.ReadInto(&rec); err != io.EOF {
+		t.Fatalf("after last record: %v, want io.EOF", err)
+	}
+	if r.RecordsRead() != int64(len(want)) || r.BytesRead() != int64(len(file)) {
+		t.Fatalf("counters: records %d bytes %d, want %d/%d",
+			r.RecordsRead(), r.BytesRead(), len(want), len(file))
+	}
+}
+
+// TestEachIntoMatchesEach runs both streaming modes over the same capture
+// and asserts identical records and identical truncation reporting.
+func TestEachIntoMatchesEach(t *testing.T) {
+	file, _ := writeTestCapture(t, 48)
+	for _, cut := range []int{0, 3, 9} { // clean, mid-record, mid-header
+		in := file[:len(file)-cut]
+		collect := func(stream func(*Reader, func(Record) error) error) ([]Record, error) {
+			r, err := NewReader(bytes.NewReader(in))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var out []Record
+			err = stream(r, func(rec Record) error {
+				out = append(out, Record{TimeMicros: rec.TimeMicros, OrigLen: rec.OrigLen,
+					Data: append([]byte(nil), rec.Data...)})
+				return nil
+			})
+			return out, err
+		}
+		got, gotErr := collect((*Reader).EachInto)
+		want, wantErr := collect((*Reader).Each)
+		if (gotErr == nil) != (wantErr == nil) ||
+			(gotErr != nil && gotErr.Error() != wantErr.Error()) {
+			t.Fatalf("cut %d: EachInto err %v, Each err %v", cut, gotErr, wantErr)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("cut %d: EachInto %d records, Each %d", cut, len(got), len(want))
+		}
+		for i := range got {
+			if !bytes.Equal(got[i].Data, want[i].Data) || got[i].TimeMicros != want[i].TimeMicros {
+				t.Fatalf("cut %d record %d mismatch", cut, i)
+			}
+		}
+	}
+}
+
+// TestReadIntoTruncatedData checks that a record cut mid-data reports a
+// positioned RecordError wrapping ErrTruncated, like Next.
+func TestReadIntoTruncatedData(t *testing.T) {
+	file, _ := writeTestCapture(t, 4)
+	r, err := NewReader(bytes.NewReader(file[:len(file)-2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec Record
+	var last error
+	for {
+		if last = r.ReadInto(&rec); last != nil {
+			break
+		}
+	}
+	if !errors.Is(last, ErrTruncated) {
+		t.Fatalf("error %v, want ErrTruncated", last)
+	}
+	var re *RecordError
+	if !errors.As(last, &re) {
+		t.Fatalf("error %T lacks record position", last)
+	}
+}
+
+// TestReadIntoAllocs is the local allocation-regression gate for the ingest
+// loop: once the record buffer has grown to the capture's largest record,
+// reading must allocate nothing. benchcheck.sh enforces the same floor in
+// CI; this fails plain `go test` first.
+func TestReadIntoAllocs(t *testing.T) {
+	file, _ := writeTestCapture(t, 2100)
+	r, err := NewReader(bytes.NewReader(file))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec Record
+	for i := 0; i < 64; i++ { // warm the buffer past the largest record
+		if err := r.ReadInto(&rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := testing.AllocsPerRun(2000, func() {
+		if err := r.ReadInto(&rec); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("ReadInto allocates %.1f times per record, want 0", n)
+	}
+}
+
+// BenchmarkReadInto is the reused-buffer record-loop microbenchmark the CI
+// perf gate parses; scripts/benchfloor.txt pins its allocs/op to 0.
+func BenchmarkReadInto(b *testing.B) {
+	file, _ := writeTestCapture(b, 1000)
+	body := file[24:] // replayable record stream past the file header
+	r, err := NewReader(bytes.NewReader(file))
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := &loopReader{body: body}
+	r.r.Reset(src)
+	var rec Record
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.ReadInto(&rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// loopReader replays a record stream forever, so a benchmark can read an
+// unbounded number of records from a fixed capture.
+type loopReader struct {
+	body []byte
+	off  int
+}
+
+func (l *loopReader) Read(p []byte) (int, error) {
+	if l.off == len(l.body) {
+		l.off = 0
+	}
+	n := copy(p, l.body[l.off:])
+	l.off += n
+	return n, nil
+}

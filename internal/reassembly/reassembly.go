@@ -10,6 +10,7 @@ import (
 	"bytes"
 	"fmt"
 	"sort"
+	"sync"
 
 	"tdat/internal/bgp"
 	"tdat/internal/flows"
@@ -51,9 +52,22 @@ type span struct {
 	time timerange.Micros
 }
 
+// Options tunes batch reassembly; the zero value matches Reassemble.
+type Options struct {
+	// MaxBytes caps the linearized contiguous prefix (0 means unlimited);
+	// the overflow is reported in Result.TruncatedBytes.
+	MaxBytes int64
+	// KeepRaw populates Message.Raw with a private copy of each message's
+	// wire bytes. The analyzer's MCT path only reads the parsed messages,
+	// so it leaves this off and skips one stream-sized set of copies per
+	// connection; tools that re-emit wire bytes (pcap2bgp, MRT conversion)
+	// turn it on.
+	KeepRaw bool
+}
+
 // Reassemble rebuilds the byte stream of c and splits it into BGP messages.
 func Reassemble(c *flows.Connection) (*Result, error) {
-	return ReassembleLimited(c, 0)
+	return ReassembleOpts(c, Options{KeepRaw: true})
 }
 
 // ReassembleLimited is Reassemble with a cap on the linearized stream:
@@ -62,24 +76,59 @@ func Reassemble(c *flows.Connection) (*Result, error) {
 // multi-gigabyte contiguous stream then costs at most maxBytes of memory;
 // what the cap cut off is reported in Result.TruncatedBytes.
 func ReassembleLimited(c *flows.Connection, maxBytes int64) (*Result, error) {
-	type seg struct {
-		data []byte
-		time timerange.Micros
+	return ReassembleOpts(c, Options{MaxBytes: maxBytes, KeepRaw: true})
+}
+
+// seg is one first-arrival payload at a stream offset.
+type seg struct {
+	off  int64
+	data []byte
+	time timerange.Micros
+}
+
+// streamPool recycles the linearization buffer across connections: the
+// parsed messages never alias it (bgp.Parse copies what it keeps, Raw is an
+// explicit copy), so each buffer can be handed to the next connection once
+// its result is built.
+var streamPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// getStream returns a buffer of length n, zeroed unless the caller promises
+// to overwrite every byte. Zeroing matters when coverage has holes: a longer
+// duplicate of a segment start may have been deduplicated away, and bytes
+// only the duplicate covered must read as zero — the same bytes a freshly
+// allocated buffer would have shown.
+func getStream(n int64, fullyCovered bool) *[]byte {
+	bp := streamPool.Get().(*[]byte)
+	if int64(cap(*bp)) < n {
+		*bp = make([]byte, n)
+		return bp
 	}
-	segs := map[int64]seg{} // start offset → first-arrival segment
+	*bp = (*bp)[:n]
+	if !fullyCovered {
+		clear(*bp)
+	}
+	return bp
+}
+
+// ReassembleOpts is Reassemble with explicit options.
+func ReassembleOpts(c *flows.Connection, opts Options) (*Result, error) {
+	firstAt := make(map[int64]struct{}, len(c.Data))
+	segs := make([]seg, 0, len(c.Data))
 	covered := timerange.NewSet()
 	var limit int64
-	for _, d := range c.Data {
+	for i := range c.Data {
+		d := &c.Data[i]
 		if d.Len == 0 {
 			continue
 		}
 		// First arrival wins: retransmissions carry identical bytes.
-		if _, ok := segs[d.Seq]; !ok {
+		if _, ok := firstAt[d.Seq]; !ok {
+			firstAt[d.Seq] = struct{}{}
 			payload := d.Payload
 			if payload == nil {
 				payload = make([]byte, d.Len) // length-only traces
 			}
-			segs[d.Seq] = seg{data: payload, time: d.Time}
+			segs = append(segs, seg{off: d.Seq, data: payload, time: d.Time})
 		}
 		covered.Add(timerange.R(d.Seq, d.SeqEnd))
 		if d.SeqEnd > limit {
@@ -97,24 +146,50 @@ func ReassembleLimited(c *flows.Connection, maxBytes int64) (*Result, error) {
 	}
 	res.StreamBytes = contig
 	res.MissingRanges = covered.Complement(timerange.R(0, limit)).Ranges()
-	if maxBytes > 0 && contig > maxBytes {
-		res.TruncatedBytes = contig - maxBytes
-		contig = maxBytes
+	if opts.MaxBytes > 0 && contig > opts.MaxBytes {
+		res.TruncatedBytes = contig - opts.MaxBytes
+		contig = opts.MaxBytes
 	}
 
 	// Linearize the contiguous prefix, remembering per-segment arrival
-	// boundaries for message timestamping.
-	stream := make([]byte, contig)
+	// boundaries for message timestamping. Segments are copied in ascending
+	// offset order (they usually already are — capture order), not map
+	// order, so overlapping segments with inconsistent payloads in an
+	// adversarial trace still linearize deterministically.
+	sorted := true
+	for i := 1; i < len(segs); i++ {
+		if segs[i].off < segs[i-1].off {
+			sorted = false
+			break
+		}
+	}
+	if !sorted {
+		sort.SliceStable(segs, func(i, j int) bool { return segs[i].off < segs[j].off })
+	}
+	// The copy loop below overwrites every byte of [0, contig) iff the kept
+	// first-arrival segments leave no hole — the usual case, which lets
+	// getStream skip zeroing a recycled buffer.
+	var keptTo int64
+	for _, s := range segs {
+		if s.off > keptTo {
+			break
+		}
+		if end := s.off + int64(len(s.data)); end > keptTo {
+			keptTo = end
+		}
+	}
+	streamBuf := getStream(contig, keptTo >= contig)
+	stream := *streamBuf
 	spans := make([]span, 0, len(segs))
-	for off, s := range segs {
-		if off >= contig {
+	for _, s := range segs {
+		if s.off >= contig {
 			continue
 		}
-		end := off + int64(len(s.data))
+		end := s.off + int64(len(s.data))
 		if end > contig {
 			end = contig
 		}
-		copy(stream[off:end], s.data[:end-off])
+		copy(stream[s.off:end], s.data[:end-s.off])
 		spans = append(spans, span{end: end, time: s.time})
 	}
 	sort.Slice(spans, func(i, j int) bool { return spans[i].end < spans[j].end })
@@ -124,12 +199,17 @@ func ReassembleLimited(c *flows.Connection, maxBytes int64) (*Result, error) {
 	// Split into BGP messages.
 	msgs, consumed, err := bgp.SplitStream(stream)
 	if err != nil {
+		streamPool.Put(streamBuf)
 		return res, fmt.Errorf("reassembly: BGP framing at offset %d: %w", consumed, err)
 	}
+	res.Messages = make([]Message, 0, len(msgs))
 	off := int64(0)
 	for _, m := range msgs {
 		length := int64(uint16(stream[off+16])<<8 | uint16(stream[off+17]))
-		raw := append([]byte(nil), stream[off:off+length]...)
+		var raw []byte
+		if opts.KeepRaw {
+			raw = append([]byte(nil), stream[off:off+length]...)
+		}
 		res.Messages = append(res.Messages, Message{
 			Time: timeAt(spans, off+length),
 			Msg:  m,
@@ -137,6 +217,7 @@ func ReassembleLimited(c *flows.Connection, maxBytes int64) (*Result, error) {
 		})
 		off += length
 	}
+	streamPool.Put(streamBuf)
 	return res, nil
 }
 

@@ -125,6 +125,21 @@ func (s *Set) Query(w Range) []Range {
 	return out
 }
 
+// OverlapLen returns the total covered length inside window w — the sum of
+// Query's clipped range lengths without materializing them, for callers
+// (like the per-packet loss classifier) that only need the measure.
+func (s *Set) OverlapLen(w Range) Micros {
+	if w.Empty() {
+		return 0
+	}
+	lo := sort.Search(len(s.ranges), func(i int) bool { return s.ranges[i].End > w.Start })
+	var total Micros
+	for i := lo; i < len(s.ranges) && s.ranges[i].Start < w.End; i++ {
+		total += s.ranges[i].Clamp(w).Len()
+	}
+	return total
+}
+
 // Clone returns a deep copy.
 func (s *Set) Clone() *Set {
 	return &Set{ranges: append([]Range(nil), s.ranges...)}
