@@ -9,6 +9,7 @@
 //	tdat [-series] [-threshold 0.3] [-sniffer receiver|sender]
 //	     [-mrt archive.mrt] [-workers N]
 //	     [-strict] [-max-connections N] [-max-reassembly-bytes N]
+//	     [-explain] [-trace-json run.trace.json]
 //	     [-progress] [-metrics-addr :9177] [-metrics-hold 60s]
 //	     [-span-log spans.jsonl] [-self-profile] [-metrics-json m.json]
 //	     [-log-level info] trace.pcap
@@ -23,22 +24,37 @@
 // -max-reassembly-bytes bound demux and reassembly memory against
 // adversarial traces (0 = unlimited).
 //
-// The observability flags never change analysis output: -progress reports
-// ingest progress on stderr, -metrics-addr serves Prometheus /metrics plus
-// /debug/vars and /debug/pprof, -span-log records per-stage tracing spans
-// as JSON lines, and -self-profile prints the analyzer's own delay-factor
-// breakdown (which pipeline stage the run's time went to).
+// The observability flags never change analysis output and freely combine —
+// each one independently enables the shared instrumentation layer:
+// -progress reports ingest progress on stderr, -metrics-addr serves
+// Prometheus /metrics plus /debug/vars, /debug/pprof, and /debug/explain,
+// -span-log records per-stage tracing spans as JSON lines (schema v2; also
+// feeds -trace-json and the -metrics-json histograms), -self-profile prints
+// the analyzer's own delay-factor breakdown (which pipeline stage the run's
+// time went to), and -metrics-json writes the same registry a -metrics-addr
+// scrape would see as one JSON snapshot at exit.
+//
+// -explain records evidence provenance for every rule evaluation — which
+// rule fired, the measurements compared, the thresholds, and the
+// contributing intervals — rendered as a text report (or JSON with -json)
+// and served on /debug/explain. -trace-json writes a Chrome trace_event
+// file merging the pipeline spans with per-connection transfer timelines;
+// open it at ui.perfetto.dev. Both are deterministic: byte-identical output
+// at any -workers/-shards setting.
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"log/slog"
+	"net/http"
 	"net/netip"
 	"os"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"tdat/internal/core"
@@ -52,6 +68,10 @@ import (
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
+
+// metricsAddrHook, when set (by tests), receives the bound metrics address
+// once the listener is up.
+var metricsAddrHook func(string)
 
 // run is main with its dependencies injected — the golden end-to-end test
 // drives it in-process with a buffer for stdout.
@@ -70,14 +90,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		strict     = fs.Bool("strict", false, "refuse damaged captures: fail at the first degradation event instead of analyzing leniently")
 		maxConns   = fs.Int("max-connections", 0, "cap simultaneously tracked connections; when full the oldest open one is force-completed (0 = unlimited)")
 		maxReasm   = fs.Int64("max-reassembly-bytes", 0, "cap per-connection reassembled stream bytes (0 = unlimited)")
+		explainOut = fs.Bool("explain", false, "record evidence provenance per rule evaluation; printed after the report (JSON with -json) and served on /debug/explain")
+		traceJSON  = fs.String("trace-json", "", "write a Chrome trace_event timeline (pipeline spans + per-connection transfer lanes) to this file; open in Perfetto")
 
 		logLevel    = fs.String("log-level", "info", "log verbosity: debug, info, warn, or error")
 		progress    = fs.Bool("progress", false, "report ingest progress on stderr while analyzing")
 		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (\":0\" picks a port)")
 		metricsHold = fs.Duration("metrics-hold", 0, "keep the metrics listener up this long after analysis (lets scrapers catch one-shot runs)")
-		spanLog     = fs.String("span-log", "", "append per-stage tracing spans as JSON lines to this file")
-		selfProfile = fs.Bool("self-profile", false, "print the analyzer self delay-factor profile after the report")
-		metricsJSON = fs.String("metrics-json", "", "write a JSON metrics snapshot to this file at exit (offline runs)")
+		spanLog     = fs.String("span-log", "", "append per-stage tracing spans as JSON lines (schema v2) to this file; combines freely with -metrics-json and -self-profile")
+		selfProfile = fs.Bool("self-profile", false, "print the analyzer self delay-factor profile after the report; combines freely with -span-log and -metrics-json")
+		metricsJSON = fs.String("metrics-json", "", "write a JSON metrics snapshot (the same registry a -metrics-addr scrape sees) to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -111,13 +133,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	cfg.Explain = *explainOut
+
 	// Any observability consumer enables the shared Obs hook; with none the
 	// analyzer keeps its nil fast path.
 	var o *obs.Obs
-	if *progress || *metricsAddr != "" || *spanLog != "" || *selfProfile || *metricsJSON != "" {
+	if *progress || *metricsAddr != "" || *spanLog != "" || *selfProfile || *metricsJSON != "" || *traceJSON != "" {
 		o = obs.New()
 	}
 	cfg.Obs = o
+	if *traceJSON != "" {
+		o.KeepSpans()
+	}
+
+	// The explain report is published to /debug/explain once analysis
+	// completes; until then the handler answers 503.
+	var explainBuf atomic.Pointer[[]byte]
 
 	// flushSpans runs before the -metrics-hold sleep too, so a scraper-side
 	// kill during the hold can't lose buffered span records.
@@ -137,14 +168,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *metricsAddr != "" {
-		srv, err := obs.Serve(*metricsAddr, o)
+		explainRoute := obs.Route{Pattern: "/debug/explain", Handler: http.HandlerFunc(
+			func(w http.ResponseWriter, _ *http.Request) {
+				if !*explainOut {
+					http.Error(w, "explain disabled: run with -explain", http.StatusNotFound)
+					return
+				}
+				b := explainBuf.Load()
+				if b == nil {
+					http.Error(w, "analysis in progress", http.StatusServiceUnavailable)
+					return
+				}
+				w.Header().Set("Content-Type", "application/json")
+				w.Write(*b)
+			})}
+		srv, err := obs.Serve(*metricsAddr, o, explainRoute)
 		if err != nil {
 			slog.Error("starting metrics listener", "addr", *metricsAddr, "err", err)
 			return 1
 		}
 		defer srv.Close()
 		slog.Info("metrics listening", "addr", srv.Addr(),
-			"endpoints", "/metrics /debug/vars /debug/pprof")
+			"endpoints", "/metrics /debug/vars /debug/pprof /debug/explain")
+		if metricsAddrHook != nil {
+			metricsAddrHook(srv.Addr())
+		}
 	}
 
 	f, err := os.Open(fs.Arg(0))
@@ -186,6 +234,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 			"conn", fl.Conn, "panic", fl.Panic)
 	}
 
+	var explainRep *core.ExplainReport
+	if *explainOut {
+		explainRep = rep.Explain()
+		var buf bytes.Buffer
+		if err := explainRep.WriteJSON(&buf); err == nil {
+			b := buf.Bytes()
+			explainBuf.Store(&b)
+		}
+	}
+
 	code := 0
 	if *asJSON {
 		for _, t := range rep.Transfers {
@@ -193,6 +251,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 				slog.Error("writing report", "err", err)
 				code = 1
 				break
+			}
+		}
+		if code == 0 && explainRep != nil {
+			if err := explainRep.WriteJSON(stdout); err != nil {
+				slog.Error("writing explain report", "err", err)
+				code = 1
 			}
 		}
 	} else {
@@ -212,6 +276,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 				slog.Error("writing degradation report", "err", err)
 				code = 1
 			}
+		}
+		if code == 0 && explainRep != nil {
+			if err := explainRep.WriteText(stdout); err != nil {
+				slog.Error("writing explain report", "err", err)
+				code = 1
+			}
+		}
+	}
+
+	if *traceJSON != "" && code == 0 {
+		// Pipeline spans under pid 1, per-connection timelines from pid 100,
+		// merged into one catapult file.
+		events := obs.SpanTraceEvents(o.Spans(), 1)
+		events = append(events, rep.TraceEvents(100)...)
+		tf, err := os.Create(*traceJSON)
+		if err != nil {
+			slog.Error("writing trace", "path", *traceJSON, "err", err)
+			code = 1
+		} else {
+			if err := obs.WriteTrace(tf, events); err != nil {
+				slog.Error("writing trace", "path", *traceJSON, "err", err)
+				code = 1
+			}
+			tf.Close()
 		}
 	}
 

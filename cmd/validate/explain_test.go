@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExplainFailuresNegativePath raises a floor beyond reach (F1 > 1 is
+// unsatisfiable) and asserts -explain-failures turns the breach into a
+// non-empty evidence diff: the offending case, the truth-vs-inference
+// interval sets, and the analyzer's rule evaluations.
+func TestExplainFailuresNegativePath(t *testing.T) {
+	floors := filepath.Join(t.TempDir(), "floors.txt")
+	if err := os.WriteFile(floors, []byte("series.app-idle.f1 1.01\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-quick", "-routes", "500", "-floors", floors, "-explain-failures"},
+		&out, &errBuf)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (floor breach), stderr:\n%s", code, errBuf.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"FLOOR BREACHES",
+		"explaining 1 floor breach(es)",
+		"series app-idle: F1",
+		"offends: series app-idle F1",
+		"diff app-idle",
+		"truth",
+		"inferred",
+		"missed",
+		"spurious",
+		"analyzer evidence",
+		"rule evaluations",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("explain-failures output missing %q\n--- output ---\n%s", want, text)
+		}
+	}
+}
+
+// TestExplainFailuresQuietWhenPassing: with floors that hold, the sweep
+// exits 0 and prints no evidence dump.
+func TestExplainFailuresQuietWhenPassing(t *testing.T) {
+	floors := filepath.Join(t.TempDir(), "floors.txt")
+	// Floors of 0 always hold.
+	if err := os.WriteFile(floors,
+		[]byte("series.app-idle.f1 0\nconfusion.accuracy 0\ndetect.rate 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-quick", "-routes", "500", "-floors", floors, "-explain-failures"},
+		&out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0, output:\n%s\nstderr:\n%s", code, out.String(), errBuf.String())
+	}
+	if strings.Contains(out.String(), "explaining") {
+		t.Errorf("evidence dump printed with all floors holding:\n%s", out.String())
+	}
+}

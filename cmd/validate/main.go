@@ -28,6 +28,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jsonPath := fs.String("json", "", "also write the JSON report to this path")
 	floorPath := fs.String("floors", "", "floor file overriding the built-in gate (see scripts/validatefloor.txt)")
 	noGate := fs.Bool("nogate", false, "report only; never fail on floors")
+	explainFailures := fs.Bool("explain-failures", false, "on a floor breach, print the evidence diff between oracle truth and analyzer inference for offending cases")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -52,6 +53,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Seed:    *seed,
 		Workers: *workers,
 		Routes:  *routes,
+		Explain: *explainFailures,
 	})
 	res.WriteText(stdout)
 
@@ -75,6 +77,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "\nFLOOR BREACHES (%d):\n", len(breaches))
 		for _, b := range breaches {
 			fmt.Fprintf(stdout, "  - %s\n", b)
+		}
+		if *explainFailures {
+			fmt.Fprintln(stdout)
+			res.WriteExplainFailures(stdout, floors)
 		}
 		if !*noGate {
 			return 1

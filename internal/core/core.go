@@ -10,6 +10,7 @@ import (
 
 	"tdat/internal/bgp"
 	"tdat/internal/detect"
+	"tdat/internal/explain"
 	"tdat/internal/factors"
 	"tdat/internal/flows"
 	"tdat/internal/mct"
@@ -78,6 +79,13 @@ type Config struct {
 	// path (the benchmarks hold it to <2% vs. uninstrumented code).
 	// Observability never changes analysis output.
 	Obs *obs.Obs
+	// Explain enables per-connection evidence capture: every detection and
+	// factor attribution records the rule that fired, the measurements it
+	// compared, and the contributing intervals (TransferReport.Evidence,
+	// rendered by Report.Explain). Evidence is a pure function of the
+	// connection — byte-identical at any worker×shard count — and never
+	// changes analysis output; off keeps the zero-allocation fast path.
+	Explain bool
 }
 
 // Analyzer runs the T-DAT pipeline.
@@ -128,6 +136,11 @@ type TransferReport struct {
 	// ReassemblyTruncated counts recovered stream bytes beyond
 	// Config.MaxReassemblyBytes that were left undecoded.
 	ReassemblyTruncated int64
+
+	// Evidence is the provenance record behind this transfer's verdicts —
+	// one entry per rule evaluation, in pipeline order. Populated only when
+	// Config.Explain is set.
+	Evidence []explain.Evidence
 }
 
 // Duration returns the transfer duration.
@@ -211,43 +224,57 @@ func (a *Analyzer) connSpan(stage obs.Stage, c *flows.Connection) obs.Span {
 	return o.StartSpan(stage, label)
 }
 
-// generateSeries runs the series stage under a span.
-func (a *Analyzer) generateSeries(tr *TransferReport) {
+// recorder returns a fresh per-connection evidence recorder, or nil (the
+// zero-allocation fast path) when Config.Explain is off.
+func (a *Analyzer) recorder() *explain.Recorder {
+	if a.cfg.Explain {
+		return explain.New()
+	}
+	return nil
+}
+
+// generateSeries runs the series stage under a span, wiring the
+// per-connection evidence recorder into the series heuristics.
+func (a *Analyzer) generateSeries(tr *TransferReport, rec *explain.Recorder) {
 	c := tr.Conn
 	sp := a.connSpan(obs.StageSeries, c)
-	tr.Catalog = series.Generate(c, a.cfg.Series)
+	scfg := a.cfg.Series
+	scfg.Explain = rec
+	tr.Catalog = series.Generate(c, scfg)
 	sp.EndN(c.Profile.TotalDataBytes, int64(c.Profile.TotalDataPackets))
 }
 
 // finish runs the factor classification and the detectors — the shared
-// tail of every per-connection analysis path — under their spans, and
-// records the outcomes in the metrics registry.
-func (a *Analyzer) finish(tr *TransferReport) {
+// tail of every per-connection analysis path — under their spans, records
+// the outcomes in the metrics registry, and seals the evidence record.
+func (a *Analyzer) finish(tr *TransferReport, rec *explain.Recorder) {
 	o := a.cfg.Obs
 	sp := a.connSpan(obs.StageFactors, tr.Conn)
-	tr.Factors = factors.Analyze(tr.Catalog, tr.Transfer, a.cfg.MajorThreshold)
+	tr.Factors = factors.AnalyzeEv(tr.Catalog, tr.Transfer, a.cfg.MajorThreshold, rec)
 	sp.End()
 	if o != nil {
 		tr.Factors.Observe(o.Reg)
 	}
 
 	sp = a.connSpan(obs.StageDetect, tr.Conn)
-	if res, ok := detect.TimerGaps(tr.Catalog, tr.Transfer, a.cfg.TimerMinJump); ok {
+	if res, ok := detect.TimerGapsEv(tr.Catalog, tr.Transfer, a.cfg.TimerMinJump, rec); ok {
 		tr.Timer = &res
 	}
-	tr.ConsecLoss = detect.ConsecutiveLosses(tr.Catalog, tr.Transfer, a.cfg.ConsecutiveLossThreshold)
-	_, tr.ZeroAckBug = detect.ZeroAckBug(tr.Catalog)
+	tr.ConsecLoss = detect.ConsecutiveLossesEv(tr.Catalog, tr.Transfer, a.cfg.ConsecutiveLossThreshold, rec)
+	_, tr.ZeroAckBug = detect.ZeroAckBugEv(tr.Catalog, rec)
 	sp.End()
 	if o != nil {
 		detect.Observe(o.Reg, tr.Timer != nil, tr.ConsecLoss, tr.ZeroAckBug)
 	}
+	tr.Evidence = rec.Evidence()
 }
 
 // AnalyzeConnection runs series generation, transfer-window estimation,
 // factor classification, and the detectors for one connection.
 func (a *Analyzer) AnalyzeConnection(c *flows.Connection) *TransferReport {
 	tr := &TransferReport{Conn: c}
-	a.generateSeries(tr)
+	rec := a.recorder()
+	a.generateSeries(tr, rec)
 
 	// Transfer window: TCP start → MCT end (paper §II-A steps ii & iii).
 	sp := a.connSpan(obs.StageMCT, c)
@@ -265,7 +292,7 @@ func (a *Analyzer) AnalyzeConnection(c *flows.Connection) *TransferReport {
 	tr.Transfer = timerange.R(start, end)
 	sp.EndN(c.Profile.TotalDataBytes, int64(tr.Messages))
 
-	a.finish(tr)
+	a.finish(tr, rec)
 	return tr
 }
 
@@ -274,13 +301,14 @@ func (a *Analyzer) AnalyzeConnection(c *flows.Connection) *TransferReport {
 // skipping payload reassembly.
 func (a *Analyzer) AnalyzeConnectionWithEnd(c *flows.Connection, end Micros) *TransferReport {
 	tr := &TransferReport{Conn: c}
-	a.generateSeries(tr)
+	rec := a.recorder()
+	a.generateSeries(tr, rec)
 	start := c.Profile.Start
 	if end <= start {
 		end = start + 1
 	}
 	tr.Transfer = timerange.R(start, end)
-	a.finish(tr)
+	a.finish(tr, rec)
 	return tr
 }
 
@@ -288,12 +316,13 @@ func (a *Analyzer) AnalyzeConnectionWithEnd(c *flows.Connection, end Micros) *Tr
 // burst on an established session rather than the initial table transfer.
 func (a *Analyzer) AnalyzeConnectionWindow(c *flows.Connection, window timerange.Range) *TransferReport {
 	tr := &TransferReport{Conn: c}
-	a.generateSeries(tr)
+	rec := a.recorder()
+	a.generateSeries(tr, rec)
 	if window.Empty() {
 		window = timerange.R(c.Profile.Start, c.Profile.End+1)
 	}
 	tr.Transfer = window
-	a.finish(tr)
+	a.finish(tr, rec)
 	return tr
 }
 

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"tdat/internal/explain"
+)
+
+// TransferExplain is one transfer's evidence record in the explain report.
+type TransferExplain struct {
+	// Conn is the connection 4-tuple ("sender->receiver").
+	Conn string `json:"conn"`
+	// TransferStartSec/TransferEndSec anchor the evidence intervals on the
+	// capture timeline.
+	TransferStartSec float64 `json:"transfer_start_sec"`
+	TransferEndSec   float64 `json:"transfer_end_sec"`
+	// Evidence lists every rule evaluation in pipeline order.
+	Evidence []explain.Evidence `json:"evidence"`
+}
+
+// ExplainReport collects per-transfer evidence for a whole run, in the
+// report's (deterministic) transfer order.
+type ExplainReport struct {
+	Transfers []TransferExplain `json:"transfers"`
+}
+
+// Explain assembles the evidence report. Transfers analyzed without
+// Config.Explain contribute empty evidence lists, so the report shape is
+// stable either way.
+func (r *Report) Explain() *ExplainReport {
+	out := &ExplainReport{Transfers: make([]TransferExplain, 0, len(r.Transfers))}
+	for _, t := range r.Transfers {
+		out.Transfers = append(out.Transfers, TransferExplain{
+			Conn:             connLabel(t.Conn),
+			TransferStartSec: float64(t.Transfer.Start) / 1e6,
+			TransferEndSec:   float64(t.Transfer.End) / 1e6,
+			Evidence:         t.Evidence,
+		})
+	}
+	return out
+}
+
+// WriteText renders the evidence report deterministically: one block per
+// transfer, evidence lines in recording order.
+func (e *ExplainReport) WriteText(w io.Writer) error {
+	for i, t := range e.Transfers {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "evidence %s (transfer %.3fs-%.3fs, %d rule evaluations)\n",
+			t.Conn, t.TransferStartSec, t.TransferEndSec, len(t.Evidence))
+		if err := explain.WriteText(w, "  ", t.Evidence); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the evidence report as indented JSON. Field order is
+// fixed by the struct tags and slices preserve recording order, so the
+// output is byte-deterministic.
+func (e *ExplainReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(e)
+}

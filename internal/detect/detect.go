@@ -8,6 +8,7 @@ package detect
 import (
 	"sort"
 
+	"tdat/internal/explain"
 	"tdat/internal/knee"
 	"tdat/internal/series"
 	"tdat/internal/timerange"
@@ -32,6 +33,14 @@ type TimerGapResult struct {
 // keepalive silences do not masquerade as timers). minJump is the
 // knee-detection sharpness guard (≤0 selects 3×).
 func TimerGaps(cat *series.Catalog, window timerange.Range, minJump float64) (TimerGapResult, bool) {
+	return TimerGapsEv(cat, window, minJump, nil)
+}
+
+// TimerGapsEv is TimerGaps with evidence capture: each exit — no knee,
+// sub-50 ms periodicity, too few repeats, or a detected timer — records the
+// rule's inputs, thresholds, and (on detection) the matched idle gaps. A
+// nil Recorder keeps the uninstrumented fast path.
+func TimerGapsEv(cat *series.Catalog, window timerange.Range, minJump float64, rec *explain.Recorder) (TimerGapResult, bool) {
 	if minJump <= 0 {
 		minJump = 3
 	}
@@ -53,12 +62,28 @@ func TimerGaps(cat *series.Catalog, window timerange.Range, minJump float64) (Ti
 		// tightly concentrated distribution as the timer itself.
 		timer, ok = flatPlateau(periods)
 		if !ok {
+			if rec.Enabled() {
+				rec.Add(explain.Evidence{
+					Rule: "detect.timer-gaps", Outcome: explain.OutcomeRejected,
+					Inputs: []explain.KV{{K: "idle_periods", V: float64(len(periods))}},
+					Detail: "no knee or flat plateau in the idle-gap period distribution",
+				})
+			}
 			return TimerGapResult{}, false
 		}
 	}
 	if timer < 50_000 {
 		// Sub-50 ms periodicity is OS/scheduler granularity, not the
 		// 80–400 ms BGP pacing timers the paper's Fig 17 hunts.
+		if rec.Enabled() {
+			rec.Add(explain.Evidence{
+				Rule: "detect.timer-gaps", Outcome: explain.OutcomeRejected,
+				Score:      timer,
+				Inputs:     []explain.KV{{K: "knee_period_us", V: timer}},
+				Thresholds: []explain.KV{{K: "min_timer_us", V: 50_000}},
+				Detail:     "sub-50 ms periodicity is scheduler granularity, not a BGP pacing timer",
+			})
+		}
 		return TimerGapResult{}, false
 	}
 	res := TimerGapResult{TimerMicros: Micros(timer)}
@@ -66,14 +91,46 @@ func TimerGaps(cat *series.Catalog, window timerange.Range, minJump float64) (Ti
 	// gap lengths run from the completing ACK to the next tick, so they
 	// fall at or just below the timer period.
 	lo, hi := timer*0.4, timer*1.1
+	var matched *timerange.Set
+	if rec.Enabled() {
+		matched = timerange.NewSet()
+	}
 	for _, r := range ranges {
 		if g := float64(r.Len()); g >= lo && g <= hi {
 			res.Gaps++
 			res.InducedDelay += Micros(g)
+			if matched != nil {
+				matched.Add(r)
+			}
 		}
 	}
 	if res.Gaps < 3 {
+		if rec.Enabled() {
+			rec.Add(explain.Evidence{
+				Rule: "detect.timer-gaps", Outcome: explain.OutcomeRejected,
+				Score:      timer,
+				Inputs:     []explain.KV{{K: "knee_period_us", V: timer}, {K: "matched_gaps", V: float64(res.Gaps)}},
+				Thresholds: []explain.KV{{K: "min_gaps", V: 3}},
+				Detail:     "a real timer repeats; too few idle gaps match the period",
+			})
+		}
 		return TimerGapResult{}, false // a real timer repeats
+	}
+	if rec.Enabled() {
+		rec.Add(explain.Evidence{
+			Rule: "detect.timer-gaps", Outcome: explain.OutcomeFired,
+			Score: timer,
+			Inputs: []explain.KV{
+				{K: "matched_gaps", V: float64(res.Gaps)},
+				{K: "induced_delay_us", V: float64(res.InducedDelay)},
+			},
+			Thresholds: []explain.KV{
+				{K: "gap_lo_us", V: lo}, {K: "gap_hi_us", V: hi},
+				{K: "min_timer_us", V: 50_000}, {K: "min_gaps", V: 3},
+			},
+			Intervals: []explain.IntervalSet{explain.Capture("matched-idle-gaps", matched)},
+			Detail:    "repetitive pacing timer inferred from the idle-gap knee",
+		})
 	}
 	return res, true
 }
@@ -115,6 +172,13 @@ const DefaultConsecutiveLossThreshold = 8
 // (timeout-driven recovery repairs one hole per backoff, seconds apart) —
 // belong to one episode.
 func ConsecutiveLosses(cat *series.Catalog, window timerange.Range, threshold int) ConsecutiveLossResult {
+	return ConsecutiveLossesEv(cat, window, threshold, nil)
+}
+
+// ConsecutiveLossesEv is ConsecutiveLosses with evidence capture: the
+// qualifying episode time ranges, the run/chain thresholds, and the max
+// run are recorded. A nil Recorder keeps the uninstrumented fast path.
+func ConsecutiveLossesEv(cat *series.Catalog, window timerange.Range, threshold int, rec *explain.Recorder) ConsecutiveLossResult {
 	if threshold <= 0 {
 		threshold = DefaultConsecutiveLossThreshold
 	}
@@ -132,10 +196,14 @@ func ConsecutiveLosses(cat *series.Catalog, window timerange.Range, threshold in
 	}
 	chainGap := maxMicros(3*rtt, 3_000_000)
 
+	var episodes *timerange.Set
+	if rec.Enabled() {
+		episodes = timerange.NewSet()
+	}
 	var res ConsecutiveLossResult
 	run := 0
 	var runDelay Micros
-	var prevEnd Micros = -1
+	var prevEnd, runStart Micros = -1, -1
 	flush := func() {
 		if run > res.MaxRun {
 			res.MaxRun = run
@@ -143,12 +211,18 @@ func ConsecutiveLosses(cat *series.Catalog, window timerange.Range, threshold in
 		if run >= threshold {
 			res.Episodes++
 			res.InducedDelay += runDelay
+			if episodes != nil && runStart >= 0 {
+				episodes.Add(timerange.R(runStart, prevEnd))
+			}
 		}
-		run, runDelay = 0, 0
+		run, runDelay, runStart = 0, 0, -1
 	}
 	for _, r := range all.Ranges() {
 		if prevEnd >= 0 && r.Start-prevEnd > chainGap {
 			flush()
+		}
+		if runStart < 0 {
+			runStart = r.Start
 		}
 		n := len(events.Query(r))
 		if n == 0 {
@@ -159,6 +233,29 @@ func ConsecutiveLosses(cat *series.Catalog, window timerange.Range, threshold in
 		prevEnd = r.End
 	}
 	flush()
+	if rec.Enabled() {
+		outcome := explain.OutcomeFired
+		detail := "burst-loss episodes with enough chained loss events to collapse cwnd"
+		if res.Episodes == 0 {
+			outcome = explain.OutcomeRejected
+			detail = "no loss run reached the episode threshold"
+		}
+		rec.Add(explain.Evidence{
+			Rule: "detect.consecutive-losses", Outcome: outcome,
+			Score: float64(res.Episodes),
+			Inputs: []explain.KV{
+				{K: "loss_ranges", V: float64(all.Len())},
+				{K: "max_run", V: float64(res.MaxRun)},
+				{K: "induced_delay_us", V: float64(res.InducedDelay)},
+			},
+			Thresholds: []explain.KV{
+				{K: "run_threshold", V: float64(threshold)},
+				{K: "chain_gap_us", V: float64(chainGap)},
+			},
+			Intervals: []explain.IntervalSet{explain.Capture("loss-episodes", episodes)},
+			Detail:    detail,
+		})
+	}
 	return res
 }
 
@@ -248,9 +345,31 @@ type ZeroAckBugResult struct {
 
 // ZeroAckBug returns the conflict series (paper §IV-B) when non-empty.
 func ZeroAckBug(cat *series.Catalog) (ZeroAckBugResult, bool) {
+	return ZeroAckBugEv(cat, nil)
+}
+
+// ZeroAckBugEv is ZeroAckBug with evidence capture: the conflict intervals
+// (zero-window periods overlapping upstream-loss recovery) are recorded
+// whether or not the detector fires. A nil Recorder keeps the
+// uninstrumented fast path.
+func ZeroAckBugEv(cat *series.Catalog, rec *explain.Recorder) (ZeroAckBugResult, bool) {
 	s := cat.Get(series.ZeroAckBug)
 	if s.Empty() {
+		if rec.Enabled() {
+			rec.Add(explain.Evidence{
+				Rule: "detect.zero-ack-bug", Outcome: explain.OutcomeRejected,
+				Detail: "zero-window and upstream-loss recovery never overlap",
+			})
+		}
 		return ZeroAckBugResult{}, false
+	}
+	if rec.Enabled() {
+		rec.Add(explain.Evidence{
+			Rule: "detect.zero-ack-bug", Outcome: explain.OutcomeFired,
+			Score:     float64(s.Size()),
+			Intervals: []explain.IntervalSet{explain.Capture("conflict", s)},
+			Detail:    "retransmission agony while the receiver window is closed (probe-discard bug signature)",
+		})
 	}
 	return ZeroAckBugResult{Conflict: s.Clone()}, true
 }

@@ -1,0 +1,107 @@
+package explain
+
+import (
+	"strings"
+	"testing"
+
+	"tdat/internal/timerange"
+)
+
+func TestNilRecorderNoOps(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil Recorder reports enabled")
+	}
+	r.Add(Evidence{Rule: "x"})
+	if ev := r.Evidence(); ev != nil {
+		t.Fatalf("nil Recorder returned evidence: %v", ev)
+	}
+}
+
+func TestNilRecorderZeroAlloc(t *testing.T) {
+	var r *Recorder
+	allocs := testing.AllocsPerRun(100, func() {
+		if r.Enabled() {
+			r.Add(Evidence{Rule: "never"})
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled path allocated %.1f/op, want 0", allocs)
+	}
+}
+
+func TestRecorderOrder(t *testing.T) {
+	r := New()
+	if !r.Enabled() {
+		t.Fatal("New Recorder not enabled")
+	}
+	r.Add(Evidence{Rule: "a"})
+	r.Add(Evidence{Rule: "b"})
+	r.Add(Evidence{Rule: "c"})
+	ev := r.Evidence()
+	if len(ev) != 3 || ev[0].Rule != "a" || ev[1].Rule != "b" || ev[2].Rule != "c" {
+		t.Fatalf("evidence out of order: %v", ev)
+	}
+}
+
+func TestCapture(t *testing.T) {
+	if got := Capture("nil", nil); got.Count != 0 || got.SizeMicros != 0 || got.Ranges != nil {
+		t.Fatalf("nil set capture: %+v", got)
+	}
+	s := timerange.NewSet()
+	for i := 0; i < 2*MaxRanges; i++ {
+		start := timerange.Micros(i * 100)
+		s.Add(timerange.R(start, start+10))
+	}
+	got := Capture("many", s)
+	if got.Count != 2*MaxRanges {
+		t.Fatalf("Count = %d, want %d", got.Count, 2*MaxRanges)
+	}
+	if got.SizeMicros != timerange.Micros(2*MaxRanges*10) {
+		t.Fatalf("SizeMicros = %d, want %d", got.SizeMicros, 2*MaxRanges*10)
+	}
+	if len(got.Ranges) != MaxRanges {
+		t.Fatalf("len(Ranges) = %d, want cap %d", len(got.Ranges), MaxRanges)
+	}
+	if got.Ranges[0] != (Span{Start: 0, End: 10}) {
+		t.Fatalf("first range = %+v", got.Ranges[0])
+	}
+}
+
+func TestWriteTextDeterministic(t *testing.T) {
+	evs := []Evidence{
+		{
+			Rule: "series.bandwidth-limited", Outcome: OutcomeVetoed, Score: 0,
+			Inputs:     []KV{{K: "ser_mss_us", V: 130000}, {K: "rtt_us", V: 30000}},
+			Thresholds: []KV{{K: "max_ser_rtt", V: 4}},
+			Detail:     "pacing veto",
+		},
+		{
+			Rule: "factors.ratio/bgp-sender-app", Outcome: OutcomeScored, Score: 0.8125,
+			Intervals: []IntervalSet{Capture("SendAppLimited",
+				timerange.NewSet(timerange.R(1_000_000, 2_500_000)))},
+		},
+	}
+	var a, b strings.Builder
+	if err := WriteText(&a, "  ", evs); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteText(&b, "  ", evs); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("WriteText not deterministic")
+	}
+	out := a.String()
+	for _, want := range []string{
+		"[series.bandwidth-limited] vetoed score=0 — pacing veto",
+		"inputs: ser_mss_us=130000 rtt_us=30000",
+		"thresholds: max_ser_rtt=4",
+		"[factors.ratio/bgp-sender-app] scored score=0.8125",
+		"intervals SendAppLimited: n=1 size=1.500s [1.000s-2.500s]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

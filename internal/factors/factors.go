@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strings"
 
+	"tdat/internal/explain"
 	"tdat/internal/obs"
 	"tdat/internal/series"
 	"tdat/internal/timerange"
@@ -214,6 +215,15 @@ func (r *Report) Dominant() (Group, float64) {
 // Analyze scores the catalog over the analysis period. A non-positive
 // threshold selects the paper's default 0.3.
 func Analyze(cat *series.Catalog, period timerange.Range, threshold float64) *Report {
+	return AnalyzeEv(cat, period, threshold, nil)
+}
+
+// AnalyzeEv is Analyze with evidence capture: every factor and group ratio
+// records its numerator interval set (the backing series clipped to the
+// period) and denominator, and the major classification records which
+// groups crossed the threshold. A nil Recorder keeps the uninstrumented
+// fast path.
+func AnalyzeEv(cat *series.Catalog, period timerange.Range, threshold float64, rec *explain.Recorder) *Report {
 	if threshold <= 0 {
 		threshold = DefaultMajorThreshold
 	}
@@ -267,6 +277,63 @@ func Analyze(cat *series.Catalog, period timerange.Range, threshold float64) *Re
 			}
 		}
 		rep.DominantFactor[g] = best
+	}
+
+	if rec.Enabled() {
+		// Per-factor ratio provenance: the clipped backing series is the
+		// numerator, the period length the denominator. Intervals are only
+		// enumerated for contributing factors to keep the record compact.
+		for f := Factor(0); int(f) < numFactors; f++ {
+			name := seriesOf(f)
+			ev := explain.Evidence{
+				Rule: "factors.ratio/" + f.String(), Outcome: explain.OutcomeScored,
+				Score: rep.V[f],
+				Inputs: []explain.KV{
+					{K: "numerator_us", V: rep.V[f] * dur},
+					{K: "period_us", V: dur},
+				},
+				Detail: "clipped |" + string(name) + "| over the transfer period",
+			}
+			if rep.V[f] > 0 {
+				ev.Intervals = []explain.IntervalSet{
+					explain.Capture(string(name), cat.Get(name).Intersect(window)),
+				}
+			}
+			rec.Add(ev)
+		}
+		// Group ratios on member-series unions (enum order, not map order).
+		for g := GroupSender; int(g) < numGroups; g++ {
+			rec.Add(explain.Evidence{
+				Rule: "factors.group/" + g.String(), Outcome: explain.OutcomeScored,
+				Score: rep.G[g],
+				Inputs: []explain.KV{
+					{K: "numerator_us", V: rep.G[g] * dur},
+					{K: "period_us", V: dur},
+				},
+				Detail: "member-series union over the transfer period",
+			})
+		}
+		// The major classification itself.
+		major := explain.Evidence{
+			Rule:       "factors.major",
+			Thresholds: []explain.KV{{K: "major_threshold", V: threshold}},
+		}
+		if rep.Unknown() {
+			major.Outcome = explain.OutcomeRejected
+			major.Detail = "no group ratio above the major threshold"
+		} else {
+			major.Outcome = explain.OutcomeFired
+			major.Score = rep.G[rep.MajorGroups[0]]
+			var b strings.Builder
+			for i, g := range rep.MajorGroups {
+				if i > 0 {
+					b.WriteByte(' ')
+				}
+				fmt.Fprintf(&b, "%s(%.2f, dominant=%s)", g, rep.G[g], rep.DominantFactor[g])
+			}
+			major.Detail = "major groups: " + b.String()
+		}
+		rec.Add(major)
 	}
 	return rep
 }

@@ -85,7 +85,79 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		fmt.Fprintf(w, "%s %d\n", instance(k.name, k.labels, "_sum", ""), h.Sum())
 		fmt.Fprintf(w, "%s %d\n", instance(k.name, k.labels, "_count", ""), h.Count())
 	}
+	// Approximate quantile summaries, derived from the buckets above by
+	// linear interpolation. Emitted as a separate gauge family (`_approx_
+	// quantile`) so the histogram family itself stays scrape-compatible.
+	for _, k := range sortedKeys(hists) {
+		h := hists[k]
+		if h.Count() == 0 {
+			continue
+		}
+		qname := k.name + "_approx_quantile"
+		if _, ok := help[qname]; !ok {
+			help[qname] = "Bucket-interpolated quantile estimate of " + k.name + "."
+		}
+		header(qname, "gauge")
+		for _, q := range summaryQuantiles {
+			ql := `quantile="` + strconv.FormatFloat(q, 'g', -1, 64) + `"`
+			fmt.Fprintf(w, "%s %s\n", instance(qname, k.labels, "", ql),
+				strconv.FormatFloat(h.Quantile(q), 'g', -1, 64))
+		}
+	}
 	return nil
+}
+
+// summaryQuantiles are the quantiles rendered as approximate summary lines
+// alongside each histogram's bucket exposition.
+var summaryQuantiles = []float64{0.5, 0.95, 0.99}
+
+// Quantile estimates the q-quantile (0..1) from the bucket counts by linear
+// interpolation inside the covering bucket. Values landing in the +Inf
+// bucket clamp to the last finite bound (there is no upper edge to
+// interpolate toward). Returns 0 with no observations or on a nil
+// Histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	count := h.Count()
+	if count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(count)
+	counts := h.BucketCounts()
+	bounds := h.Bounds()
+	cum := float64(0)
+	for i, c := range counts {
+		prev := cum
+		cum += float64(c)
+		if cum < target || c == 0 {
+			continue
+		}
+		if i >= len(bounds) {
+			// +Inf bucket: clamp to the last finite bound.
+			if len(bounds) == 0 {
+				return 0
+			}
+			return float64(bounds[len(bounds)-1])
+		}
+		lo := float64(0)
+		if i > 0 {
+			lo = float64(bounds[i-1])
+		}
+		hi := float64(bounds[i])
+		return lo + (hi-lo)*(target-prev)/float64(c)
+	}
+	if len(bounds) == 0 {
+		return 0
+	}
+	return float64(bounds[len(bounds)-1])
 }
 
 // histSnapshot is the JSON form of one histogram.

@@ -16,10 +16,18 @@ type Server struct {
 	srv *http.Server
 }
 
+// Route attaches an extra handler to the metrics endpoint — commands use it
+// to expose run-specific surfaces (e.g. /debug/explain) on the same
+// listener.
+type Route struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // Serve starts listening on addr (":0" picks a free port) and serves o's
-// registry. It returns as soon as the listener is bound; requests are
-// handled on a background goroutine.
-func Serve(addr string, o *Obs) (*Server, error) {
+// registry plus any extra routes. It returns as soon as the listener is
+// bound; requests are handled on a background goroutine.
+func Serve(addr string, o *Obs, extra ...Route) (*Server, error) {
 	reg := o.Registry()
 	reg.PublishExpvar()
 	mux := http.NewServeMux()
@@ -33,6 +41,9 @@ func Serve(addr string, o *Obs) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, r := range extra {
+		mux.Handle(r.Pattern, r.Handler)
+	}
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

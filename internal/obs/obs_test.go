@@ -130,6 +130,11 @@ tdat_stage_duration_micros_bucket{stage="series",le="1000"} 2
 tdat_stage_duration_micros_bucket{stage="series",le="+Inf"} 3
 tdat_stage_duration_micros_sum{stage="series"} 4440
 tdat_stage_duration_micros_count{stage="series"} 3
+# HELP tdat_stage_duration_micros_approx_quantile Bucket-interpolated quantile estimate of tdat_stage_duration_micros.
+# TYPE tdat_stage_duration_micros_approx_quantile gauge
+tdat_stage_duration_micros_approx_quantile{stage="series",quantile="0.5"} 550
+tdat_stage_duration_micros_approx_quantile{stage="series",quantile="0.95"} 1000
+tdat_stage_duration_micros_approx_quantile{stage="series",quantile="0.99"} 1000
 `
 	if got := buf.String(); got != want {
 		t.Errorf("Prometheus output mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)

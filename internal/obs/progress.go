@@ -97,6 +97,11 @@ func (p *Progress) Line() string {
 	b.WriteString("progress: ")
 	if total > 0 {
 		pct := float64(read) / float64(total) * 100
+		if pct > 100 {
+			// Declared sizes can undershoot (e.g. growing captures); a
+			// progress line past 100% reads as a bug, so clamp.
+			pct = 100
+		}
 		fmt.Fprintf(&b, "%s / %s (%.0f%%)", fmtBytes(read), fmtBytes(total), pct)
 	} else {
 		b.WriteString(fmtBytes(read))

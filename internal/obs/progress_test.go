@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProgressLineZeroRateStart(t *testing.T) {
+	// Total known, nothing read yet: no ETA (division by zero rate) and 0%.
+	p := NewProgress()
+	p.SetTotalBytes(1 << 20)
+	line := p.Line()
+	if strings.Contains(line, "eta=") {
+		t.Errorf("ETA rendered with zero bytes read: %s", line)
+	}
+	if !strings.Contains(line, "(0%)") {
+		t.Errorf("want 0%% at start: %s", line)
+	}
+}
+
+func TestProgressLineOvershootClamps(t *testing.T) {
+	// A declared size smaller than what was actually read (growing capture,
+	// undershooting Stat) must not report >100% or a negative ETA.
+	p := NewProgress()
+	p.SetTotalBytes(1000)
+	p.SetBytesRead(2500)
+	line := p.Line()
+	if !strings.Contains(line, "(100%)") {
+		t.Errorf("overshoot not clamped to 100%%: %s", line)
+	}
+	if strings.Contains(line, "eta=") {
+		t.Errorf("ETA rendered past completion: %s", line)
+	}
+	if strings.Contains(line, "-") && strings.Contains(line, "eta=-") {
+		t.Errorf("negative ETA: %s", line)
+	}
+}
+
+func TestProgressLineCompletion(t *testing.T) {
+	// Exactly complete: 100%, no ETA.
+	p := NewProgress()
+	p.SetTotalBytes(4096)
+	p.SetBytesRead(4096)
+	line := p.Line()
+	if !strings.Contains(line, "(100%)") {
+		t.Errorf("completion not at 100%%: %s", line)
+	}
+	if strings.Contains(line, "eta=") {
+		t.Errorf("ETA rendered at completion: %s", line)
+	}
+}
+
+func TestProgressLineByteRegression(t *testing.T) {
+	// A byte counter that moves backwards (demux salvage rewinds the reader)
+	// still renders midway, with a finite non-negative ETA.
+	p := NewProgress()
+	p.SetTotalBytes(10_000)
+	p.SetBytesRead(8_000)
+	p.SetBytesRead(2_000)
+	line := p.Line()
+	if !strings.Contains(line, "(20%)") {
+		t.Errorf("regressed counter not reflected: %s", line)
+	}
+	if strings.Contains(line, "eta=-") {
+		t.Errorf("negative ETA after regression: %s", line)
+	}
+	if !strings.Contains(line, "eta=") {
+		t.Errorf("mid-transfer line lost its ETA: %s", line)
+	}
+}
+
+func TestProgressLineUnknownTotal(t *testing.T) {
+	p := NewProgress()
+	p.SetBytesRead(5 << 20)
+	line := p.Line()
+	if strings.Contains(line, "%") {
+		t.Errorf("percentage rendered with unknown total: %s", line)
+	}
+	if strings.Contains(line, "eta=") {
+		t.Errorf("ETA rendered with unknown total: %s", line)
+	}
+}
+
+func TestProgressNilSafe(t *testing.T) {
+	var p *Progress
+	if p.Line() != "" {
+		t.Error("nil Progress produced a line")
+	}
+	p.SetTotalBytes(1)
+	p.SetBytesRead(1)
+	p.AddRecords(1)
+	p.ConnSeen()
+	p.ConnStart()
+	p.ConnDone()
+	stop := p.Run(nil, 0)
+	stop()
+}

@@ -48,8 +48,10 @@ type Obs struct {
 	start     time.Time
 	stageHist map[Stage]*Histogram
 
-	spanMu sync.Mutex
-	spanW  io.Writer
+	spanMu    sync.Mutex
+	spanW     io.Writer
+	keepSpans bool
+	spans     []SpanRecord
 }
 
 // New creates an enabled Obs with a fresh registry, per-stage histograms,
@@ -68,8 +70,9 @@ func New() *Obs {
 	return o
 }
 
-// SetSpanLog directs per-span records (one JSON object per line) to w.
-// Writes are serialized internally; w need not be concurrency-safe.
+// SetSpanLog directs per-span records (one JSON object per line, schema
+// SpanSchemaVersion) to w. Writes are serialized internally; w need not be
+// concurrency-safe.
 func (o *Obs) SetSpanLog(w io.Writer) {
 	if o == nil {
 		return
@@ -79,15 +82,16 @@ func (o *Obs) SetSpanLog(w io.Writer) {
 	o.spanMu.Unlock()
 }
 
-// SpanLogEnabled reports whether span records are being written — callers
-// use it to skip building span labels when nobody will read them.
+// SpanLogEnabled reports whether span records are being recorded (logged
+// via SetSpanLog or retained via KeepSpans) — callers use it to skip
+// building span labels when nobody will read them.
 func (o *Obs) SpanLogEnabled() bool {
 	if o == nil {
 		return false
 	}
 	o.spanMu.Lock()
 	defer o.spanMu.Unlock()
-	return o.spanW != nil
+	return o.spanW != nil || o.keepSpans
 }
 
 // StageObserve records a stage duration directly (for per-record stages
@@ -129,10 +133,17 @@ func (s Span) EndN(bytes, packets int64) {
 	}
 	dur := time.Since(s.start).Microseconds()
 	s.o.stageHist[s.stage].Observe(dur)
+	startUS := s.start.Sub(s.o.start).Microseconds()
 	s.o.spanMu.Lock()
 	if w := s.o.spanW; w != nil {
-		fmt.Fprintf(w, `{"stage":%q,"conn":%q,"start_us":%d,"dur_us":%d,"bytes":%d,"packets":%d}`+"\n",
-			s.stage, s.label, s.start.Sub(s.o.start).Microseconds(), dur, bytes, packets)
+		fmt.Fprintf(w, `{"v":%d,"stage":%q,"conn":%q,"start_us":%d,"dur_us":%d,"bytes":%d,"packets":%d}`+"\n",
+			SpanSchemaVersion, s.stage, s.label, startUS, dur, bytes, packets)
+	}
+	if s.o.keepSpans {
+		s.o.spans = append(s.o.spans, SpanRecord{
+			V: SpanSchemaVersion, Stage: s.stage, Conn: s.label,
+			StartMicros: startUS, DurMicros: dur, Bytes: bytes, Packets: packets,
+		})
 	}
 	s.o.spanMu.Unlock()
 }

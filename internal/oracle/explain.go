@@ -1,0 +1,172 @@
+package oracle
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"tdat/internal/explain"
+	"tdat/internal/timerange"
+)
+
+// SeriesDiff is the truth-vs-inference interval diff for one scored series
+// of one case: what the analyzer missed (truth time with no nearby
+// inference) and what it invented (inferred time with no nearby truth),
+// after the scorer's dilation tolerance.
+type SeriesDiff struct {
+	Name string  `json:"name"`
+	F1   float64 `json:"f1"`
+	// Truth and Inferred are the two compared sets, clipped to the window.
+	Truth    explain.IntervalSet `json:"truth"`
+	Inferred explain.IntervalSet `json:"inferred"`
+	// Missed is truth ∖ dilate(inferred): what recall lost.
+	Missed explain.IntervalSet `json:"missed"`
+	// Spurious is inferred ∖ dilate(truth): what precision lost.
+	Spurious explain.IntervalSet `json:"spurious"`
+}
+
+// CaseEvidence couples one case's oracle diff with the analyzer's own
+// evidence record, so a floor breach can be read end-to-end: which truth
+// the analyzer missed, and which rule evaluations produced the wrong
+// intervals.
+type CaseEvidence struct {
+	Case        string             `json:"case"`
+	Kind        string             `json:"kind"`
+	Expected    string             `json:"expected"`
+	Got         string             `json:"got"`
+	GroupRatios string             `json:"group_ratios"`
+	SeriesDiffs []SeriesDiff       `json:"series_diffs,omitempty"`
+	Evidence    []explain.Evidence `json:"evidence,omitempty"`
+}
+
+// diffSeries builds one SeriesDiff from clipped truth/inferred sets.
+func diffSeries(name string, f1 float64, inferred, truth *timerange.Set, tol Micros, w timerange.Range) SeriesDiff {
+	A := clip(inferred, w)
+	T := clip(truth, w)
+	return SeriesDiff{
+		Name:     name,
+		F1:       f1,
+		Truth:    explain.Capture("truth", T),
+		Inferred: explain.Capture("inferred", A),
+		Missed:   explain.Capture("missed", T.Subtract(Dilate(A, tol))),
+		Spurious: explain.Capture("spurious", A.Subtract(Dilate(T, tol))),
+	}
+}
+
+// eventSet renders truth drop instants as a point-interval set so event
+// series diff with the same machinery as interval series.
+func eventSet(events []Micros, w timerange.Range) *timerange.Set {
+	s := timerange.NewSet()
+	for _, t := range events {
+		if w.Contains(t) {
+			s.Add(timerange.R(t, t+1))
+		}
+	}
+	return s
+}
+
+// fmtSec renders a µs offset as seconds.
+func fmtSec(us Micros) string {
+	return strconv.FormatFloat(float64(us)/1e6, 'f', 3, 64) + "s"
+}
+
+// writeIntervalSet renders one captured interval set as a single line.
+func writeIntervalSet(w io.Writer, prefix string, s explain.IntervalSet) {
+	fmt.Fprintf(w, "%s%-9s n=%d size=%s", prefix, s.Name, s.Count, fmtSec(s.SizeMicros))
+	if len(s.Ranges) > 0 {
+		fmt.Fprint(w, " [")
+		for i, r := range s.Ranges {
+			if i > 0 {
+				fmt.Fprint(w, " ")
+			}
+			fmt.Fprintf(w, "%s-%s", fmtSec(r.Start), fmtSec(r.End))
+		}
+		if s.Count > len(s.Ranges) {
+			fmt.Fprintf(w, " +%d more", s.Count-len(s.Ranges))
+		}
+		fmt.Fprint(w, "]")
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteExplainFailures renders, for every floor breach, the evidence diff
+// between oracle truth and analyzer inference for the offending cases:
+// which intervals were missed or invented, and the analyzer's own rule
+// evaluations for that transfer. It returns the breaches it explained
+// (empty when the gate passes). Requires a sweep run with Config.Explain.
+func (r *Result) WriteExplainFailures(w io.Writer, fl Floors) []string {
+	breaches := r.Check(fl)
+	if len(breaches) == 0 {
+		fmt.Fprintln(w, "all floors hold; nothing to explain")
+		return breaches
+	}
+	fmt.Fprintf(w, "explaining %d floor breach(es):\n", len(breaches))
+	for _, b := range breaches {
+		fmt.Fprintf(w, "  - %s\n", b)
+	}
+	if len(r.CaseEvidence) == 0 {
+		fmt.Fprintln(w, "\nno case evidence captured (sweep ran without -explain-failures)")
+		return breaches
+	}
+
+	// A case is offending when it drags a breached series floor down, or is
+	// misclassified while the confusion floor is breached. With only
+	// aggregate breaches (detect rate, violations), every case with recorded
+	// evidence is fair game.
+	breachedSeries := map[string]float64{}
+	for name, min := range fl.SeriesF1 {
+		if s, ok := r.SeriesByName(name); ok && s.F1 < min {
+			breachedSeries[name] = min
+		}
+	}
+	accBreached := r.Conf.Accuracy < fl.ConfusionAccuracy
+
+	printed := 0
+	for _, ce := range r.CaseEvidence {
+		var reasons []string
+		offendingDiffs := make([]SeriesDiff, 0, len(ce.SeriesDiffs))
+		for _, sd := range ce.SeriesDiffs {
+			if min, ok := breachedSeries[sd.Name]; ok && sd.F1 < min {
+				reasons = append(reasons, fmt.Sprintf("series %s F1 %.3f < floor %.2f", sd.Name, sd.F1, min))
+				offendingDiffs = append(offendingDiffs, sd)
+			}
+		}
+		if accBreached && ce.Got != ce.Expected {
+			reasons = append(reasons, fmt.Sprintf("misclassified: got %s, expected %s", ce.Got, ce.Expected))
+			offendingDiffs = ce.SeriesDiffs
+		}
+		if len(reasons) == 0 {
+			continue
+		}
+		printed++
+		fmt.Fprintf(w, "\ncase %s (%s): expected %s, got %s, G=%s\n",
+			ce.Case, ce.Kind, ce.Expected, ce.Got, ce.GroupRatios)
+		for _, reason := range reasons {
+			fmt.Fprintf(w, "  offends: %s\n", reason)
+		}
+		for _, sd := range offendingDiffs {
+			fmt.Fprintf(w, "  diff %s (F1 %.3f):\n", sd.Name, sd.F1)
+			writeIntervalSet(w, "    ", sd.Truth)
+			writeIntervalSet(w, "    ", sd.Inferred)
+			writeIntervalSet(w, "    ", sd.Missed)
+			writeIntervalSet(w, "    ", sd.Spurious)
+		}
+		if len(ce.Evidence) > 0 {
+			fmt.Fprintf(w, "  analyzer evidence (%d rule evaluations):\n", len(ce.Evidence))
+			explain.WriteText(w, "    ", ce.Evidence)
+		}
+	}
+	if printed == 0 {
+		// Aggregate-only breaches (detect rate, violations): no single series
+		// diff identifies the culprit, so dump every recorded case.
+		fmt.Fprintln(w, "\nno single case pinpointed; all recorded case evidence follows:")
+		for _, ce := range r.CaseEvidence {
+			fmt.Fprintf(w, "\ncase %s (%s): expected %s, got %s, G=%s\n",
+				ce.Case, ce.Kind, ce.Expected, ce.Got, ce.GroupRatios)
+			if len(ce.Evidence) > 0 {
+				explain.WriteText(w, "  ", ce.Evidence)
+			}
+		}
+	}
+	return breaches
+}

@@ -83,6 +83,9 @@ type Result struct {
 	// missed detections, broken invariants, worker-count divergence. The
 	// floor check treats specific classes as gating; the rest is context.
 	Violations []string `json:"violations,omitempty"`
+	// CaseEvidence holds per-case truth-vs-inference diffs plus the
+	// analyzer's evidence records (populated only with Config.Explain).
+	CaseEvidence []CaseEvidence `json:"case_evidence,omitempty"`
 }
 
 // SeriesByName returns the named series score.
@@ -120,6 +123,8 @@ type validator struct {
 	confusion [3][3]int
 	outcomes  []caseOutcome
 
+	caseEvidence []CaseEvidence
+
 	detectChecked int
 	detectPassed  int
 
@@ -135,7 +140,7 @@ func Run(cfg Config) *Result {
 	}
 	v := &validator{
 		cfg:         cfg,
-		analyzer:    core.New(core.Config{Workers: cfg.Workers}),
+		analyzer:    core.New(core.Config{Workers: cfg.Workers, Explain: cfg.Explain}),
 		altAnalyzer: core.New(core.Config{Workers: altWorkers}),
 		factorErr: map[string]*errAccum{
 			"bgp-sender-app": {},
@@ -160,8 +165,9 @@ func Run(cfg Config) *Result {
 			eventScore("upstream-loss", v.upLoss.score()),
 			eventScore("downstream-loss", v.downLoss.score()),
 		},
-		Outcomes:   v.outcomes,
-		Violations: violations,
+		Outcomes:     v.outcomes,
+		Violations:   violations,
+		CaseEvidence: v.caseEvidence,
 	}
 
 	names := make([]string, 0, len(v.factorErr))

@@ -25,6 +25,10 @@ type Config struct {
 	Workers int
 	// Routes is the per-scenario table size (default 8000; quick halves it).
 	Routes int
+	// Explain records per-case evidence: the analyzer's rule evaluations
+	// (core.Config.Explain) plus truth-vs-inference interval diffs, surfaced
+	// by Result.WriteExplainFailures on a floor breach.
+	Explain bool
 
 	// IntervalTolMicros is the base interval-matching tolerance (default
 	// 25 ms); the effective per-run tolerance is max(base, 4×RTT), since
@@ -228,6 +232,7 @@ func (v *validator) scoreCase(c Case) []string {
 	// Interval series vs truth sets; each case scores locally first so the
 	// outcome can carry its own F1 breakdown.
 	caseF1 := map[string]float64{}
+	var diffs []SeriesDiff
 	interval := func(name string, acc *intervalAccum, inferred, truthSet *timerange.Set) {
 		var local intervalAccum
 		local.add(inferred, truthSet, tol, w)
@@ -235,6 +240,9 @@ func (v *validator) scoreCase(c Case) []string {
 			caseF1[name] = local.score().F1
 		}
 		acc.merge(local)
+		if v.cfg.Explain && local.runs > 0 {
+			diffs = append(diffs, diffSeries(name, local.score().F1, inferred, truthSet, tol, w))
+		}
 	}
 	interval("zero-window", &v.zeroWindow, t.Catalog.Get(series.ZeroAdvWindow), truth.ZeroWindow)
 	// The raw AdvBndOut series deliberately overlaps loss recovery: while
@@ -257,6 +265,9 @@ func (v *validator) scoreCase(c Case) []string {
 			caseF1[name] = local.score().F1
 		}
 		acc.merge(local)
+		if v.cfg.Explain && local.runs > 0 {
+			diffs = append(diffs, diffSeries(name, local.score().F1, inferred, eventSet(events, w), lossTol, w))
+		}
 	}
 	event("upstream-loss", &v.upLoss, t.Catalog.Get(series.UpstreamLoss), truth.UpstreamDrops)
 	event("downstream-loss", &v.downLoss, t.Catalog.Get(series.DownstreamLoss), truth.DownstreamDrops)
@@ -274,6 +285,17 @@ func (v *validator) scoreCase(c Case) []string {
 	})
 	if got != c.Expected {
 		fail("dominant group %s, expected %s (G=%s)", got, c.Expected, t.Factors.G)
+	}
+	if v.cfg.Explain {
+		v.caseEvidence = append(v.caseEvidence, CaseEvidence{
+			Case:        c.Name,
+			Kind:        c.Scenario.Kind.String(),
+			Expected:    c.Expected.String(),
+			Got:         got.String(),
+			GroupRatios: t.Factors.G.String(),
+			SeriesDiffs: diffs,
+			Evidence:    t.Evidence,
+		})
 	}
 
 	// Detection checks.

@@ -1,6 +1,7 @@
 package series
 
 import (
+	"tdat/internal/explain"
 	"tdat/internal/flows"
 	"tdat/internal/timerange"
 )
@@ -257,9 +258,25 @@ func (c *Catalog) detectBandwidth() *timerange.Set {
 			serMSS = g
 		}
 	}
+	rec := c.cfg.Explain
+	bwInputs := func() []explain.KV {
+		return []explain.KV{
+			{K: "ser_mss_us", V: float64(serMSS)},
+			{K: "rtt_us", V: float64(rtt)},
+			{K: "mss", V: float64(mss)},
+		}
+	}
 	if serMSS < 100 {
 		// The wire moves a full segment in under 100 µs: whatever limits
 		// this connection, it is not the bottleneck bandwidth.
+		if rec.Enabled() {
+			rec.Add(explain.Evidence{
+				Rule: "series.bandwidth-limited", Outcome: explain.OutcomeRejected,
+				Inputs:     bwInputs(),
+				Thresholds: []explain.KV{{K: "min_ser_mss_us", V: 100}},
+				Detail:     "fast-wire rejection: a full segment serializes in under 100 µs, so bandwidth is not the bottleneck",
+			})
+		}
 		return bw
 	}
 	if serMSS > 4*rtt {
@@ -269,6 +286,14 @@ func (c *Catalog) detectBandwidth() *timerange.Set {
 		// an application emits one segment per timer tick, the pacing
 		// period itself masquerades as the serialization time. Bail before
 		// it anchors the proportionality test.
+		if rec.Enabled() {
+			rec.Add(explain.Evidence{
+				Rule: "series.bandwidth-limited", Outcome: explain.OutcomeVetoed,
+				Inputs:     bwInputs(),
+				Thresholds: []explain.KV{{K: "max_ser_mss_rtts", V: 4}},
+				Detail:     "pacing veto: tightest full-segment spacing exceeds 4×RTT, indistinguishable from application pacing",
+			})
+		}
 		return bw
 	}
 	const hdrLen = 54 // Ethernet + IP + TCP
@@ -327,6 +352,25 @@ func (c *Catalog) detectBandwidth() *timerange.Set {
 		flush(i - 1)
 	}
 	flush(len(data) - 1)
+	if rec.Enabled() {
+		outcome := explain.OutcomeFired
+		detail := "inter-arrival gaps track wire size at the bottleneck clock"
+		if bw.Empty() {
+			outcome = explain.OutcomeRejected
+			detail = "no size-proportional run long enough to qualify"
+		}
+		rec.Add(explain.Evidence{
+			Rule: "series.bandwidth-limited", Outcome: outcome,
+			Score:  float64(bw.Size()),
+			Inputs: bwInputs(),
+			Thresholds: []explain.KV{
+				{K: "min_run_packets", V: float64(c.cfg.BandwidthRunLen)},
+				{K: "min_run_rtts", V: 1},
+			},
+			Intervals: []explain.IntervalSet{explain.Capture("BandwidthLimited", bw)},
+			Detail:    detail,
+		})
+	}
 	return bw
 }
 
@@ -404,10 +448,29 @@ func (c *Catalog) operate() {
 	// as application idle.
 	loss := c.Get(UpstreamLoss).Union(c.Get(DownstreamLoss))
 	c.set(LossRecovery, loss)
-	c.set(SendAppLimited, appLim.
+	appFinal := appLim.
 		Subtract(loss).
 		Subtract(c.Get(ZeroAdvWindow)).
-		Subtract(c.Get(BandwidthLimited)))
+		Subtract(c.Get(BandwidthLimited))
+	c.set(SendAppLimited, appFinal)
+	if rec := c.cfg.Explain; rec.Enabled() {
+		// Record the exclusion chain: how much raw idle was charged away to
+		// loss recovery, closed windows, and the bottleneck drain before the
+		// remainder became the sender application's fault.
+		rec.Add(explain.Evidence{
+			Rule: "series.send-app-limited", Outcome: explain.OutcomeScored,
+			Score: float64(appFinal.Size()),
+			Inputs: []explain.KV{
+				{K: "raw_idle_us", V: float64(appLim.Size())},
+				{K: "excluded_loss_us", V: float64(appLim.Intersect(loss).Size())},
+				{K: "excluded_zero_window_us", V: float64(appLim.Intersect(c.Get(ZeroAdvWindow)).Size())},
+				{K: "excluded_bandwidth_us", V: float64(appLim.Intersect(c.Get(BandwidthLimited)).Size())},
+			},
+			Thresholds: []explain.KV{{K: "app_idle_threshold_us", V: float64(c.cfg.AppIdleThreshold)}},
+			Intervals:  []explain.IntervalSet{explain.Capture("SendAppLimited", appFinal)},
+			Detail:     "inter-flight idle minus loss-recovery, zero-window, and bandwidth-drain exclusions",
+		})
+	}
 
 	// Flight-level window boundedness. Only flights that contain at least
 	// one full segment qualify: a window-bound sender stops at full
@@ -467,7 +530,20 @@ func (c *Catalog) operate() {
 	// tracks the bandwidth-delay product. The wire is the binding
 	// constraint; charge it, not the window (same precedence SendAppLimited
 	// applies above).
-	c.set(CwndBndOut, cwnd.Subtract(c.Get(BandwidthLimited)))
+	cwndFinal := cwnd.Subtract(c.Get(BandwidthLimited))
+	c.set(CwndBndOut, cwndFinal)
+	if rec := c.cfg.Explain; rec.Enabled() {
+		rec.Add(explain.Evidence{
+			Rule: "series.cwnd-bnd-out", Outcome: explain.OutcomeScored,
+			Score: float64(cwndFinal.Size()),
+			Inputs: []explain.KV{
+				{K: "raw_ack_clocked_us", V: float64(cwnd.Size())},
+				{K: "excluded_bandwidth_us", V: float64(cwnd.Intersect(c.Get(BandwidthLimited)).Size())},
+			},
+			Intervals: []explain.IntervalSet{explain.Capture("CwndBndOut", cwndFinal)},
+			Detail:    "ACK-clocked flights minus bandwidth-drain precedence",
+		})
+	}
 
 	// Set algebra (rule 4).
 	active := c.Get(ActiveTransfer)
