@@ -5,7 +5,7 @@
 //
 //	experiments [-run all|table1|table2|table3|table4|table5|fig3|fig4|
 //	             fig5|fig6|fig7|fig8|fig9|fig11|fig14|fig15|fig16|fig17|
-//	             paperscale|accuracy|throughput]
+//	             paperscale|accuracy|stacks|throughput]
 //	            [-scale default|quick] [-seed 42] [-workers N]
 package main
 
@@ -135,6 +135,9 @@ func run() int {
 	}
 	if need("accuracy") {
 		experiments.AccuracyTable(w, sc.Seed+3000, 5)
+	}
+	if need("stacks") {
+		experiments.StackRobustnessTable(w, sc.Seed+5000, 3)
 	}
 	if need("throughput") {
 		t := experiments.MeasureThroughput(30, sc.Seed+2000)

@@ -20,6 +20,7 @@ import (
 	"tdat/internal/mrt"
 	"tdat/internal/obs"
 	"tdat/internal/pcapio"
+	"tdat/internal/tcpsim"
 	"tdat/internal/tracegen"
 )
 
@@ -53,6 +54,7 @@ func run() int {
 		budget   = flag.Int("budget", 24, "updates per pacing tick (paced kind)")
 		rate     = flag.Int64("rate", 0, "collector processing or link rate override, bytes/sec")
 		recvbuf  = flag.Int("recvbuf", 0, "collector receive buffer override, bytes")
+		stack    = flag.String("stack", "reno", "sender stack: reno|cubic|rate-paced|sack|stretch-ack|wscale-bug")
 		logLevel = flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
 	)
 	flag.Parse()
@@ -70,9 +72,14 @@ func run() int {
 		slog.Error("unknown kind", "kind", *kind)
 		return 2
 	}
+	st, err := tcpsim.ParseStack(*stack)
+	if err != nil {
+		slog.Error("unknown stack", "err", err)
+		return 2
+	}
 	sc := tracegen.Scenario{
 		Kind: k, Seed: *seed, Routes: *routes, RTT: *rtt,
-		PacingTimer: *timer, PacingBudget: *budget,
+		PacingTimer: *timer, PacingBudget: *budget, Stack: st,
 	}
 	if *rate > 0 {
 		sc.CollectorRate = *rate

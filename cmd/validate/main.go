@@ -10,8 +10,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"tdat/internal/oracle"
+	"tdat/internal/tcpsim"
 )
 
 func main() {
@@ -29,7 +31,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	floorPath := fs.String("floors", "", "floor file overriding the built-in gate (see scripts/validatefloor.txt)")
 	noGate := fs.Bool("nogate", false, "report only; never fail on floors")
 	explainFailures := fs.Bool("explain-failures", false, "on a floor breach, print the evidence diff between oracle truth and analyzer inference for offending cases")
+	stacksFlag := fs.String("stacks", "", "extra sender stacks to sweep: comma list (reno,cubic,...) or \"all\"; empty = reno only")
+	stackTable := fs.String("stack-table", "", "write the markdown which-inferences-survive-which-stack table to this path")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	stacks, err := parseStacks(*stacksFlag)
+	if err != nil {
+		fmt.Fprintf(stderr, "validate: %v\n", err)
 		return 2
 	}
 
@@ -54,8 +64,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Workers: *workers,
 		Routes:  *routes,
 		Explain: *explainFailures,
+		Stacks:  stacks,
 	})
 	res.WriteText(stdout)
+
+	if *stackTable != "" {
+		f, err := os.Create(*stackTable)
+		if err != nil {
+			fmt.Fprintf(stderr, "validate: %v\n", err)
+			return 2
+		}
+		res.WriteStackTable(f)
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(stderr, "validate: %v\n", err)
+			return 2
+		}
+	}
 
 	if *jsonPath != "" {
 		f, err := os.Create(*jsonPath)
@@ -89,4 +113,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "\nall floors hold\n")
 	}
 	return 0
+}
+
+// parseStacks turns the -stacks flag into the oracle's sweep list: empty
+// means the default (Reno only), "all" is every known stack, and otherwise
+// it is a comma-separated list of stack names with Reno prepended if absent
+// (the top-level scorecard always belongs to Reno).
+func parseStacks(spec string) ([]tcpsim.Stack, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	if spec == "all" {
+		return tcpsim.AllStacks(), nil
+	}
+	var out []tcpsim.Stack
+	haveReno := false
+	for _, name := range strings.Split(spec, ",") {
+		s, err := tcpsim.ParseStack(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		if s == tcpsim.StackReno {
+			haveReno = true
+		}
+		out = append(out, s)
+	}
+	if !haveReno {
+		out = append([]tcpsim.Stack{tcpsim.StackReno}, out...)
+	}
+	return out, nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"tdat/internal/core"
 	"tdat/internal/factors"
+	"tdat/internal/tcpsim"
 )
 
 // SeriesScore is one scored series in the final result.
@@ -68,10 +69,12 @@ type Detection struct {
 	Rate    float64 `json:"rate"`
 }
 
-// Result is the full validation scorecard.
-type Result struct {
-	Quick   bool          `json:"quick"`
-	Seed    int64         `json:"seed"`
+// Scores is one stack's complete scorecard: everything the sweep measures
+// about the inference pipeline under a single sender personality. The
+// top-level Result embeds the Reno scores (so historical JSON consumers and
+// floors see the same shape they always have) and each non-Reno stack gets
+// its own copy under Result.PerStack.
+type Scores struct {
 	Cases   int           `json:"cases"`
 	Series  []SeriesScore `json:"series"`
 	Factors []FactorError `json:"factors"`
@@ -83,29 +86,56 @@ type Result struct {
 	// missed detections, broken invariants, worker-count divergence. The
 	// floor check treats specific classes as gating; the rest is context.
 	Violations []string `json:"violations,omitempty"`
-	// CaseEvidence holds per-case truth-vs-inference diffs plus the
-	// analyzer's evidence records (populated only with Config.Explain).
-	CaseEvidence []CaseEvidence `json:"case_evidence,omitempty"`
 }
 
 // SeriesByName returns the named series score.
-func (r *Result) SeriesByName(name string) (SeriesScore, bool) {
-	for _, s := range r.Series {
-		if s.Name == name {
-			return s, true
+func (s *Scores) SeriesByName(name string) (SeriesScore, bool) {
+	for _, sc := range s.Series {
+		if sc.Name == name {
+			return sc, true
 		}
 	}
 	return SeriesScore{}, false
 }
 
 // FactorByName returns the named factor error.
-func (r *Result) FactorByName(name string) (FactorError, bool) {
-	for _, f := range r.Factors {
+func (s *Scores) FactorByName(name string) (FactorError, bool) {
+	for _, f := range s.Factors {
 		if f.Name == name {
 			return f, true
 		}
 	}
 	return FactorError{}, false
+}
+
+// StackResult is a non-Reno stack's scorecard within a multi-stack sweep.
+type StackResult struct {
+	Stack string `json:"stack"`
+	Scores
+}
+
+// Result is the full validation scorecard.
+type Result struct {
+	Quick bool  `json:"quick"`
+	Seed  int64 `json:"seed"`
+	Scores
+	// PerStack holds one scorecard per extra sender stack swept (see
+	// Config.Stacks); the embedded Scores above always belong to Reno.
+	PerStack []StackResult `json:"per_stack,omitempty"`
+	// CaseEvidence holds per-case truth-vs-inference diffs plus the
+	// analyzer's evidence records (populated only with Config.Explain,
+	// Reno sweep only).
+	CaseEvidence []CaseEvidence `json:"case_evidence,omitempty"`
+}
+
+// StackByName returns the named per-stack scorecard.
+func (r *Result) StackByName(name string) (StackResult, bool) {
+	for _, s := range r.PerStack {
+		if s.Stack == name {
+			return s, true
+		}
+	}
+	return StackResult{}, false
 }
 
 // validator carries the sweep's accumulators.
@@ -131,9 +161,34 @@ type validator struct {
 	factorErr map[string]*errAccum
 }
 
-// Run executes the validation sweep and returns the scorecard.
+// Run executes the validation sweep and returns the scorecard. With
+// Config.Stacks set, the whole case grid is re-swept once per stack: the
+// Reno pass fills the Result's embedded (historically gated) scores and
+// every other stack is appended to Result.PerStack.
 func Run(cfg Config) *Result {
 	cfg = cfg.withDefaults()
+	stacks := cfg.Stacks
+	if len(stacks) == 0 {
+		stacks = []tcpsim.Stack{tcpsim.StackReno}
+	}
+	res := &Result{Quick: cfg.Quick, Seed: cfg.Seed}
+	sawReno := false
+	for _, st := range stacks {
+		scores, evidence := runStack(cfg, st)
+		if st == tcpsim.StackReno && !sawReno {
+			sawReno = true
+			res.Scores = scores
+			res.CaseEvidence = evidence
+		} else {
+			res.PerStack = append(res.PerStack, StackResult{Stack: st.String(), Scores: scores})
+		}
+	}
+	return res
+}
+
+// runStack sweeps the full case grid under one sender stack with fresh
+// accumulators, returning its scorecard plus any per-case evidence.
+func runStack(cfg Config, stack tcpsim.Stack) (Scores, []CaseEvidence) {
 	altWorkers := 1
 	if cfg.Workers == 1 {
 		altWorkers = 4
@@ -151,12 +206,11 @@ func Run(cfg Config) *Result {
 	cases := Cases(cfg)
 	var violations []string
 	for _, c := range cases {
+		c.Scenario.Stack = stack
 		violations = append(violations, v.scoreCase(c)...)
 	}
 
-	res := &Result{
-		Quick: cfg.Quick,
-		Seed:  cfg.Seed,
+	s := Scores{
 		Cases: len(cases),
 		Series: []SeriesScore{
 			seriesScore("zero-window", v.zeroWindow.score()),
@@ -165,9 +219,8 @@ func Run(cfg Config) *Result {
 			eventScore("upstream-loss", v.upLoss.score()),
 			eventScore("downstream-loss", v.downLoss.score()),
 		},
-		Outcomes:     v.outcomes,
-		Violations:   violations,
-		CaseEvidence: v.caseEvidence,
+		Outcomes:   v.outcomes,
+		Violations: violations,
 	}
 
 	names := make([]string, 0, len(v.factorErr))
@@ -176,27 +229,27 @@ func Run(cfg Config) *Result {
 	}
 	sort.Strings(names)
 	for _, n := range names {
-		res.Factors = append(res.Factors, v.factorErr[n].result(n))
+		s.Factors = append(s.Factors, v.factorErr[n].result(n))
 	}
 
-	res.Conf.Matrix = v.confusion
+	s.Conf.Matrix = v.confusion
 	for e := 0; e < 3; e++ {
 		for g := 0; g < 3; g++ {
-			res.Conf.Total += v.confusion[e][g]
+			s.Conf.Total += v.confusion[e][g]
 			if e == g {
-				res.Conf.Correct += v.confusion[e][g]
+				s.Conf.Correct += v.confusion[e][g]
 			}
 		}
 	}
-	if res.Conf.Total > 0 {
-		res.Conf.Accuracy = float64(res.Conf.Correct) / float64(res.Conf.Total)
+	if s.Conf.Total > 0 {
+		s.Conf.Accuracy = float64(s.Conf.Correct) / float64(s.Conf.Total)
 	}
 
-	res.Detect = Detection{Checked: v.detectChecked, Passed: v.detectPassed}
+	s.Detect = Detection{Checked: v.detectChecked, Passed: v.detectPassed}
 	if v.detectChecked > 0 {
-		res.Detect.Rate = float64(v.detectPassed) / float64(v.detectChecked)
+		s.Detect.Rate = float64(v.detectPassed) / float64(v.detectChecked)
 	}
-	return res
+	return s, v.caseEvidence
 }
 
 func seriesScore(name string, s IntervalScore) SeriesScore {

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"tdat/internal/tcpsim"
 )
 
 // TestQuickSweepMeetsFloors is the in-tree copy of the CI accuracy gate:
@@ -126,7 +128,7 @@ func TestParseFloorsErrors(t *testing.T) {
 }
 
 func TestCheckReportsBreaches(t *testing.T) {
-	res := &Result{
+	res := &Result{Scores: Scores{
 		Series: []SeriesScore{{Name: "zero-window", Kind: "interval", F1: 0.5, Runs: 1}},
 		Conf:   Confusion{Total: 4, Correct: 2, Accuracy: 0.5},
 		Detect: Detection{Checked: 2, Passed: 1, Rate: 0.5},
@@ -134,7 +136,7 @@ func TestCheckReportsBreaches(t *testing.T) {
 			{Name: "bgp-sender-app", MAE: 0.4, Max: 0.4, Runs: 1},
 		},
 		Violations: []string{"case-x: boom"},
-	}
+	}}
 	breaches := res.Check(DefaultFloors())
 	want := []string{
 		"series adv-blocked: not scored",
@@ -162,6 +164,140 @@ func TestCheckReportsBreaches(t *testing.T) {
 	}
 }
 
+// TestMultiStackSweep: sweeping extra stacks must leave the Reno scorecard
+// byte-identical to a Reno-only run (per-stack accumulators are isolated)
+// and put every non-Reno stack under PerStack.
+func TestMultiStackSweep(t *testing.T) {
+	solo := Run(Config{Quick: true})
+	multi := Run(Config{Quick: true, Stacks: []tcpsim.Stack{tcpsim.StackReno, tcpsim.StackSACK}})
+
+	var soloTxt, multiTop bytes.Buffer
+	solo.WriteText(&soloTxt)
+	renoOnly := &Result{Quick: multi.Quick, Seed: multi.Seed, Scores: multi.Scores}
+	renoOnly.WriteText(&multiTop)
+	if soloTxt.String() != multiTop.String() {
+		t.Errorf("Reno scorecard changed when swept alongside sack:\n--- solo\n%s\n--- multi\n%s",
+			soloTxt.String(), multiTop.String())
+	}
+
+	if len(multi.PerStack) != 1 || multi.PerStack[0].Stack != "sack" {
+		t.Fatalf("PerStack = %+v, want exactly one sack entry", multi.PerStack)
+	}
+	if multi.PerStack[0].Cases != multi.Cases {
+		t.Errorf("sack swept %d cases, reno %d", multi.PerStack[0].Cases, multi.Cases)
+	}
+	if _, ok := multi.StackByName("sack"); !ok {
+		t.Error("StackByName(sack) missed")
+	}
+}
+
+// TestParseFloorsPerStack: the stack.<name>.<key> syntax lands in
+// Floors.PerStack and bad stack keys are rejected.
+func TestParseFloorsPerStack(t *testing.T) {
+	in := `
+series.zero-window.f1 0.95
+stack.cubic.series.adv-blocked.f1 0.80
+stack.cubic.violations.max 2
+stack.stretch-ack.confusion.accuracy 0.60
+`
+	fl, err := ParseFloors(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cubic := fl.PerStack["cubic"]
+	if cubic == nil || cubic.SeriesF1["adv-blocked"] != 0.80 {
+		t.Fatalf("cubic floors = %+v", cubic)
+	}
+	if !cubic.hasMaxViolations || cubic.MaxViolations != 2 {
+		t.Errorf("cubic violations.max = %v (set %v)", cubic.MaxViolations, cubic.hasMaxViolations)
+	}
+	if sa := fl.PerStack["stretch-ack"]; sa == nil || sa.ConfusionAccuracy != 0.60 {
+		t.Errorf("stretch-ack floors = %+v", sa)
+	}
+	for _, bad := range []string{"stack. 1.0", "stack.cubic 1.0", "stack.cubic.bogus 1.0"} {
+		if _, err := ParseFloors(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseFloors(%q) accepted", bad)
+		}
+	}
+}
+
+// TestCheckPerStack: per-stack floors gate the matching PerStack scorecard
+// with a prefixed breach message, and floors for an unswept stack breach.
+func TestCheckPerStack(t *testing.T) {
+	res := &Result{
+		Scores: Scores{
+			Series: []SeriesScore{{Name: "zero-window", Kind: "interval", F1: 0.99, Runs: 1}},
+			Conf:   Confusion{Total: 1, Correct: 1, Accuracy: 1},
+			Detect: Detection{Checked: 1, Passed: 1, Rate: 1},
+		},
+		PerStack: []StackResult{{Stack: "cubic", Scores: Scores{
+			Series: []SeriesScore{{Name: "zero-window", Kind: "interval", F1: 0.70, Runs: 1}},
+			Conf:   Confusion{Total: 1, Correct: 1, Accuracy: 1},
+			Detect: Detection{Checked: 1, Passed: 1, Rate: 1},
+		}}},
+	}
+	fl := Floors{
+		SeriesF1: map[string]float64{"zero-window": 0.90},
+		PerStack: map[string]*Floors{
+			"cubic":      {SeriesF1: map[string]float64{"zero-window": 0.90}},
+			"rate-paced": {SeriesF1: map[string]float64{"zero-window": 0.50}},
+		},
+	}
+	breaches := res.Check(fl)
+	want := []string{
+		"stack cubic: series zero-window: F1 0.700 below floor 0.90",
+		"stack rate-paced: floors set but stack not swept",
+	}
+	for _, w := range want {
+		found := false
+		for _, b := range breaches {
+			if strings.Contains(b, w) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("breach %q not reported; got %v", w, breaches)
+		}
+	}
+	for _, b := range breaches {
+		if strings.Contains(b, "stack") == false && strings.Contains(b, "zero-window") {
+			t.Errorf("reno scorecard breached spuriously: %v", b)
+		}
+	}
+}
+
+// TestWriteStackTable: the markdown generator marks scores that fail the
+// default Reno gate and renders one column per stack.
+func TestWriteStackTable(t *testing.T) {
+	res := &Result{
+		Scores: Scores{
+			Series:  []SeriesScore{{Name: "zero-window", Kind: "interval", F1: 0.99, Runs: 1}},
+			Factors: []FactorError{{Name: "bgp-sender-app", MAE: 0.05, Runs: 1}},
+			Conf:    Confusion{Total: 1, Correct: 1, Accuracy: 1},
+			Detect:  Detection{Checked: 1, Passed: 1, Rate: 1},
+		},
+		PerStack: []StackResult{{Stack: "stretch-ack", Scores: Scores{
+			Series:  []SeriesScore{{Name: "zero-window", Kind: "interval", F1: 0.42, Runs: 1}},
+			Factors: []FactorError{{Name: "bgp-sender-app", MAE: 0.30, Runs: 1}},
+			Conf:    Confusion{Total: 1, Correct: 0, Accuracy: 0},
+			Detect:  Detection{Checked: 1, Passed: 1, Rate: 1},
+		}}},
+	}
+	var buf bytes.Buffer
+	res.WriteStackTable(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"| inference | reno | stretch-ack |",
+		"0.990 ✓",
+		"**0.420 ✗**",
+		"**0.300 ✗**",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stack table missing %q:\n%s", want, out)
+		}
+	}
+}
+
 // BenchmarkOracleSweep times one full quick sweep — the CI validate job's
 // dominant cost (tracked in BENCH_validate.json).
 func BenchmarkOracleSweep(b *testing.B) {
@@ -170,5 +306,22 @@ func BenchmarkOracleSweep(b *testing.B) {
 		if res.Cases == 0 {
 			b.Fatal("empty sweep")
 		}
+	}
+}
+
+// BenchmarkOracleSweepStacks times the quick sweep under each sender stack
+// separately. CI archives these alongside BenchmarkOracleSweep in
+// BENCH_validate.json (the -bench regex matches both); they are kept out of
+// the benchfloor gate — stack cost is informational, not a regression gate.
+func BenchmarkOracleSweepStacks(b *testing.B) {
+	for _, st := range tcpsim.AllStacks() {
+		b.Run(st.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := Run(Config{Quick: true, Stacks: []tcpsim.Stack{st}})
+				if res.Cases == 0 && len(res.PerStack) == 0 {
+					b.Fatal("empty sweep")
+				}
+			}
+		})
 	}
 }

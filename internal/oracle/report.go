@@ -17,7 +17,16 @@ func (r *Result) WriteText(w io.Writer) {
 		mode = "quick"
 	}
 	fmt.Fprintf(w, "T-DAT validation scorecard (%s sweep, %d cases, seed %d)\n\n", mode, r.Cases, r.Seed)
+	writeScoresText(w, &r.Scores)
+	for i := range r.PerStack {
+		sr := &r.PerStack[i]
+		fmt.Fprintf(w, "\n==== stack %s (%d cases) ====\n\n", sr.Stack, sr.Cases)
+		writeScoresText(w, &sr.Scores)
+	}
+}
 
+// writeScoresText renders one stack's scorecard block.
+func writeScoresText(w io.Writer, r *Scores) {
 	fmt.Fprintf(w, "%-17s %-9s %5s %7s %7s %7s\n", "series", "scoring", "runs", "prec", "recall", "F1")
 	for _, s := range r.Series {
 		fmt.Fprintf(w, "%-17s %-9s %5d %7.3f %7.3f %7.3f\n",
@@ -72,6 +81,11 @@ func (r *Result) WriteJSON(w io.Writer) error {
 //	detect.rate <min>         — detector-check pass-rate floor
 //	factor.<name>.mae <max>   — per-factor ratio error CEILING
 //	violations.max <max>      — total violation CEILING
+//
+// Per-stack floors prefix any of the above with `stack.<stack>.`, e.g.
+// `stack.cubic.series.zero-window.f1 0.90`. They gate the matching entry in
+// Result.PerStack; a per-stack floor with no matching swept stack is a
+// breach.
 type Floors struct {
 	SeriesF1          map[string]float64
 	ConfusionAccuracy float64
@@ -79,6 +93,8 @@ type Floors struct {
 	FactorMAE         map[string]float64
 	MaxViolations     int
 	hasMaxViolations  bool
+	// PerStack gates Result.PerStack entries by stack name.
+	PerStack map[string]*Floors
 }
 
 // DefaultFloors returns the gate the CI validate job enforces when no floor
@@ -125,30 +141,75 @@ func ParseFloors(r io.Reader) (Floors, error) {
 			return f, fmt.Errorf("floor line %d: bad value %q: %v", line, fields[1], err)
 		}
 		key := fields[0]
-		switch {
-		case strings.HasPrefix(key, "series.") && strings.HasSuffix(key, ".f1"):
-			name := strings.TrimSuffix(strings.TrimPrefix(key, "series."), ".f1")
-			f.SeriesF1[name] = val
-		case key == "confusion.accuracy":
-			f.ConfusionAccuracy = val
-		case key == "detect.rate":
-			f.DetectRate = val
-		case strings.HasPrefix(key, "factor.") && strings.HasSuffix(key, ".mae"):
-			name := strings.TrimSuffix(strings.TrimPrefix(key, "factor."), ".mae")
-			f.FactorMAE[name] = val
-		case key == "violations.max":
-			f.MaxViolations = int(val)
-			f.hasMaxViolations = true
-		default:
-			return f, fmt.Errorf("floor line %d: unknown key %q", line, key)
+		target := &f
+		if rest, ok := strings.CutPrefix(key, "stack."); ok {
+			stack, sub, ok := strings.Cut(rest, ".")
+			if !ok || stack == "" {
+				return f, fmt.Errorf("floor line %d: want \"stack.<name>.<key>\", got %q", line, key)
+			}
+			if f.PerStack == nil {
+				f.PerStack = map[string]*Floors{}
+			}
+			target = f.PerStack[stack]
+			if target == nil {
+				target = &Floors{SeriesF1: map[string]float64{}, FactorMAE: map[string]float64{}}
+				f.PerStack[stack] = target
+			}
+			key = sub
+		}
+		if err := target.setKey(key, val); err != nil {
+			return f, fmt.Errorf("floor line %d: %v", line, err)
 		}
 	}
 	return f, sc.Err()
 }
 
+// setKey applies one non-stack-prefixed floor key to this Floors.
+func (f *Floors) setKey(key string, val float64) error {
+	switch {
+	case strings.HasPrefix(key, "series.") && strings.HasSuffix(key, ".f1"):
+		name := strings.TrimSuffix(strings.TrimPrefix(key, "series."), ".f1")
+		f.SeriesF1[name] = val
+	case key == "confusion.accuracy":
+		f.ConfusionAccuracy = val
+	case key == "detect.rate":
+		f.DetectRate = val
+	case strings.HasPrefix(key, "factor.") && strings.HasSuffix(key, ".mae"):
+		name := strings.TrimSuffix(strings.TrimPrefix(key, "factor."), ".mae")
+		f.FactorMAE[name] = val
+	case key == "violations.max":
+		f.MaxViolations = int(val)
+		f.hasMaxViolations = true
+	default:
+		return fmt.Errorf("unknown key %q", key)
+	}
+	return nil
+}
+
 // Check compares the result against the floors and returns the list of
-// breaches (empty when the gate passes).
+// breaches (empty when the gate passes). Floors.PerStack entries gate the
+// matching Result.PerStack scorecards.
 func (r *Result) Check(fl Floors) []string {
+	out := checkScores("", &r.Scores, fl)
+	stacks := make([]string, 0, len(fl.PerStack))
+	for n := range fl.PerStack {
+		stacks = append(stacks, n)
+	}
+	sort.Strings(stacks)
+	for _, n := range stacks {
+		sub := fl.PerStack[n]
+		sr, ok := r.StackByName(n)
+		if !ok {
+			out = append(out, fmt.Sprintf("stack %s: floors set but stack not swept", n))
+			continue
+		}
+		out = append(out, checkScores("stack "+n+": ", &sr.Scores, *sub)...)
+	}
+	return out
+}
+
+// checkScores gates one stack's scorecard, prefixing every breach message.
+func checkScores(prefix string, r *Scores, fl Floors) []string {
 	var out []string
 	names := make([]string, 0, len(fl.SeriesF1))
 	for n := range fl.SeriesF1 {
@@ -159,20 +220,20 @@ func (r *Result) Check(fl Floors) []string {
 		min := fl.SeriesF1[n]
 		s, ok := r.SeriesByName(n)
 		if !ok {
-			out = append(out, fmt.Sprintf("series %s: not scored (floor %.2f)", n, min))
+			out = append(out, fmt.Sprintf("%sseries %s: not scored (floor %.2f)", prefix, n, min))
 			continue
 		}
 		if s.F1 < min {
-			out = append(out, fmt.Sprintf("series %s: F1 %.3f below floor %.2f", n, s.F1, min))
+			out = append(out, fmt.Sprintf("%sseries %s: F1 %.3f below floor %.2f", prefix, n, s.F1, min))
 		}
 	}
 	if r.Conf.Accuracy < fl.ConfusionAccuracy {
-		out = append(out, fmt.Sprintf("confusion accuracy %.3f below floor %.2f",
-			r.Conf.Accuracy, fl.ConfusionAccuracy))
+		out = append(out, fmt.Sprintf("%sconfusion accuracy %.3f below floor %.2f",
+			prefix, r.Conf.Accuracy, fl.ConfusionAccuracy))
 	}
 	if r.Detect.Rate < fl.DetectRate {
-		out = append(out, fmt.Sprintf("detection rate %.3f below floor %.2f",
-			r.Detect.Rate, fl.DetectRate))
+		out = append(out, fmt.Sprintf("%sdetection rate %.3f below floor %.2f",
+			prefix, r.Detect.Rate, fl.DetectRate))
 	}
 	names = names[:0]
 	for n := range fl.FactorMAE {
@@ -183,16 +244,80 @@ func (r *Result) Check(fl Floors) []string {
 		max := fl.FactorMAE[n]
 		f, ok := r.FactorByName(n)
 		if !ok {
-			out = append(out, fmt.Sprintf("factor %s: not scored (ceiling %.2f)", n, max))
+			out = append(out, fmt.Sprintf("%sfactor %s: not scored (ceiling %.2f)", prefix, n, max))
 			continue
 		}
 		if f.MAE > max {
-			out = append(out, fmt.Sprintf("factor %s: MAE %.4f above ceiling %.2f", n, f.MAE, max))
+			out = append(out, fmt.Sprintf("%sfactor %s: MAE %.4f above ceiling %.2f", prefix, n, f.MAE, max))
 		}
 	}
 	if fl.hasMaxViolations && len(r.Violations) > fl.MaxViolations {
-		out = append(out, fmt.Sprintf("%d violations exceed the allowed %d",
-			len(r.Violations), fl.MaxViolations))
+		out = append(out, fmt.Sprintf("%s%d violations exceed the allowed %d",
+			prefix, len(r.Violations), fl.MaxViolations))
 	}
 	return out
+}
+
+// WriteStackTable renders the "which inferences are Reno-specific" markdown
+// table from a multi-stack sweep: one column per stack, one row per scored
+// inference. A ✓ means the score still meets the default Reno gate
+// (DefaultFloors); a ✗ marks an inference that does not survive that stack.
+func (r *Result) WriteStackTable(w io.Writer) {
+	type col struct {
+		name string
+		s    *Scores
+	}
+	cols := []col{{"reno", &r.Scores}}
+	for i := range r.PerStack {
+		cols = append(cols, col{r.PerStack[i].Stack, &r.PerStack[i].Scores})
+	}
+	fl := DefaultFloors()
+
+	fmt.Fprintf(w, "| inference |")
+	for _, c := range cols {
+		fmt.Fprintf(w, " %s |", c.name)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "|---|")
+	for range cols {
+		fmt.Fprintf(w, "---|")
+	}
+	fmt.Fprintln(w)
+
+	row := func(label string, cell func(*Scores) (float64, bool, bool)) {
+		fmt.Fprintf(w, "| %s |", label)
+		for _, c := range cols {
+			val, scored, ok := cell(c.s)
+			switch {
+			case !scored:
+				fmt.Fprintf(w, " — |")
+			case ok:
+				fmt.Fprintf(w, " %.3f ✓ |", val)
+			default:
+				fmt.Fprintf(w, " **%.3f ✗** |", val)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+
+	for _, sc := range r.Series {
+		name := sc.Name
+		row(name+" F1", func(s *Scores) (float64, bool, bool) {
+			got, ok := s.SeriesByName(name)
+			return got.F1, ok, got.F1 >= fl.SeriesF1[name]
+		})
+	}
+	row("dominant-group accuracy", func(s *Scores) (float64, bool, bool) {
+		return s.Conf.Accuracy, s.Conf.Total > 0, s.Conf.Accuracy >= fl.ConfusionAccuracy
+	})
+	row("detector checks pass rate", func(s *Scores) (float64, bool, bool) {
+		return s.Detect.Rate, s.Detect.Checked > 0, s.Detect.Rate >= fl.DetectRate
+	})
+	for _, fe := range r.Factors {
+		name := fe.Name
+		row(name+" MAE", func(s *Scores) (float64, bool, bool) {
+			got, ok := s.FactorByName(name)
+			return got.MAE, ok && got.Runs > 0, got.MAE <= fl.FactorMAE[name]
+		})
+	}
 }

@@ -7,6 +7,7 @@ import (
 	"tdat/internal/core"
 	"tdat/internal/factors"
 	"tdat/internal/series"
+	"tdat/internal/tcpsim"
 	"tdat/internal/timerange"
 	"tdat/internal/tracegen"
 )
@@ -29,6 +30,11 @@ type Config struct {
 	// (core.Config.Explain) plus truth-vs-inference interval diffs, surfaced
 	// by Result.WriteExplainFailures on a floor breach.
 	Explain bool
+	// Stacks lists the sender-stack personalities to sweep (nil = Reno
+	// only). The Reno sweep populates the Result's top-level fields — the
+	// scores the historical floors gate — and every other stack lands in
+	// Result.PerStack with its own scorecard.
+	Stacks []tcpsim.Stack
 
 	// IntervalTolMicros is the base interval-matching tolerance (default
 	// 25 ms); the effective per-run tolerance is max(base, 4×RTT), since

@@ -79,6 +79,7 @@ const (
 	OptMSS           = 2
 	OptWindowScale   = 3
 	OptSACKPermitted = 4
+	OptSACK          = 5
 	OptTimestamps    = 8
 )
 
@@ -152,6 +153,58 @@ func (t *TCP) SetMSS(mss uint16) {
 	data := make([]byte, 2)
 	binary.BigEndian.PutUint16(data, mss)
 	t.Options = append(t.Options, TCPOption{Kind: OptMSS, Data: data})
+}
+
+// HasOption reports whether an option of the given kind is present.
+func (t *TCP) HasOption(kind uint8) bool {
+	for _, o := range t.Options {
+		if o.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// SACKBlocks decodes the selective-acknowledgment option (RFC 2018) into
+// [left, right) sequence-number edge pairs, nil if absent or malformed.
+func (t *TCP) SACKBlocks() [][2]uint32 {
+	for _, o := range t.Options {
+		if o.Kind != OptSACK {
+			continue
+		}
+		if len(o.Data) == 0 || len(o.Data)%8 != 0 {
+			return nil
+		}
+		blocks := make([][2]uint32, 0, len(o.Data)/8)
+		for i := 0; i+8 <= len(o.Data); i += 8 {
+			blocks = append(blocks, [2]uint32{
+				binary.BigEndian.Uint32(o.Data[i : i+4]),
+				binary.BigEndian.Uint32(o.Data[i+4 : i+8]),
+			})
+		}
+		return blocks
+	}
+	return nil
+}
+
+// SetSACKBlocks appends a SACK option carrying the given [left, right)
+// edge pairs (at most 4 fit the option space; extras are dropped).
+func (t *TCP) SetSACKBlocks(blocks [][2]uint32) {
+	if len(blocks) == 0 {
+		return
+	}
+	if len(blocks) > 4 {
+		blocks = blocks[:4]
+	}
+	data := make([]byte, 0, len(blocks)*8)
+	var edge [4]byte
+	for _, b := range blocks {
+		binary.BigEndian.PutUint32(edge[:], b[0])
+		data = append(data, edge[:]...)
+		binary.BigEndian.PutUint32(edge[:], b[1])
+		data = append(data, edge[:]...)
+	}
+	t.Options = append(t.Options, TCPOption{Kind: OptSACK, Data: data})
 }
 
 // headerLen returns the TCP header length in bytes including padded options.

@@ -226,3 +226,83 @@ func TestMarshalRejectsOversize(t *testing.T) {
 		t.Errorf("Marshal oversize err = %v, want ErrBadHeader", err)
 	}
 }
+
+func TestHasOption(t *testing.T) {
+	p := samplePacket()
+	if p.TCP.HasOption(OptSACKPermitted) {
+		t.Error("HasOption true on empty option list")
+	}
+	p.TCP.Options = append(p.TCP.Options, TCPOption{Kind: OptSACKPermitted})
+	if !p.TCP.HasOption(OptSACKPermitted) {
+		t.Error("HasOption missed SACK-permitted")
+	}
+	if p.TCP.HasOption(OptWindowScale) {
+		t.Error("HasOption matched absent kind")
+	}
+}
+
+func TestSACKBlocksRoundTrip(t *testing.T) {
+	p := samplePacket()
+	want := [][2]uint32{{1000, 2000}, {5000, 6448}, {9000, 9001}}
+	p.TCP.SetSACKBlocks(want)
+	frame, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := got.TCP.SACKBlocks()
+	if len(blocks) != len(want) {
+		t.Fatalf("SACKBlocks = %v, want %v", blocks, want)
+	}
+	for i := range want {
+		if blocks[i] != want[i] {
+			t.Errorf("block %d = %v, want %v", i, blocks[i], want[i])
+		}
+	}
+}
+
+func TestSACKBlocksEdgeCases(t *testing.T) {
+	var tcp TCP
+	if got := tcp.SACKBlocks(); got != nil {
+		t.Errorf("SACKBlocks on no options = %v", got)
+	}
+	tcp.SetSACKBlocks(nil)
+	if len(tcp.Options) != 0 {
+		t.Error("SetSACKBlocks(nil) appended an option")
+	}
+	// Five blocks exceed the option space; only four survive.
+	tcp.SetSACKBlocks([][2]uint32{{1, 2}, {3, 4}, {5, 6}, {7, 8}, {9, 10}})
+	if got := tcp.SACKBlocks(); len(got) != 4 || got[3] != [2]uint32{7, 8} {
+		t.Errorf("truncated SACKBlocks = %v, want 4 blocks ending {7 8}", got)
+	}
+	// Malformed length (not a multiple of 8) decodes to nil.
+	bad := TCP{Options: []TCPOption{{Kind: OptSACK, Data: make([]byte, 12)}}}
+	if got := bad.SACKBlocks(); got != nil {
+		t.Errorf("malformed SACK data decoded to %v", got)
+	}
+}
+
+func TestPayloadAndWireLen(t *testing.T) {
+	p := samplePacket()
+	if got := p.PayloadLen(); got != len(p.Payload) {
+		t.Errorf("PayloadLen = %d, want %d", got, len(p.Payload))
+	}
+	frame, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.WireLen(); got != len(frame) {
+		t.Errorf("WireLen = %d, marshaled frame is %d bytes", got, len(frame))
+	}
+	p.TCP.SetSACKBlocks([][2]uint32{{1, 2}})
+	frame, err = p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.WireLen(); got != len(frame) {
+		t.Errorf("WireLen with SACK option = %d, frame is %d bytes", got, len(frame))
+	}
+}

@@ -1,14 +1,20 @@
-// Package tcpsim implements a discrete-event TCP endpoint with Reno
-// congestion control — slow start, congestion avoidance, fast
-// retransmit/recovery, RFC 6298 retransmission timeouts with exponential
-// backoff — plus receiver flow control with delayed ACKs, zero-window
-// probing, and the zero-window probe-discard bug the paper found in
-// operational routers (§IV-B "ZeroAckBug").
+// Package tcpsim implements a discrete-event TCP endpoint with pluggable
+// congestion control (see CongestionControl in cc.go). The default stack is
+// Reno — slow start, congestion avoidance, fast retransmit/recovery,
+// RFC 6298 retransmission timeouts with exponential backoff — and CUBIC,
+// rate-paced (BBR-like), and SACK-recovery stacks plus buggy receiver
+// variants (stretch ACKs, broken window scaling) are selectable through
+// Config.Stack / ApplyStack. All stacks share the receiver flow-control
+// machinery: delayed ACKs, zero-window probing, and the zero-window
+// probe-discard bug the paper found in operational routers (§IV-B
+// "ZeroAckBug").
 //
-// The model is the one T-DAT assumes: window-based congestion control in the
-// Tahoe/Reno/NewReno family. Endpoints exchange packet.Packet values through
-// netem links under a sim.Engine, and applications drive them through
-// Write/Read plus callbacks, which is how bgpsim layers BGP speakers on top.
+// The default model is the one T-DAT assumes: window-based congestion
+// control in the Tahoe/Reno/NewReno family; the other stacks exist to
+// measure which of the analyzer's inferences are Reno-specific. Endpoints
+// exchange packet.Packet values through netem links under a sim.Engine, and
+// applications drive them through Write/Read plus callbacks, which is how
+// bgpsim layers BGP speakers on top.
 package tcpsim
 
 import (
@@ -68,6 +74,27 @@ type Config struct {
 	// RTO-driven retransmission (observed as upstream loss during
 	// zero-window periods).
 	ZeroWindowProbeBug bool
+
+	// Stack selects the congestion-control strategy (see stack.go). The
+	// zero value is Reno; ApplyStack is the usual way to set it together
+	// with the matching receiver quirks.
+	Stack Stack
+	// MaxCwnd caps the congestion window in bytes (0 = unbounded).
+	MaxCwnd int
+	// SACK offers selective acknowledgments on the SYN and, when the peer
+	// offers too, generates SACK blocks (receiver) and repairs from a
+	// scoreboard (sender, with Stack == StackSACK).
+	SACK bool
+	// StretchAcks, when ≥ 2, makes the receiver acknowledge only every Nth
+	// full segment instead of every second one — the buggy stretch-ACK
+	// behavior that starves a window-based sender's ACK clock. 0 keeps the
+	// standard delayed-ACK rule.
+	StretchAcks int
+	// WindowScaleBug right-shifts the advertised receive window by this
+	// many bits, modeling a broken window-scaling implementation that
+	// advertises the post-scale value to a peer that never scales it back
+	// up. 0 disables the bug.
+	WindowScaleBug uint8
 }
 
 func (c Config) withDefaults() Config {

@@ -25,21 +25,27 @@ type Endpoint struct {
 	remotePort uint16
 
 	// Send side.
-	iss          uint32 // initial send sequence (SYN consumes iss)
-	sndUna       int64  // lowest unacknowledged payload offset
-	sndNxt       int64  // next payload offset to transmit
-	sndBuf       []byte // payload from offset sndUna onward (unacked + unsent)
-	cwnd         float64
-	ssthresh     float64
-	dupAcks      int
-	inRecovery   bool
-	recoverPoint int64
-	// Post-timeout go-back-N repair: rtoRecover marks how far data was
-	// outstanding when the timeout fired (0 = no repair in progress), and
-	// rexmitNxt is the next byte the repair walk will retransmit.
+	iss     uint32 // initial send sequence (SYN consumes iss)
+	sndUna  int64  // lowest unacknowledged payload offset
+	sndNxt  int64  // next payload offset to transmit
+	sndBuf  []byte // payload from offset sndUna onward (unacked + unsent)
+	cc      CongestionControl
+	dupAcks int
+	// Post-timeout repair: rtoRecover marks how far data was outstanding
+	// when the timeout fired (0 = no repair in progress), rexmitNxt is the
+	// next byte the repair walk will retransmit, and repairMode is how the
+	// strategy asked for the walk to run (go-back-N or SACK-aware).
 	rtoRecover int64
 	rexmitNxt  int64
+	repairMode RepairMode
 	peerWnd    int
+
+	// SACK state (active only when both sides offered OptSACKPermitted).
+	sackOK        bool
+	peerSACK      bool       // peer offered SACK on its SYN
+	sb            scoreboard // sender: peer-SACKed ranges in stream offsets
+	sackRexmitNxt int64      // sender: next hole candidate in fast recovery
+	lastOOO       int64      // receiver: most recent out-of-order arrival
 
 	// RTT estimation (RFC 6298), all in microseconds.
 	srtt, rttvar float64
@@ -53,6 +59,7 @@ type Endpoint struct {
 
 	rtoTimer       *sim.Timer
 	persistTimer   *sim.Timer
+	paceTimer      *sim.Timer // rate-paced stacks: next admitted transmission
 	persistBackoff Micros
 	bugDropArmed   bool
 
@@ -95,14 +102,13 @@ type Endpoint struct {
 func NewEndpoint(eng *sim.Engine, cfg Config, out Handler) *Endpoint {
 	cfg = cfg.withDefaults()
 	e := &Endpoint{
-		eng:      eng,
-		cfg:      cfg,
-		out:      out,
-		state:    StateClosed,
-		cwnd:     float64(cfg.InitialCwnd * cfg.MSS),
-		ssthresh: float64(cfg.InitialSsthresh),
-		peerWnd:  cfg.MSS, // until the peer's first window advertisement
-		ooo:      map[int64][]byte{},
+		eng:     eng,
+		cfg:     cfg,
+		out:     out,
+		state:   StateClosed,
+		cc:      newCongestionControl(cfg),
+		peerWnd: cfg.MSS, // until the peer's first window advertisement
+		ooo:     map[int64][]byte{},
 	}
 	e.lastAdvWnd = cfg.RecvBuf
 	e.finSentAt = -1
@@ -130,7 +136,13 @@ func (e *Endpoint) Config() Config { return e.cfg }
 func (e *Endpoint) SRTT() Micros { return Micros(e.srtt) }
 
 // Cwnd returns the congestion window in bytes.
-func (e *Endpoint) Cwnd() int { return int(e.cwnd) }
+func (e *Endpoint) Cwnd() int { return int(e.cc.Cwnd()) }
+
+// StackName returns the name of the congestion-control strategy in use.
+func (e *Endpoint) StackName() string { return e.cc.Name() }
+
+// SACKEnabled reports whether selective acknowledgments were negotiated.
+func (e *Endpoint) SACKEnabled() bool { return e.sackOK }
 
 // PeerWindow returns the peer's last advertised receive window.
 func (e *Endpoint) PeerWindow() int { return e.peerWnd }
@@ -173,6 +185,7 @@ func (e *Endpoint) Abort() {
 func (e *Endpoint) stopTimers() {
 	e.rtoTimer.Stop()
 	e.persistTimer.Stop()
+	e.paceTimer.Stop()
 	e.delack.Stop()
 }
 
@@ -275,6 +288,10 @@ func (e *Endpoint) advWindow() int {
 	if w > 65535 {
 		w = 65535 // no window scaling, as in the paper's traces
 	}
+	// Broken window scaling: the buggy receiver advertises the post-scale
+	// value (buffer >> shift) to a peer that never scales it back up, so
+	// the sender sees only a fraction of the real buffer.
+	w >>= int(e.cfg.WindowScaleBug)
 	return w
 }
 
@@ -306,6 +323,9 @@ func (e *Endpoint) sendSyn(withAck bool) {
 	}
 	p := e.newPacket(flags, e.iss, ack, nil)
 	p.TCP.SetMSS(uint16(e.cfg.MSS))
+	if e.cfg.SACK {
+		p.TCP.Options = append(p.TCP.Options, packet.TCPOption{Kind: packet.OptSACKPermitted})
+	}
 	e.transmit(p)
 }
 
@@ -317,7 +337,7 @@ func (e *Endpoint) newPacket(flags uint8, seq, ack uint32, payload []byte) *pack
 		e.stats.ZeroWindowAcks++
 	}
 	e.probeZeroWindow(adv)
-	return &packet.Packet{
+	p := &packet.Packet{
 		IP: packet.IPv4{
 			ID:  e.ipID,
 			TTL: 64,
@@ -334,6 +354,12 @@ func (e *Endpoint) newPacket(flags uint8, seq, ack uint32, payload []byte) *pack
 		},
 		Payload: payload,
 	}
+	// A SACK-negotiated receiver reports its out-of-order holdings on every
+	// non-SYN segment while any exist (RFC 2018 §4).
+	if e.sackOK && len(e.ooo) > 0 && flags&(packet.FlagSYN|packet.FlagRST) == 0 {
+		p.TCP.SetSACKBlocks(e.sackBlocks())
+	}
+	return p
 }
 
 func (e *Endpoint) emit(flags uint8, seq, ack uint32, payload []byte, isRetx bool) {
@@ -388,6 +414,8 @@ func (e *Endpoint) Deliver(p *packet.Packet) {
 			if mss, ok := tcp.MSS(); ok && int(mss) < e.cfg.MSS {
 				e.cfg.MSS = int(mss)
 			}
+			e.peerSACK = tcp.HasOption(packet.OptSACKPermitted)
+			e.sackOK = e.cfg.SACK && e.peerSACK
 			e.peerWnd = int(tcp.Window)
 			e.state = StateSynReceived
 			e.synSentAt = e.eng.Now()
@@ -400,6 +428,8 @@ func (e *Endpoint) Deliver(p *packet.Packet) {
 			if mss, ok := tcp.MSS(); ok && int(mss) < e.cfg.MSS {
 				e.cfg.MSS = int(mss)
 			}
+			e.peerSACK = tcp.HasOption(packet.OptSACKPermitted)
+			e.sackOK = e.cfg.SACK && e.peerSACK
 			e.peerWnd = int(tcp.Window)
 			if !e.synRetx {
 				e.rttSampleRaw(e.eng.Now() - e.synSentAt)

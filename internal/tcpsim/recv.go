@@ -67,6 +67,7 @@ func (e *Endpoint) processData(p *packet.Packet) {
 				e.ooo[off] = seg
 				e.oooBytes += len(seg)
 			}
+			e.lastOOO = off // most recent arrival leads the SACK blocks
 		}
 		e.stats.DupAcksSent++
 		e.sendAck()
@@ -134,14 +135,21 @@ func (e *Endpoint) integrateOOO() {
 }
 
 // scheduleAck implements delayed acknowledgments: every second full segment
-// (or the delayed-ACK timer, whichever first) triggers an ACK.
+// (or the delayed-ACK timer, whichever first) triggers an ACK. A buggy
+// stretch-ACK receiver (Config.StretchAcks ≥ 2) raises the segment count,
+// acknowledging only every Nth segment and starving the sender's ACK clock
+// between the delayed-ACK timer firings.
 func (e *Endpoint) scheduleAck() {
 	if e.cfg.DisableDelayedAck {
 		e.sendAck()
 		return
 	}
+	ackEvery := 2
+	if e.cfg.StretchAcks >= 2 {
+		ackEvery = e.cfg.StretchAcks
+	}
 	e.pendingAck++
-	if e.pendingAck >= 2 || len(e.ooo) > 0 {
+	if e.pendingAck >= ackEvery || len(e.ooo) > 0 {
 		e.sendAck()
 		return
 	}

@@ -1,0 +1,190 @@
+package tcpsim
+
+import (
+	"sort"
+
+	"tdat/internal/packet"
+)
+
+// This file holds the selective-acknowledgment machinery (RFC 2018): the
+// sender-side scoreboard of peer-SACKed byte ranges, the receiver-side SACK
+// block generation from the out-of-order buffer, and the fast-recovery hole
+// retransmission that replaces blind go-back-N when SACK is negotiated.
+
+// scoreboard tracks the byte ranges the peer has selectively acknowledged,
+// as sorted disjoint [left, right) stream-offset intervals above sndUna.
+type scoreboard struct {
+	ranges [][2]int64
+}
+
+// add merges [l, r) into the scoreboard.
+func (s *scoreboard) add(l, r int64) {
+	if l >= r {
+		return
+	}
+	out := s.ranges[:0]
+	inserted := false
+	for _, rr := range s.ranges {
+		switch {
+		case rr[1] < l || r < rr[0]:
+			// Disjoint (adjacent ranges merge below).
+			if rr[0] > r && !inserted {
+				out = append(out, [2]int64{l, r})
+				inserted = true
+			}
+			out = append(out, rr)
+		default:
+			// Overlapping or adjacent: absorb into the pending range.
+			if rr[0] < l {
+				l = rr[0]
+			}
+			if rr[1] > r {
+				r = rr[1]
+			}
+		}
+	}
+	if !inserted {
+		out = append(out, [2]int64{l, r})
+	}
+	// Absorption can leave the merged range out of place; restore order.
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	s.ranges = out
+}
+
+// advance drops everything below the new cumulative ACK point.
+func (s *scoreboard) advance(una int64) {
+	out := s.ranges[:0]
+	for _, rr := range s.ranges {
+		if rr[1] <= una {
+			continue
+		}
+		if rr[0] < una {
+			rr[0] = una
+		}
+		out = append(out, rr)
+	}
+	s.ranges = out
+}
+
+// coveringEnd returns the right edge of the range covering off, if any.
+func (s *scoreboard) coveringEnd(off int64) (int64, bool) {
+	for _, rr := range s.ranges {
+		if rr[0] <= off && off < rr[1] {
+			return rr[1], true
+		}
+		if rr[0] > off {
+			break
+		}
+	}
+	return 0, false
+}
+
+// nextSackedStart returns the left edge of the first range starting after
+// off, if any.
+func (s *scoreboard) nextSackedStart(off int64) (int64, bool) {
+	for _, rr := range s.ranges {
+		if rr[0] > off {
+			return rr[0], true
+		}
+	}
+	return 0, false
+}
+
+// max returns the highest SACKed offset, if any range is recorded.
+func (s *scoreboard) max() (int64, bool) {
+	if len(s.ranges) == 0 {
+		return 0, false
+	}
+	return s.ranges[len(s.ranges)-1][1], true
+}
+
+// sackBlocks builds the receiver's SACK blocks from the out-of-order buffer
+// in wire sequence space: the block containing the most recent arrival
+// first (RFC 2018 §4), then the remaining spans in ascending order, capped
+// at three blocks to leave option room alongside padding.
+func (e *Endpoint) sackBlocks() [][2]uint32 {
+	if len(e.ooo) == 0 {
+		return nil
+	}
+	offs := make([]int64, 0, len(e.ooo))
+	for off := range e.ooo {
+		offs = append(offs, off)
+	}
+	sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+
+	var spans [][2]int64
+	for _, off := range offs {
+		end := off + int64(len(e.ooo[off]))
+		if n := len(spans); n > 0 && off <= spans[n-1][1] {
+			if end > spans[n-1][1] {
+				spans[n-1][1] = end
+			}
+			continue
+		}
+		spans = append(spans, [2]int64{off, end})
+	}
+
+	first := 0
+	for i, sp := range spans {
+		if e.lastOOO >= sp[0] && e.lastOOO < sp[1] {
+			first = i
+			break
+		}
+	}
+	ordered := make([][2]int64, 0, len(spans))
+	ordered = append(ordered, spans[first])
+	for i, sp := range spans {
+		if i != first {
+			ordered = append(ordered, sp)
+		}
+	}
+	if len(ordered) > 3 {
+		ordered = ordered[:3]
+	}
+
+	blocks := make([][2]uint32, len(ordered))
+	for i, sp := range ordered {
+		blocks[i] = [2]uint32{e.recvWireSeq(sp[0]), e.recvWireSeq(sp[1])}
+	}
+	return blocks
+}
+
+// recvWireSeq converts a receive-stream offset to the peer's wire sequence
+// number.
+func (e *Endpoint) recvWireSeq(off int64) uint32 { return e.irs + 1 + uint32(off) }
+
+// sackRetransmitHole retransmits the next un-SACKed hole below the highest
+// SACKed offset — one hole per duplicate ACK, keeping the repair
+// ACK-clocked like the fast retransmit it extends.
+func (e *Endpoint) sackRetransmitHole() {
+	high, ok := e.sb.max()
+	if !ok {
+		return
+	}
+	off := e.sackRexmitNxt
+	if off < e.sndUna {
+		off = e.sndUna
+	}
+	for off < high {
+		if end, covered := e.sb.coveringEnd(off); covered {
+			off = end
+			continue
+		}
+		n := int64(e.cfg.MSS)
+		if next, has := e.sb.nextSackedStart(off); has && next-off < n {
+			n = next - off
+		}
+		if fl := e.sndNxt - off; fl < n {
+			n = fl
+		}
+		if n <= 0 {
+			return
+		}
+		start := off - e.sndUna
+		e.timing = false // Karn's algorithm: never time retransmitted data
+		e.emit(packet.FlagACK|packet.FlagPSH, e.wireSeq(off), e.wireAck(),
+			e.sndBuf[start:start+n], true)
+		e.sackRexmitNxt = off + n
+		return
+	}
+}

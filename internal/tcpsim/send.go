@@ -4,16 +4,19 @@ import (
 	"tdat/internal/packet"
 )
 
-// This file holds the sender half: segment pacing under the congestion and
-// advertised windows, Reno congestion control, RFC 6298 retransmission
-// timeouts, zero-window persist probing, and the probe-discard bug.
+// This file holds the sender half: segment transmission under the
+// congestion and advertised windows (with an optional pacing gate), RFC 6298
+// retransmission timeouts, zero-window persist probing, and the
+// probe-discard bug. Window arithmetic itself lives behind the
+// CongestionControl strategy (cc.go).
 
-// trySend transmits as much buffered data as both windows allow.
+// trySend transmits as much buffered data as both windows (and the
+// strategy's pacing gate, if any) allow.
 func (e *Endpoint) trySend() {
 	if e.state != StateEstablished && e.state != StateCloseWait {
 		return
 	}
-	wnd := int64(e.cwnd)
+	wnd := int64(e.cc.Cwnd())
 	if pw := int64(e.peerWnd); pw < wnd {
 		wnd = pw
 	}
@@ -35,6 +38,16 @@ func (e *Endpoint) trySend() {
 		// the next ACK or write.
 		if !e.cfg.NoDelay && int(seg) < e.cfg.MSS && rem(dataEnd, e.sndNxt) < int64(e.cfg.MSS) &&
 			e.sndNxt > e.sndUna {
+			break
+		}
+		// Rate-paced stacks spread transmissions along the pacing interval
+		// instead of bursting the whole window; the strategy accounts for
+		// admitted segments, and a denied segment schedules a retry when
+		// the gate reopens.
+		if wait := e.cc.PacingGate(e.eng.Now(), int(seg)); wait > 0 {
+			if !e.paceTimer.Active() {
+				e.paceTimer = e.eng.After(wait, e.trySend)
+			}
 			break
 		}
 		e.sendSegment(e.sndNxt, int(seg))
@@ -67,7 +80,7 @@ func (e *Endpoint) trySend() {
 		pw := int64(e.peerWnd)
 		wantsMore := e.sndNxt < dataEnd || e.SendBufAvailable() < e.cfg.MSS
 		slack := int64(3 * e.cfg.MSS)
-		blocked := wantsMore && pw <= int64(e.cwnd) && pw-inflight < slack
+		blocked := wantsMore && pw <= int64(e.cc.Cwnd()) && pw-inflight < slack
 		e.probeSendBlocked(blocked)
 	}
 }
@@ -98,10 +111,11 @@ func (e *Endpoint) sendSegment(off int64, n int) {
 	e.emit(flags, e.wireSeq(off), e.wireAck(), payload, false)
 }
 
-// retransmitFirst resends one MSS starting at sndUna.
-func (e *Endpoint) retransmitFirst() {
+// retransmitFirst resends one MSS starting at sndUna, returning the bytes
+// retransmitted.
+func (e *Endpoint) retransmitFirst() int64 {
 	if e.sndNxt == e.sndUna || len(e.sndBuf) == 0 {
-		return
+		return 0
 	}
 	n := int64(e.cfg.MSS)
 	if fl := e.sndNxt - e.sndUna; fl < n {
@@ -109,6 +123,7 @@ func (e *Endpoint) retransmitFirst() {
 	}
 	e.timing = false // Karn's algorithm: never time retransmitted data
 	e.emit(packet.FlagACK|packet.FlagPSH, e.wireSeq(e.sndUna), e.wireAck(), e.sndBuf[:n], true)
+	return n
 }
 
 // processAck handles the acknowledgment and window fields of an incoming
@@ -117,6 +132,17 @@ func (e *Endpoint) processAck(tcp *packet.TCP) {
 	ackOff := e.ackToOff(tcp.Ack)
 	oldWnd := e.peerWnd
 	e.peerWnd = int(tcp.Window)
+
+	// Fold any SACK blocks into the scoreboard before acting on the ACK, so
+	// fast-recovery hole selection sees what the receiver already holds.
+	if e.sackOK {
+		for _, b := range tcp.SACKBlocks() {
+			l, r := e.ackToOff(b[0]), e.ackToOff(b[1])
+			if l < r && r <= e.sndNxt {
+				e.sb.add(l, r)
+			}
+		}
+	}
 
 	// A window reopening cancels the persist probe; under the router bug
 	// the race corrupts the next outgoing segment (paper §IV-B).
@@ -157,29 +183,24 @@ func (e *Endpoint) onNewAck(ackOff int64) {
 	}
 	e.dupAcks = 0
 	e.rtoShift = 0
+	e.sb.advance(e.sndUna)
 
 	if e.timing && ackOff >= e.timedEnd {
 		e.rttSampleRaw(e.eng.Now() - e.timedAt)
 		e.timing = false
 	}
 
-	if e.inRecovery {
-		// Classic Reno: leave recovery on the first new ACK.
-		e.inRecovery = false
-		e.cwnd = e.ssthresh
-	} else {
-		// Appropriate byte counting (RFC 3465): growth is bounded by the
-		// bytes this ACK actually covered, so streams of tinygram ACKs
-		// cannot inflate the window MSS-per-ACK.
-		credit := float64(acked)
-		if credit > float64(e.cfg.MSS) {
-			credit = float64(e.cfg.MSS)
-		}
-		if e.cwnd < e.ssthresh {
-			e.cwnd += credit // slow start
-		} else {
-			e.cwnd += credit * float64(e.cfg.MSS) / e.cwnd // congestion avoidance
-		}
+	wasRecovering := e.cc.InRecovery()
+	e.cc.OnAck(AckInfo{
+		Now:    e.eng.Now(),
+		Acked:  acked,
+		Flight: e.sndNxt - e.sndUna,
+		MSS:    e.cfg.MSS,
+		SRTT:   e.srtt,
+	})
+	if wasRecovering && !e.cc.InRecovery() {
+		e.cc.OnRecoveryExit(e.eng.Now())
+		e.sackRexmitNxt = 0
 	}
 
 	if e.rtoRecover > 0 {
@@ -201,21 +222,34 @@ func (e *Endpoint) onNewAck(ackOff int64) {
 	e.maybeSendFIN()
 }
 
-// retransmitHole continues go-back-N repair after a retransmission timeout:
-// each new ACK below the recovery point retransmits the next congestion
-// window's worth of the presumed-lost flight, so a flight wiped out by a
-// loss episode is repaired at slow-start pace once connectivity returns
-// instead of one segment per backed-off timeout.
+// retransmitHole continues the post-timeout repair walk: each new ACK below
+// the recovery point retransmits the next congestion window's worth of the
+// presumed-lost flight, so a flight wiped out by a loss episode is repaired
+// at slow-start pace once connectivity returns instead of one segment per
+// backed-off timeout. Under RepairSkipSACKed the walk steps over byte
+// ranges the receiver has selectively acknowledged.
 func (e *Endpoint) retransmitHole() {
 	if e.rexmitNxt < e.sndUna {
 		e.rexmitNxt = e.sndUna
 	}
 	for e.rexmitNxt < e.rtoRecover {
+		if e.repairMode == RepairSkipSACKed {
+			if end, ok := e.sb.coveringEnd(e.rexmitNxt); ok {
+				e.rexmitNxt = end // already at the receiver
+				continue
+			}
+		}
 		n := int64(e.cfg.MSS)
 		if rem := e.rtoRecover - e.rexmitNxt; rem < n {
 			n = rem
 		}
-		if room := int64(e.cwnd) - (e.rexmitNxt - e.sndUna); room < n {
+		if e.repairMode == RepairSkipSACKed {
+			// Stop a segment short of the next SACKed range.
+			if next, ok := e.sb.nextSackedStart(e.rexmitNxt); ok && next-e.rexmitNxt < n {
+				n = next - e.rexmitNxt
+			}
+		}
+		if room := int64(e.cc.Cwnd()) - (e.rexmitNxt - e.sndUna); room < n {
 			n = room
 		}
 		if n <= 0 {
@@ -231,18 +265,25 @@ func (e *Endpoint) retransmitHole() {
 
 func (e *Endpoint) onDupAck() {
 	e.dupAcks++
+	reaction := e.cc.OnDupAck(AckInfo{
+		Now:     e.eng.Now(),
+		Flight:  e.sndNxt - e.sndUna,
+		DupAcks: e.dupAcks,
+		MSS:     e.cfg.MSS,
+		SRTT:    e.srtt,
+	})
 	switch {
-	case e.dupAcks == 3:
-		flight := float64(e.sndNxt - e.sndUna)
-		e.ssthresh = maxf(flight/2, float64(2*e.cfg.MSS))
+	case reaction == ReactFastRetransmit:
 		e.stats.FastRetransmits++
-		e.retransmitFirst()
-		e.cwnd = e.ssthresh + float64(3*e.cfg.MSS)
-		e.inRecovery = true
-		e.recoverPoint = e.sndNxt
+		n := e.retransmitFirst()
+		if e.sackOK {
+			e.sackRexmitNxt = e.sndUna + n
+		}
 		e.armRTO()
-	case e.dupAcks > 3 && e.inRecovery:
-		e.cwnd += float64(e.cfg.MSS) // window inflation per extra dup ACK
+	case e.sackOK && e.cc.InRecovery() && e.dupAcks > 3:
+		// SACK fast recovery: each further duplicate ACK clocks out the
+		// next un-SACKed hole instead of waiting for the cumulative ACK.
+		e.sackRetransmitHole()
 	}
 }
 
@@ -285,15 +326,17 @@ func (e *Endpoint) onRTO() {
 	}
 	e.stats.Timeouts++
 	e.probeTimeout()
-	flight := float64(e.sndNxt - e.sndUna)
-	e.ssthresh = maxf(flight/2, float64(2*e.cfg.MSS))
-	e.cwnd = float64(e.cfg.MSS)
-	e.inRecovery = false
+	e.repairMode = e.cc.OnRTO(AckInfo{
+		Now:    e.eng.Now(),
+		Flight: e.sndNxt - e.sndUna,
+		MSS:    e.cfg.MSS,
+		SRTT:   e.srtt,
+	})
 	e.dupAcks = 0
 	// Everything outstanding is presumed lost: retransmit the first segment
 	// now and walk the rest forward as ACKs reopen the congestion window
-	// (go-back-N slow-start repair), rather than one segment per backed-off
-	// timeout.
+	// (slow-start repair in the mode the strategy chose), rather than one
+	// segment per backed-off timeout.
 	e.rtoRecover = e.sndNxt
 	e.rexmitNxt = e.sndUna
 	e.retransmitFirst()

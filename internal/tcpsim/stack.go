@@ -1,0 +1,89 @@
+package tcpsim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stack selects a sender-stack personality: a congestion-control strategy
+// for the data sender plus, for the buggy variants, a receiver-side quirk.
+// The zero value is classic Reno, the stack every pre-existing scenario and
+// golden trace was recorded against.
+type Stack int
+
+// Sender stacks.
+const (
+	// StackReno is the default window-based Reno sender.
+	StackReno Stack = iota
+	// StackCubic grows the window along the RFC 8312 cubic curve.
+	StackCubic
+	// StackRatePaced is a BBR-like sender: delivery-rate estimation with
+	// transmissions paced off the event loop instead of ACK-clocked bursts.
+	StackRatePaced
+	// StackSACK is Reno with selective acknowledgments: the receiver
+	// generates SACK blocks and the sender repairs from a scoreboard.
+	StackSACK
+	// StackStretchAck is Reno against a buggy receiver that ACKs only every
+	// Nth full segment (violating the delayed-ACK every-second-segment
+	// rule), starving the sender's ACK clock.
+	StackStretchAck
+	// StackWScaleBug is Reno against a receiver that advertises its window
+	// pre-shifted as if the peer would scale it up, so the sender sees a
+	// fraction of the real buffer.
+	StackWScaleBug
+)
+
+var stackNames = [...]string{
+	StackReno:       "reno",
+	StackCubic:      "cubic",
+	StackRatePaced:  "rate-paced",
+	StackSACK:       "sack",
+	StackStretchAck: "stretch-ack",
+	StackWScaleBug:  "wscale-bug",
+}
+
+// String returns the canonical stack name.
+func (s Stack) String() string {
+	if s >= 0 && int(s) < len(stackNames) {
+		return stackNames[s]
+	}
+	return fmt.Sprintf("stack(%d)", int(s))
+}
+
+// ParseStack resolves a stack name as used by the -stack/-stacks flags.
+func ParseStack(name string) (Stack, error) {
+	for i, n := range stackNames {
+		if strings.EqualFold(name, n) {
+			return Stack(i), nil
+		}
+	}
+	return StackReno, fmt.Errorf("unknown sender stack %q (have %s)", name, strings.Join(stackNames[:], ", "))
+}
+
+// AllStacks lists every stack in declaration order, Reno first.
+func AllStacks() []Stack {
+	out := make([]Stack, len(stackNames))
+	for i := range out {
+		out[i] = Stack(i)
+	}
+	return out
+}
+
+// ApplyStack configures a sender/receiver Config pair for the given stack
+// personality. Sender stacks set the data sender's congestion control;
+// buggy variants install the corresponding receiver quirk. Reno is a no-op,
+// preserving every existing scenario byte-for-byte.
+func ApplyStack(s Stack, sender, receiver *Config) {
+	switch s {
+	case StackCubic, StackRatePaced:
+		sender.Stack = s
+	case StackSACK:
+		sender.Stack = s
+		sender.SACK = true
+		receiver.SACK = true
+	case StackStretchAck:
+		receiver.StretchAcks = 8
+	case StackWScaleBug:
+		receiver.WindowScaleBug = 4
+	}
+}

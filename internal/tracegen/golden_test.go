@@ -1,0 +1,153 @@
+package tracegen
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"tdat/internal/timerange"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden trace hashes from current simulator output")
+
+// goldenGrid is the committed seed grid whose Reno traces are pinned by
+// testdata/trace_hashes.txt. It covers every scenario kind (including a
+// scripted loss episode) at two seeds, so a sender-side refactor that
+// changes any emitted packet — content, order, or timing — flips a hash.
+func goldenGrid() map[string]Scenario {
+	grid := map[string]Scenario{}
+	kinds := []Kind{
+		KindClean, KindPaced, KindSlowReceiver, KindSmallWindow,
+		KindUpstreamLoss, KindDownstreamLoss, KindBandwidth, KindZeroAckBug,
+	}
+	for _, k := range kinds {
+		for _, seed := range []int64{1, 2} {
+			name := fmt.Sprintf("%s-seed%d", k, seed)
+			grid[name] = Scenario{Kind: k, Seed: seed, Routes: 2_000}
+		}
+	}
+	// A flapping downstream link exercises the RTO go-back-N repair path.
+	grid["loss-episode-seed1"] = Scenario{
+		Kind:   KindDownstreamLoss,
+		Seed:   1,
+		Routes: 4_000,
+		LossEpisodes: []timerange.Range{
+			timerange.R(250_000, 600_000),
+			timerange.R(1_650_000, 2_000_000),
+		},
+	}
+	return grid
+}
+
+// hashTrace digests everything the simulator emitted: every sniffed packet
+// (time, direction, full wire bytes) and every archived BGP message (time,
+// raw payload), plus the ground duration. Two traces hash equal iff the
+// simulator produced byte-identical output on an identical schedule.
+func hashTrace(t *testing.T, tr *Trace) string {
+	t.Helper()
+	h := sha256.New()
+	var scratch [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(scratch[:], v)
+		h.Write(scratch[:])
+	}
+	u64(uint64(len(tr.Captures)))
+	for _, c := range tr.Captures {
+		u64(uint64(c.Time))
+		u64(uint64(c.Dir))
+		wire, err := c.Pkt.Marshal()
+		if err != nil {
+			t.Fatalf("marshal captured packet: %v", err)
+		}
+		u64(uint64(len(wire)))
+		h.Write(wire)
+	}
+	u64(uint64(len(tr.Archive)))
+	for _, e := range tr.Archive {
+		u64(uint64(e.Time))
+		u64(uint64(len(e.Raw)))
+		h.Write(e.Raw)
+	}
+	u64(uint64(tr.GroundDuration))
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// TestGoldenTraceHashes is the refactor invariant for the sender stack: the
+// default (Reno) simulator output over the committed seed grid must stay
+// byte-identical to the hashes recorded before the CongestionControl
+// extraction. Rerun with -update only for a deliberate behavior change.
+func TestGoldenTraceHashes(t *testing.T) {
+	golden := filepath.Join("testdata", "trace_hashes.txt")
+	grid := goldenGrid()
+
+	names := make([]string, 0, len(grid))
+	for n := range grid {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	got := map[string]string{}
+	for _, n := range names {
+		got[n] = hashTrace(t, Run(grid[n]))
+	}
+
+	if *update {
+		var b strings.Builder
+		b.WriteString("# SHA-256 trace hashes for the golden Reno seed grid (see golden_test.go).\n")
+		b.WriteString("# Regenerate with: go test ./internal/tracegen -run TestGoldenTraceHashes -update\n")
+		for _, n := range names {
+			fmt.Fprintf(&b, "%s %s\n", n, got[n])
+		}
+		if err := os.WriteFile(golden, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d scenarios)", golden, len(names))
+		return
+	}
+
+	f, err := os.Open(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/tracegen -run TestGoldenTraceHashes -update` to seed it)", err)
+	}
+	defer f.Close()
+	want := map[string]string{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("bad golden line %q", line)
+		}
+		want[fields[0]] = fields[1]
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, n := range names {
+		w, ok := want[n]
+		if !ok {
+			t.Errorf("scenario %s missing from %s (rerun with -update)", n, golden)
+			continue
+		}
+		if got[n] != w {
+			t.Errorf("scenario %s: trace hash changed\n  got  %s\n  want %s\n(the Reno wire schedule is a refactor invariant; rerun with -update only for a deliberate behavior change)",
+				n, got[n], w)
+		}
+	}
+	for n := range want {
+		if _, ok := got[n]; !ok {
+			t.Errorf("golden file pins unknown scenario %s (rerun with -update)", n)
+		}
+	}
+}

@@ -144,6 +144,10 @@ type Scenario struct {
 	RTT Micros
 	// Horizon bounds the simulation (default 1200 s).
 	Horizon Micros
+	// Stack selects the sender-stack personality (tcpsim.ApplyStack): the
+	// router's congestion control plus any receiver quirk. The zero value
+	// is Reno, preserving every existing trace byte-for-byte.
+	Stack tcpsim.Stack
 }
 
 // lossWindows collects every scripted loss window of the scenario.
@@ -285,6 +289,9 @@ func runScenario(sc Scenario, rtoBackoff float64, collectorBuf int) *Trace {
 		spec.RouterTCP.RTOBackoff = rtoBackoff
 		spec.CollectorTCP.RTOBackoff = rtoBackoff
 	}
+	// The router is the data sender, so its config takes the congestion
+	// control; receiver quirks land on the collector.
+	tcpsim.ApplyStack(sc.Stack, &spec.RouterTCP, &spec.CollectorTCP)
 	conn := bgpsim.Dial(eng, spec, 7018)
 	speaker := bgpsim.NewSpeaker(eng, scfg)
 	speaker.Table = table
@@ -365,6 +372,7 @@ func RunChurn(sc Scenario, idleAfter Micros, churnFrac float64) *ChurnTrace {
 		scfg.PacingInterval = sc.PacingTimer
 		scfg.PacingBudget = sc.PacingBudget
 	}
+	tcpsim.ApplyStack(sc.Stack, &spec.RouterTCP, &spec.CollectorTCP)
 	conn := bgpsim.Dial(eng, spec, 7018)
 	speaker := bgpsim.NewSpeaker(eng, scfg)
 	speaker.Table = table

@@ -18,8 +18,8 @@ mkdir -p "$dir"
 
 flags="-floors $floors -json $dir/validate.json"
 case $mode in
-quick) flags="$flags -quick" ;;
-full) ;;
+quick) flags="$flags -quick -stacks all -stack-table $dir/stacktable.md" ;;
+full) flags="$flags -stacks all -stack-table $dir/stacktable.md" ;;
 *)
 	echo "validatecheck.sh: unknown mode \"$mode\" (want quick or full)" >&2
 	exit 2
