@@ -5,7 +5,7 @@
 //
 //	experiments [-run all|table1|table2|table3|table4|table5|fig3|fig4|
 //	             fig5|fig6|fig7|fig8|fig9|fig11|fig14|fig15|fig16|fig17|
-//	             paperscale|accuracy|stacks|throughput]
+//	             paperscale|accuracy|stacks|dimensions|throughput]
 //	            [-scale default|quick] [-seed 42] [-workers N]
 package main
 
@@ -138,6 +138,12 @@ func run() int {
 	}
 	if need("stacks") {
 		experiments.StackRobustnessTable(w, sc.Seed+5000, 3)
+	}
+	if need("dimensions") {
+		// The dimension grid's expected verdicts are calibrated at seed
+		// offset 0 (the same grid the validation floors gate); a non-default
+		// -seed rotates it by the user's deviation.
+		experiments.DimensionRobustnessTable(w, sc.Seed-experiments.DefaultScale().Seed)
 	}
 	if need("throughput") {
 		t := experiments.MeasureThroughput(30, sc.Seed+2000)

@@ -17,12 +17,37 @@ import (
 	"os"
 	"path/filepath"
 
+	"strconv"
+	"strings"
+
 	"tdat/internal/mrt"
+	"tdat/internal/netem"
 	"tdat/internal/obs"
 	"tdat/internal/pcapio"
 	"tdat/internal/tcpsim"
 	"tdat/internal/tracegen"
 )
+
+// parseGE reads the -burst-loss value: three comma-separated probabilities
+// pGoodBad,pBadGood,dropBad of the Gilbert-Elliott loss process.
+func parseGE(s string) (*netem.GEParams, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("want pGoodBad,pBadGood,dropBad, got %q", s)
+	}
+	var vals [3]float64
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("field %d of %q: %v", i+1, s, err)
+		}
+		if v < 0 || v > 1 {
+			return nil, fmt.Errorf("field %d of %q: %v outside [0,1]", i+1, s, v)
+		}
+		vals[i] = v
+	}
+	return &netem.GEParams{PGoodBad: vals[0], PBadGood: vals[1], DropBad: vals[2]}, nil
+}
 
 var kinds = map[string]tracegen.Kind{
 	"clean":           tracegen.KindClean,
@@ -33,6 +58,10 @@ var kinds = map[string]tracegen.Kind{
 	"downstream-loss": tracegen.KindDownstreamLoss,
 	"bandwidth":       tracegen.KindBandwidth,
 	"zero-ack-bug":    tracegen.KindZeroAckBug,
+	"heavy-tail-app":  tracegen.KindHeavyTailApp,
+	"bimodal-app":     tracegen.KindBimodalApp,
+	"varying-rate":    tracegen.KindVaryingRate,
+	"fanout":          tracegen.KindFanout,
 }
 
 func main() {
@@ -44,7 +73,7 @@ func run() int {
 		dataset  = flag.String("dataset", "", "write a whole dataset: ispa-vendor|ispa-quagga|routeviews")
 		n        = flag.Int("n", 20, "transfers in the dataset (-dataset mode)")
 		outdir   = flag.String("outdir", "traces", "output directory (-dataset mode)")
-		kind     = flag.String("kind", "clean", "scenario kind: clean|paced|slow-receiver|small-window|upstream-loss|downstream-loss|bandwidth|zero-ack-bug")
+		kind     = flag.String("kind", "clean", "scenario kind: clean|paced|slow-receiver|small-window|upstream-loss|downstream-loss|bandwidth|zero-ack-bug|heavy-tail-app|bimodal-app|varying-rate|fanout")
 		routes   = flag.Int("routes", 12_000, "routing table size")
 		seed     = flag.Int64("seed", 1, "random seed")
 		rtt      = flag.Int64("rtt", 8_000, "round-trip propagation in microseconds")
@@ -55,6 +84,14 @@ func run() int {
 		rate     = flag.Int64("rate", 0, "collector processing or link rate override, bytes/sec")
 		recvbuf  = flag.Int("recvbuf", 0, "collector receive buffer override, bytes")
 		stack    = flag.String("stack", "reno", "sender stack: reno|cubic|rate-paced|sack|stretch-ack|wscale-bug")
+		lossRate = flag.Float64("loss", 0, "drop probability override for the loss kinds")
+		profile  = flag.String("rate-profile", "", "varying-rate capacity shape: step|sawtooth")
+		rateLow  = flag.Int64("rate-low", 0, "varying-rate trough capacity, bytes/sec")
+		ratePer  = flag.Int64("rate-period", 0, "varying-rate profile period, microseconds")
+		burst    = flag.String("burst-loss", "", "Gilbert-Elliott burst loss for the loss kinds as pGoodBad,pBadGood,dropBad (e.g. 0.05,0.25,0.9)")
+		members  = flag.Int("members", 0, "fanout peer-group size")
+		slack    = flag.Int("slack", 0, "fanout peer-group slack bound, updates")
+		slowMem  = flag.Int("slow-members", 0, "fanout members running throttled collectors")
 		logLevel = flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
 	)
 	flag.Parse()
@@ -80,6 +117,9 @@ func run() int {
 	sc := tracegen.Scenario{
 		Kind: k, Seed: *seed, Routes: *routes, RTT: *rtt,
 		PacingTimer: *timer, PacingBudget: *budget, Stack: st,
+		LossRate: *lossRate, RateProfile: *profile, RateLow: *rateLow,
+		RatePeriod: tracegen.Micros(*ratePer), GroupMembers: *members,
+		GroupSlack: *slack, SlowMembers: *slowMem,
 	}
 	if *rate > 0 {
 		sc.CollectorRate = *rate
@@ -87,6 +127,14 @@ func run() int {
 	}
 	if *recvbuf > 0 {
 		sc.RecvBuf = *recvbuf
+	}
+	if *burst != "" {
+		ge, err := parseGE(*burst)
+		if err != nil {
+			slog.Error("bad -burst-loss", "err", err)
+			return 2
+		}
+		sc.BurstLoss = ge
 	}
 	tr := tracegen.Run(sc)
 	fmt.Printf("scenario %s: %d captures, %d routes delivered, ground duration %.2fs\n",

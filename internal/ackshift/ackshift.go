@@ -25,8 +25,17 @@ type Config struct {
 	// Expressed as a divisor to stay integral: gap > RTT/FlightGapDiv.
 	FlightGapDiv int
 	// MaxShift caps a flight's shift at this multiple of RTT ×1000 — i.e.
-	// a cap of 2×RTT uses MaxShiftRTTMillis = 2000. Shifts beyond it mean
+	// a cap of 1.5×RTT uses MaxShiftRTTMillis = 1500. Shifts beyond it mean
 	// the association was spurious (sender idle), so the flight stays put.
+	//
+	// The legitimate release delay is one upstream delay to reach the
+	// sender plus one upstream delay for the released data to come back —
+	// exactly the handshake RTT. The default of 1.5×RTT leaves half an RTT
+	// of sender-processing slack; anything slower is the application (or a
+	// timer) deciding to send, not this ACK releasing held data. A looser
+	// cap directly raises the smallest detectable sender pacing timer: a
+	// timer tick T is attributed to ACK clocking whenever T minus one
+	// ACK-passage time fits under the cap.
 	MaxShiftRTTMillis int
 }
 
@@ -35,7 +44,7 @@ func (c Config) withDefaults() Config {
 		c.FlightGapDiv = 2
 	}
 	if c.MaxShiftRTTMillis == 0 {
-		c.MaxShiftRTTMillis = 2000
+		c.MaxShiftRTTMillis = 1500
 	}
 	return c
 }
@@ -75,14 +84,42 @@ func Shift(c *flows.Connection, cfg Config) []flows.AckEvent {
 	// For each ACK, estimate d2 as the delay to the first NEW data packet
 	// whose sequence extends beyond what was permitted before this ACK —
 	// i.e. data this ACK's window release explains — then shift the flight
-	// by the minimum d2 among its ACKs.
+	// by the minimum d2 among its ACKs. Only ACKs that actually release
+	// something qualify: the cumulative ack must advance or the advertised
+	// window edge must open. A segment that repeats the current ack with an
+	// unchanged window frees no sender state — the receiver's own
+	// keepalives are the common case, and associating one with whatever
+	// data happens to follow would time-shift it across a genuine sender
+	// pause (both ends arm their keepalive timers at session start, so the
+	// reverse keepalive lands almost exactly one release delay before the
+	// forward one).
 	di := 0
+	var maxAck, maxEdge int64
+	ei := 0
+	advanceEdge := func(t Micros) {
+		for ei < len(c.Acks) && c.Acks[ei].Time <= t {
+			a := c.Acks[ei]
+			if a.Ack > maxAck {
+				maxAck = a.Ack
+			}
+			if edge := a.Ack + int64(a.Window); edge > maxEdge {
+				maxEdge = edge
+			}
+			ei++
+		}
+	}
 	for _, fl := range flights {
 		minD2 := Micros(-1)
 		for i := fl.lo; i <= fl.hi; i++ {
 			a := acks[i]
 			if a.Dup {
 				continue // dup ACKs trigger retransmissions, not releases
+			}
+			// Compare against the state just before this ACK (original,
+			// unshifted times — acks[] is mutated flight by flight).
+			advanceEdge(a.Time - 1)
+			if a.Ack <= maxAck && a.Ack+int64(a.Window) <= maxEdge {
+				continue // releases nothing (keepalive or stale ACK)
 			}
 			// Advance the data cursor to the first data packet after the ACK.
 			for di < len(c.Data) && c.Data[di].Time <= a.Time {

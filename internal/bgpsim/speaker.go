@@ -1,11 +1,33 @@
 package bgpsim
 
 import (
+	"math/rand"
 	"net/netip"
 
 	"tdat/internal/bgp"
+	"tdat/internal/dist"
 	"tdat/internal/sim"
 )
+
+// AppProfile drives distribution-shaped update generation in place of the
+// fixed-interval pacing timer: the application alternates idle gaps drawn
+// from IdleGap (microseconds) with bursts of Burst updates. Heavy-tailed
+// or bimodal draws reproduce the irregular send patterns of real routers
+// (route refresh batches, policy churn) that a fixed timer cannot; the
+// waiting periods still surface through OnPacingBlocked, so the ground
+// truth labels them application idle exactly like timer pacing.
+type AppProfile struct {
+	// Seed seeds the profile's private RNG; draws never touch the
+	// engine's stream, so adding a profile does not perturb anything else
+	// the scenario randomizes.
+	Seed int64
+	// IdleGap draws the idle time before each burst, in microseconds
+	// (values below 1 µs are raised to 1).
+	IdleGap dist.Dist
+	// Burst draws the number of updates released per burst (values below
+	// 1 are raised to 1).
+	Burst dist.Dist
+}
 
 // SpeakerConfig parameterizes an operational router.
 type SpeakerConfig struct {
@@ -23,6 +45,12 @@ type SpeakerConfig struct {
 	// PacingInterval == 0 disables pacing (send as fast as TCP accepts).
 	PacingInterval Micros
 	PacingBudget   int
+
+	// AppProfile, if set, replaces the fixed-interval pacing timer with
+	// distribution-driven idle/burst generation (see AppProfile). It uses
+	// the same token machinery, so PacingInterval/PacingBudget are ignored
+	// while a profile is active.
+	AppProfile *AppProfile
 
 	// GroupQueueSlack is the number of updates a peer-group member may run
 	// ahead of the slowest member before it is blocked (paper §II-B3).
@@ -241,10 +269,16 @@ func (s *Session) SentUpdates() int { return s.sentUpdates }
 // bound.
 func (s *Session) BlockedByGroup() bool { return s.blockedByGroup }
 
+// pacingEnabled reports whether update release is token-gated — by the
+// fixed-interval timer or by an application profile.
+func (s *Session) pacingEnabled() bool {
+	return s.speaker.cfg.PacingInterval != 0 || s.speaker.cfg.AppProfile != nil
+}
+
 // takeToken consumes one pacing token; with pacing disabled it always
 // succeeds.
 func (s *Session) takeToken() bool {
-	if s.speaker.cfg.PacingInterval == 0 {
+	if !s.pacingEnabled() {
 		return true
 	}
 	if s.tokens <= 0 {
@@ -255,12 +289,16 @@ func (s *Session) takeToken() bool {
 }
 
 func (s *Session) returnToken() {
-	if s.speaker.cfg.PacingInterval != 0 {
+	if s.pacingEnabled() {
 		s.tokens++
 	}
 }
 
 func (s *Session) startPacing() {
+	if ap := s.speaker.cfg.AppProfile; ap != nil {
+		s.startAppProfile(ap)
+		return
+	}
 	if s.speaker.cfg.PacingInterval == 0 {
 		return
 	}
@@ -275,6 +313,35 @@ func (s *Session) startPacing() {
 		s.pacingTimer = s.speaker.eng.After(s.speaker.cfg.PacingInterval, tick)
 	}
 	s.pacingTimer = s.speaker.eng.After(s.speaker.cfg.PacingInterval, tick)
+}
+
+// startAppProfile runs the idle/burst loop: sleep a drawn gap, grant a
+// drawn burst of tokens, pump, repeat. Tokens are replaced (not
+// accumulated) per burst, matching the fixed-interval refill semantics.
+func (s *Session) startAppProfile(ap *AppProfile) {
+	rnd := rand.New(rand.NewSource(ap.Seed))
+	gap := func() Micros {
+		g := Micros(ap.IdleGap.Sample(rnd))
+		if g < 1 {
+			g = 1
+		}
+		return g
+	}
+	var tick func()
+	tick = func() {
+		if s.peer.State() != PeerEstablished {
+			return
+		}
+		n := int(ap.Burst.Sample(rnd))
+		if n < 1 {
+			n = 1
+		}
+		s.tokens = n
+		s.pump()
+		s.pacingTimer = s.speaker.eng.After(gap(), tick)
+	}
+	s.tokens = 0
+	s.pacingTimer = s.speaker.eng.After(gap(), tick)
 }
 
 // pump advances this session's update stream.

@@ -1,0 +1,95 @@
+// Package dist provides seeded, deterministic random-variate generators
+// for scenario synthesis: heavy-tailed (Pareto) and bimodal distributions
+// of application send sizes and idle gaps, plus the uniform/constant/clamp
+// combinators the scenario library composes them from.
+//
+// Every distribution draws from a caller-owned *rand.Rand — never the
+// global math/rand source, which tdatlint's globalrand analyzer forbids —
+// so a scenario seeded the same way reproduces the same traffic byte for
+// byte on any machine and at any worker count.
+package dist
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Dist draws float64 variates from a caller-owned seeded source.
+type Dist interface {
+	Sample(rnd *rand.Rand) float64
+}
+
+// Pareto is a type-I Pareto distribution: scale Xm (the minimum value) and
+// tail index Alpha. Smaller Alpha means heavier tail; Alpha ≤ 2 has
+// infinite variance, the regime where a handful of giant idle gaps or
+// bursts dominate the traffic (the heavy-tailed application profiles of
+// SNIPPETS.md snippet 1, reimplemented seeded).
+type Pareto struct {
+	Alpha float64 // tail index (> 0)
+	Xm    float64 // scale: minimum value (> 0)
+}
+
+// Sample draws via inversion: Xm / U^(1/Alpha) with U uniform on (0,1].
+func (p Pareto) Sample(rnd *rand.Rand) float64 {
+	u := 1 - rnd.Float64() // Float64 is [0,1); 1-U is (0,1], avoiding ÷0
+	return p.Xm / math.Pow(u, 1/p.Alpha)
+}
+
+// Bimodal mixes two normal modes: with probability Weight1 a draw comes
+// from N(Mean1, Std1²), otherwise from N(Mean2, Std2²) — the two-regime
+// send pattern of routers that alternate steady trickle and bulk batches.
+type Bimodal struct {
+	Mean1, Std1 float64
+	Weight1     float64 // probability of mode 1, in [0,1]
+	Mean2, Std2 float64
+}
+
+// Sample draws the mode first, then the variate, so one draw consumes a
+// fixed number of RNG values regardless of outcome.
+func (b Bimodal) Sample(rnd *rand.Rand) float64 {
+	mode1 := rnd.Float64() < b.Weight1
+	z := rnd.NormFloat64()
+	if mode1 {
+		return b.Mean1 + b.Std1*z
+	}
+	return b.Mean2 + b.Std2*z
+}
+
+// Uniform draws uniformly from [Lo, Hi).
+type Uniform struct {
+	Lo, Hi float64
+}
+
+// Sample implements Dist.
+func (u Uniform) Sample(rnd *rand.Rand) float64 {
+	return u.Lo + (u.Hi-u.Lo)*rnd.Float64()
+}
+
+// Constant always returns V (a degenerate distribution, useful to pin one
+// axis of a profile while sweeping the other).
+type Constant struct {
+	V float64
+}
+
+// Sample implements Dist.
+func (c Constant) Sample(*rand.Rand) float64 { return c.V }
+
+// Clamp restricts another distribution to [Lo, Hi]. The tail mass piles up
+// at the bounds rather than being redrawn, so one Sample still consumes a
+// deterministic number of RNG draws.
+type Clamp struct {
+	D      Dist
+	Lo, Hi float64
+}
+
+// Sample implements Dist.
+func (c Clamp) Sample(rnd *rand.Rand) float64 {
+	v := c.D.Sample(rnd)
+	if v < c.Lo {
+		return c.Lo
+	}
+	if v > c.Hi {
+		return c.Hi
+	}
+	return v
+}

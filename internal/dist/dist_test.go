@@ -1,0 +1,138 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestPerSeedDeterminism: the same seed must reproduce the same variate
+// sequence exactly — the property every scenario generator leans on.
+func TestPerSeedDeterminism(t *testing.T) {
+	dists := map[string]Dist{
+		"pareto":   Pareto{Alpha: 1.5, Xm: 10},
+		"bimodal":  Bimodal{Mean1: 5, Std1: 1, Weight1: 0.7, Mean2: 50, Std2: 8},
+		"uniform":  Uniform{Lo: 2, Hi: 9},
+		"constant": Constant{V: 42},
+		"clamp":    Clamp{D: Pareto{Alpha: 1.2, Xm: 3}, Lo: 3, Hi: 100},
+	}
+	for name, d := range dists {
+		draw := func(seed int64) []float64 {
+			rnd := rand.New(rand.NewSource(seed))
+			out := make([]float64, 1000)
+			for i := range out {
+				out[i] = d.Sample(rnd)
+			}
+			return out
+		}
+		a, b := draw(7), draw(7)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: draw %d differs across identical seeds: %v vs %v", name, i, a[i], b[i])
+			}
+		}
+		c := draw(8)
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same && name != "constant" {
+			t.Errorf("%s: different seeds produced identical sequences", name)
+		}
+	}
+}
+
+// TestParetoTailIndex: the Hill estimator over a large sample must recover
+// the configured tail index — the heavy-tail shape is real, not just noise
+// above a minimum.
+func TestParetoTailIndex(t *testing.T) {
+	for _, alpha := range []float64{1.2, 1.5, 2.5} {
+		p := Pareto{Alpha: alpha, Xm: 4}
+		rnd := rand.New(rand.NewSource(11))
+		n := 200_000
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = p.Sample(rnd)
+			if xs[i] < p.Xm {
+				t.Fatalf("alpha %.1f: sample %v below scale %v", alpha, xs[i], p.Xm)
+			}
+		}
+		sort.Float64s(xs)
+		// Hill estimator over the top k order statistics.
+		k := n / 10
+		thresh := xs[n-k-1]
+		sum := 0.0
+		for _, x := range xs[n-k:] {
+			sum += math.Log(x / thresh)
+		}
+		hill := float64(k) / sum
+		if math.Abs(hill-alpha) > 0.1*alpha {
+			t.Errorf("alpha %.1f: Hill estimate %.3f off by more than 10%%", alpha, hill)
+		}
+	}
+}
+
+// TestBimodalModeWeights: samples must split between the two modes in the
+// configured proportion, and both modes must actually be visited.
+func TestBimodalModeWeights(t *testing.T) {
+	b := Bimodal{Mean1: 10, Std1: 2, Weight1: 0.7, Mean2: 100, Std2: 10}
+	rnd := rand.New(rand.NewSource(13))
+	n := 100_000
+	near1 := 0
+	mid := (b.Mean1 + b.Mean2) / 2
+	for i := 0; i < n; i++ {
+		if b.Sample(rnd) < mid {
+			near1++
+		}
+	}
+	frac := float64(near1) / float64(n)
+	// The modes sit 9σ/9σ from the midpoint, so misclassification is
+	// negligible; the fraction is the mixture weight up to sampling noise.
+	if math.Abs(frac-b.Weight1) > 0.01 {
+		t.Errorf("mode-1 fraction %.4f, want %.2f ±0.01", frac, b.Weight1)
+	}
+	if near1 == 0 || near1 == n {
+		t.Errorf("one mode never sampled (near1 = %d of %d)", near1, n)
+	}
+}
+
+// TestClampBounds: clamped draws never escape [Lo, Hi], and the underlying
+// heavy tail piles mass onto the upper bound instead of vanishing.
+func TestClampBounds(t *testing.T) {
+	c := Clamp{D: Pareto{Alpha: 1.1, Xm: 5}, Lo: 5, Hi: 50}
+	rnd := rand.New(rand.NewSource(17))
+	atHi := 0
+	for i := 0; i < 50_000; i++ {
+		v := c.Sample(rnd)
+		if v < c.Lo || v > c.Hi {
+			t.Fatalf("sample %v outside [%v, %v]", v, c.Lo, c.Hi)
+		}
+		if v == c.Hi {
+			atHi++
+		}
+	}
+	if atHi == 0 {
+		t.Error("alpha 1.1 tail never reached the clamp ceiling")
+	}
+}
+
+// TestUniformRange: uniform draws stay inside [Lo, Hi) and cover it.
+func TestUniformRange(t *testing.T) {
+	u := Uniform{Lo: 3, Hi: 7}
+	rnd := rand.New(rand.NewSource(19))
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < 10_000; i++ {
+		v := u.Sample(rnd)
+		if v < u.Lo || v >= u.Hi {
+			t.Fatalf("sample %v outside [%v, %v)", v, u.Lo, u.Hi)
+		}
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	if lo > 3.1 || hi < 6.9 {
+		t.Errorf("10k draws span only [%v, %v]", lo, hi)
+	}
+}

@@ -286,3 +286,47 @@ func TestPaperScaleTransferTakesMinutes(t *testing.T) {
 		t.Errorf("dominant = %v %.2f", g, ratio)
 	}
 }
+
+// TestDimensionRobustnessCalibrated: at seed offset 0 (the grid the
+// validation floors gate) the Reno row must attribute every adversarial
+// dimension correctly, every stack must sweep the same six dimensions in
+// grid order, and the table must render.
+func TestDimensionRobustnessCalibrated(t *testing.T) {
+	rows := DimensionRobustness(0)
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	wantDims := []string{
+		"long-rtt", "varying-rate", "burst-loss",
+		"heavy-tail-app", "bimodal-app", "fanout",
+	}
+	for _, r := range rows {
+		if len(r.Cells) != len(wantDims) {
+			t.Fatalf("stack %s swept %d dimensions, want %d", r.Stack, len(r.Cells), len(wantDims))
+		}
+		for i, c := range r.Cells {
+			if c.Dimension != wantDims[i] {
+				t.Errorf("stack %s cell[%d] = %s, want %s", r.Stack, i, c.Dimension, wantDims[i])
+			}
+			if c.Trials == 0 {
+				t.Errorf("stack %s dimension %s: no trials", r.Stack, c.Dimension)
+			}
+		}
+	}
+	reno := rows[0]
+	if reno.Stack.String() != "reno" {
+		t.Fatalf("first row is %s, want reno", reno.Stack)
+	}
+	if reno.Trials == 0 || reno.Correct != reno.Trials {
+		t.Errorf("reno attribution %d/%d, want perfect on the calibrated grid",
+			reno.Correct, reno.Trials)
+	}
+
+	var buf strings.Builder
+	DimensionRobustnessTable(&buf, 0)
+	for _, want := range []string{"adversarial dimensions", "reno", "fanout"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("table missing %q:\n%s", want, buf.String())
+		}
+	}
+}

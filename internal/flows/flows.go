@@ -102,6 +102,13 @@ type DataEvent struct {
 	Payload []byte
 }
 
+// SenderPureAck records a payloadless sender→receiver packet: invisible to
+// the byte stream, but a consumer of the sender's IP ID sequence.
+type SenderPureAck struct {
+	Time Micros
+	IPID uint16
+}
+
 // AckEvent is one receiver→sender packet (pure ACK or receiver data).
 type AckEvent struct {
 	Time Micros
@@ -133,6 +140,13 @@ type Profile struct {
 	TotalDataBytes   int64
 	TotalDataPackets int
 	RetransmitCount  int
+	// SpuriousRetxCount counts retransmissions of bytes the receiver had
+	// already acknowledged — copies that prove no downstream loss.
+	SpuriousRetxCount int
+	// SilentLossRanges counts long silences whose bracketing IP IDs show
+	// the sender transmitting into an upstream black hole (see
+	// scanSilentLoss).
+	SilentLossRanges int
 	GapFillCount     int
 	ReorderCount     int
 }
@@ -149,6 +163,12 @@ type Connection struct {
 	Data []DataEvent
 	// Acks are the Receiver→Sender packets in time order.
 	Acks []AckEvent
+	// SenderPureAcks are the sender's payloadless packets (acknowledgments
+	// of receiver keepalives, window probes answered without data). They
+	// carry no bytes but consume sender IP IDs, so the silent-loss scan
+	// needs them to tell "idle sender" from "sender whose packets all died
+	// upstream of the sniffer".
+	SenderPureAcks []SenderPureAck
 
 	// UpstreamLoss and DownstreamLoss are the recovery periods attributed
 	// to losses before and after the sniffer respectively (§II-B2).
@@ -796,7 +816,11 @@ func buildEvents(c *Connection, t *pktTable, senderIsA bool) {
 	for i := 0; i < t.n(); i++ {
 		if (t.dirs[i] == 1) == senderIsA {
 			if t.payLen[i] == 0 {
-				continue // pure ACKs from the sender are not data events
+				// Pure ACKs from the sender are not data events, but their
+				// IP IDs anchor the silent-loss continuity scan.
+				c.SenderPureAcks = append(c.SenderPureAcks,
+					SenderPureAck{Time: t.times[i], IPID: t.ipids[i]})
+				continue
 			}
 			off := relSeq(t.seqs[i], c.senderISN)
 			ev := DataEvent{

@@ -41,6 +41,12 @@ type Link struct {
 
 	// Rate is the bandwidth in bytes per second (0 = infinite).
 	Rate int64
+	// Schedule, if set, overrides Rate with a time-varying capacity
+	// profile: each packet's serialization time is integrated across the
+	// rate segments its transmission spans. FIFO ordering is preserved
+	// across rate changes because transmissions still start at
+	// max(now, busyUntil) and busyUntil only moves forward.
+	Schedule *RateSchedule
 	// Delay is the one-way propagation delay.
 	Delay sim.Micros
 	// QueueCap bounds packets waiting behind the one in transmission
@@ -95,17 +101,20 @@ func (l *Link) Send(p *packet.Packet) {
 		return
 	}
 
-	var ser sim.Micros
-	if l.Rate > 0 {
-		ser = sim.Micros(int64(p.WireLen()) * 1_000_000 / l.Rate)
-		if ser == 0 {
-			ser = 1
-		}
-	}
 	start := now
 	if transmitting {
 		start = l.busyUntil
 		l.waiting++
+	}
+	var ser sim.Micros
+	switch {
+	case l.Schedule != nil:
+		ser = l.Schedule.serTime(start, p.WireLen())
+	case l.Rate > 0:
+		ser = sim.Micros(int64(p.WireLen()) * 1_000_000 / l.Rate)
+		if ser == 0 {
+			ser = 1
+		}
 	}
 	done := start + ser
 	l.busyUntil = done
@@ -224,6 +233,9 @@ type PathConfig struct {
 	UpstreamQueue int
 	UpstreamLoss  float64
 	UpstreamHook  LossFunc
+	// UpstreamSchedule overrides UpstreamRate with a time-varying
+	// capacity profile (see RateSchedule).
+	UpstreamSchedule *RateSchedule
 	// Downstream is the Sniffer→Receiver segment (local link / receiver
 	// interface).
 	DownstreamRate  int64
@@ -271,6 +283,7 @@ func NewPath(eng *sim.Engine, cfg PathConfig, recvIn, sendIn Handler) *Path {
 
 	up := NewLink(eng, sn.Tap(DirData, down.Send))
 	up.Rate = cfg.UpstreamRate
+	up.Schedule = cfg.UpstreamSchedule
 	up.Delay = cfg.UpstreamDelay
 	up.QueueCap = cfg.UpstreamQueue
 	up.LossRate = cfg.UpstreamLoss

@@ -1,0 +1,186 @@
+package netem
+
+import (
+	"math/rand"
+	"sort"
+
+	"tdat/internal/packet"
+	"tdat/internal/sim"
+)
+
+// RateStep is one segment of a piecewise-constant capacity profile: the
+// link runs at Rate bytes/sec from At until the next step (0 = infinite).
+type RateStep struct {
+	At   sim.Micros
+	Rate int64
+}
+
+// RateSchedule is a time-varying link capacity profile: piecewise-constant
+// rate segments, optionally repeating with period Period. It models the
+// time-varying service processes of Lübben/Fidler's closed-loop
+// flow-control benchmark: cross-traffic, shapers, and radio links whose
+// capacity steps or ramps while a transfer is in flight.
+type RateSchedule struct {
+	steps  []RateStep
+	period sim.Micros // 0 = aperiodic (last segment extends forever)
+}
+
+// NewRateSchedule builds an aperiodic schedule from explicit steps. Steps
+// are sorted by start time; the first segment is extended back to t=0 and
+// the last extends forever.
+func NewRateSchedule(steps ...RateStep) *RateSchedule {
+	s := &RateSchedule{steps: append([]RateStep(nil), steps...)}
+	sort.Slice(s.steps, func(i, j int) bool { return s.steps[i].At < s.steps[j].At })
+	return s
+}
+
+// Periodic builds a schedule that repeats the given steps every period;
+// step offsets are taken modulo the period.
+func Periodic(period sim.Micros, steps ...RateStep) *RateSchedule {
+	s := NewRateSchedule(steps...)
+	s.period = period
+	return s
+}
+
+// Square builds a square-wave capacity profile: high for the first half of
+// each period, low for the second — the step profile of a link whose
+// cross-traffic switches on and off.
+func Square(high, low int64, period sim.Micros) *RateSchedule {
+	return Periodic(period,
+		RateStep{At: 0, Rate: high},
+		RateStep{At: period / 2, Rate: low},
+	)
+}
+
+// Sawtooth builds a sawtooth capacity profile: each period the rate ramps
+// linearly from high down to low in the given number of slices, then jumps
+// back to high — a discretized take on a congesting neighbor slowly eating
+// the capacity before backing off.
+func Sawtooth(high, low int64, period sim.Micros, slices int) *RateSchedule {
+	if slices < 2 {
+		slices = 2
+	}
+	steps := make([]RateStep, slices)
+	for i := range steps {
+		frac := float64(i) / float64(slices-1)
+		steps[i] = RateStep{
+			At:   period * sim.Micros(i) / sim.Micros(slices),
+			Rate: high - int64(frac*float64(high-low)),
+		}
+	}
+	return Periodic(period, steps...)
+}
+
+// segmentAt returns the rate in force at t and the absolute end of that
+// segment (end < 0 means the segment extends forever).
+func (s *RateSchedule) segmentAt(t sim.Micros) (rate int64, end sim.Micros) {
+	if len(s.steps) == 0 {
+		return 0, -1
+	}
+	at := t
+	var base sim.Micros
+	if s.period > 0 {
+		base = t - t%s.period
+		at = t - base
+	}
+	// Last step whose At ≤ at; before the first step the first rate holds.
+	i := sort.Search(len(s.steps), func(i int) bool { return s.steps[i].At > at }) - 1
+	if i < 0 {
+		i = 0
+	}
+	rate = s.steps[i].Rate
+	switch {
+	case i+1 < len(s.steps):
+		end = base + s.steps[i+1].At
+	case s.period > 0:
+		end = base + s.period
+	default:
+		end = -1
+	}
+	if end >= 0 && end <= t {
+		// at coincided with the start of the first step of a period while
+		// i clamped to 0 — advance to keep the walk strictly progressing.
+		end = t + 1
+	}
+	return rate, end
+}
+
+// RateAt returns the capacity in force at t (0 = infinite).
+func (s *RateSchedule) RateAt(t sim.Micros) int64 {
+	r, _ := s.segmentAt(t)
+	return r
+}
+
+// maxSerTime caps a single packet's serialization walk: beyond this the
+// schedule is effectively a dead link and the transfer has failed anyway.
+const maxSerTime = sim.Micros(3_600_000_000) // one simulated hour
+
+// serTime integrates the transmission of n wire bytes starting at t across
+// the rate segments it spans, returning the serialization time. A zero-rate
+// segment passes the remaining bytes instantly (consistent with Link.Rate
+// 0 = infinite bandwidth).
+func (s *RateSchedule) serTime(start sim.Micros, bytes int) sim.Micros {
+	remaining := int64(bytes)
+	cur := start
+	for remaining > 0 && cur-start < maxSerTime {
+		rate, end := s.segmentAt(cur)
+		if rate <= 0 {
+			break // infinite capacity: the rest of the packet is free
+		}
+		if end < 0 {
+			cur += remaining * 1_000_000 / rate
+			remaining = 0
+			break
+		}
+		avail := end - cur
+		can := rate * int64(avail) / 1_000_000
+		if can >= remaining {
+			cur += remaining * 1_000_000 / rate
+			remaining = 0
+			break
+		}
+		remaining -= can
+		cur = end
+	}
+	ser := cur - start
+	if ser == 0 {
+		ser = 1
+	}
+	return ser
+}
+
+// GEParams parameterizes the two-state Gilbert–Elliott loss process: a
+// Markov chain over {good, bad} stepped once per offered packet, with a
+// per-state drop probability. Mean burst length is 1/PBadGood packets and
+// mean gap between bursts 1/PGoodBad — the long-range-correlated loss of
+// interdomain routing memory (Kitsak et al.), as opposed to the i.i.d.
+// LossRate model.
+type GEParams struct {
+	PGoodBad float64 // per-packet transition probability good→bad
+	PBadGood float64 // per-packet transition probability bad→good
+	DropGood float64 // drop probability while good (usually 0)
+	DropBad  float64 // drop probability while bad (near 1)
+}
+
+// GilbertElliott returns a LossFunc driving the two-state process from its
+// own seeded RNG, so layering it on a link never perturbs the engine's
+// random stream (and the same seed reproduces the same burst pattern
+// regardless of what else the scenario draws).
+func GilbertElliott(seed int64, prm GEParams) LossFunc {
+	rnd := rand.New(rand.NewSource(seed))
+	bad := false
+	return func(_ sim.Micros, _ *packet.Packet) bool {
+		if bad {
+			if rnd.Float64() < prm.PBadGood {
+				bad = false
+			}
+		} else if rnd.Float64() < prm.PGoodBad {
+			bad = true
+		}
+		drop := prm.DropGood
+		if bad {
+			drop = prm.DropBad
+		}
+		return rnd.Float64() < drop
+	}
+}

@@ -1,0 +1,217 @@
+package netem
+
+import (
+	"math/rand"
+	"testing"
+
+	"tdat/internal/packet"
+	"tdat/internal/sim"
+)
+
+// TestScheduleSerializationMath: serialization time is exact within one
+// segment and integrates across a step boundary.
+func TestScheduleSerializationMath(t *testing.T) {
+	// 1 MB/s until t=10ms, then 100 kB/s.
+	s := NewRateSchedule(
+		RateStep{At: 0, Rate: 1_000_000},
+		RateStep{At: 10_000, Rate: 100_000},
+	)
+	// Entirely in the fast segment: 1000 bytes at 1 µs/byte.
+	if got := s.serTime(0, 1000); got != 1000 {
+		t.Errorf("fast-segment serTime = %d, want 1000", got)
+	}
+	// Entirely in the slow segment: 1000 bytes at 10 µs/byte.
+	if got := s.serTime(20_000, 1000); got != 10_000 {
+		t.Errorf("slow-segment serTime = %d, want 10000", got)
+	}
+	// Spanning the step: 500 bytes fit in [9.5ms, 10ms) at the fast rate,
+	// the remaining 500 take 5 ms at the slow rate.
+	if got := s.serTime(9_500, 1000); got != 5_500 {
+		t.Errorf("step-spanning serTime = %d, want 5500", got)
+	}
+	// RateAt reports the segment in force.
+	if r := s.RateAt(5_000); r != 1_000_000 {
+		t.Errorf("RateAt(5ms) = %d", r)
+	}
+	if r := s.RateAt(10_000); r != 100_000 {
+		t.Errorf("RateAt(10ms) = %d", r)
+	}
+}
+
+// TestSchedulePeriodicWraps: a periodic schedule repeats every period and
+// serialization integrates across the wrap.
+func TestSchedulePeriodicWraps(t *testing.T) {
+	s := Square(1_000_000, 100_000, 20_000) // 10ms fast, 10ms slow, repeat
+	if r := s.RateAt(5_000); r != 1_000_000 {
+		t.Errorf("RateAt(5ms) = %d", r)
+	}
+	if r := s.RateAt(15_000); r != 100_000 {
+		t.Errorf("RateAt(15ms) = %d", r)
+	}
+	if r := s.RateAt(25_000); r != 1_000_000 {
+		t.Errorf("RateAt(25ms, next period) = %d", r)
+	}
+	// Starting 1 ms before the period wraps back to fast: 100 bytes at the
+	// slow rate take exactly the remaining 1 ms, then 900 fast bytes 900 µs.
+	if got := s.serTime(19_000, 1000); got != 1_900 {
+		t.Errorf("wrap-spanning serTime = %d, want 1900", got)
+	}
+}
+
+// TestScheduleZeroRateSegmentIsInfinite: a zero-rate segment passes bytes
+// instantly, mirroring Link.Rate == 0.
+func TestScheduleZeroRateSegmentIsInfinite(t *testing.T) {
+	s := NewRateSchedule(
+		RateStep{At: 0, Rate: 100_000},
+		RateStep{At: 10_000, Rate: 0},
+	)
+	// 2000 bytes from t=5ms: 500 bytes fit before the infinite segment
+	// (5 ms at 10 µs/byte), the rest is free.
+	if got := s.serTime(5_000, 2000); got != 5_000 {
+		t.Errorf("serTime into infinite segment = %d, want 5000", got)
+	}
+	if got := s.serTime(15_000, 1_000_000); got != 1 {
+		t.Errorf("serTime fully inside infinite segment = %d, want 1", got)
+	}
+}
+
+// TestScheduleNoReorderAcrossRateChange: packets offered in order leave in
+// order even when the rate collapses mid-queue — the FIFO invariant the
+// oracle's passive inference relies on.
+func TestScheduleNoReorderAcrossRateChange(t *testing.T) {
+	eng := sim.New(0, 1)
+	var order []int
+	var times []sim.Micros
+	l := NewLink(eng, func(p *packet.Packet) {
+		order = append(order, int(p.TCP.Seq))
+		times = append(times, eng.Now())
+	})
+	l.Schedule = Sawtooth(1_000_000, 50_000, 40_000, 8)
+	rnd := rand.New(rand.NewSource(3))
+	n := 60
+	for i := 0; i < n; i++ {
+		at := sim.Micros(i * 1_700)
+		seq := uint32(i)
+		eng.At(at, func() {
+			p := testPacket(200 + rnd.Intn(1200))
+			p.TCP.Seq = seq
+			l.Send(p)
+		})
+	}
+	eng.RunAll(0)
+	if len(order) != n {
+		t.Fatalf("delivered %d of %d packets", len(order), n)
+	}
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("delivery order %v: packet %d out of place", order[:i+1], order[i])
+		}
+		if i > 0 && times[i] < times[i-1] {
+			t.Fatalf("delivery times not monotone: %v", times[:i+1])
+		}
+	}
+}
+
+// TestScheduleStatsConservation: offered = delivered + dropped under a
+// sawtooth profile with a finite queue.
+func TestScheduleStatsConservation(t *testing.T) {
+	eng := sim.New(0, 7)
+	delivered := 0
+	l := NewLink(eng, func(*packet.Packet) { delivered++ })
+	l.Schedule = Sawtooth(400_000, 20_000, 50_000, 10)
+	l.QueueCap = 4
+	n := 300
+	for i := 0; i < n; i++ {
+		at := sim.Micros(i * 900)
+		eng.At(at, func() { l.Send(testPacket(946)) })
+	}
+	eng.RunAll(0)
+	st := l.Stats()
+	if st.Offered != n {
+		t.Fatalf("offered %d, want %d", st.Offered, n)
+	}
+	if st.Delivered != delivered {
+		t.Errorf("stats delivered %d, handler saw %d", st.Delivered, delivered)
+	}
+	if st.Delivered+st.DroppedTail+st.DroppedLoss != st.Offered {
+		t.Errorf("conservation broken: %d delivered + %d tail + %d loss != %d offered",
+			st.Delivered, st.DroppedTail, st.DroppedLoss, st.Offered)
+	}
+	if st.DroppedTail == 0 {
+		t.Error("sawtooth trough never overflowed the queue (test too weak)")
+	}
+}
+
+// TestGilbertElliottBurstsAndDeterminism: the GE process is deterministic
+// per seed, produces burstier loss than i.i.d. at the same mean rate, and
+// layers on LossHook without touching the engine RNG.
+func TestGilbertElliottBurstsAndDeterminism(t *testing.T) {
+	prm := GEParams{PGoodBad: 0.02, PBadGood: 0.25, DropBad: 0.9}
+	draw := func(seed int64) []bool {
+		f := GilbertElliott(seed, prm)
+		out := make([]bool, 5000)
+		p := testPacket(100)
+		for i := range out {
+			out[i] = f(sim.Micros(i), p)
+		}
+		return out
+	}
+	a, b := draw(5), draw(5)
+	drops, bursts, run, maxRun := 0, 0, 0, 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("packet %d differs across identical seeds", i)
+		}
+		if a[i] {
+			drops++
+			run++
+			if run > maxRun {
+				maxRun = run
+			}
+			if run == 1 {
+				bursts++
+			}
+		} else {
+			run = 0
+		}
+	}
+	if drops == 0 {
+		t.Fatal("GE process never dropped")
+	}
+	// Mean burst length must exceed i.i.d.'s: with loss rate p, i.i.d. runs
+	// average 1/(1-p) ≈ 1.07 at these parameters; GE with DropBad 0.9 and
+	// mean bad dwell of 4 packets averages ≈ 2.8.
+	meanBurst := float64(drops) / float64(bursts)
+	if meanBurst < 1.5 {
+		t.Errorf("mean loss burst %.2f packets — not bursty (maxRun %d)", meanBurst, maxRun)
+	}
+	if maxRun < 3 {
+		t.Errorf("max loss run %d, want ≥3 for a bursty process", maxRun)
+	}
+}
+
+// TestGilbertElliottOnLink: wired as a LossHook, the GE drops land in
+// DroppedLoss and reach the DropHook ground-truth observer.
+func TestGilbertElliottOnLink(t *testing.T) {
+	eng := sim.New(0, 9)
+	delivered := 0
+	l := NewLink(eng, func(*packet.Packet) { delivered++ })
+	l.LossHook = GilbertElliott(21, GEParams{PGoodBad: 0.05, PBadGood: 0.2, DropBad: 1.0})
+	hookDrops := 0
+	l.DropHook = func(sim.Micros, *packet.Packet, bool) { hookDrops++ }
+	n := 1000
+	for i := 0; i < n; i++ {
+		l.Send(testPacket(100))
+	}
+	eng.RunAll(0)
+	st := l.Stats()
+	if st.DroppedLoss == 0 {
+		t.Fatal("no GE drops on the link")
+	}
+	if st.DroppedLoss != hookDrops {
+		t.Errorf("DropHook saw %d drops, stats %d", hookDrops, st.DroppedLoss)
+	}
+	if delivered+st.DroppedLoss != n {
+		t.Errorf("conservation: %d delivered + %d dropped != %d", delivered, st.DroppedLoss, n)
+	}
+}

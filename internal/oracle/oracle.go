@@ -114,6 +114,14 @@ type StackResult struct {
 	Scores
 }
 
+// DimensionResult is one adversarial-diversity axis's scorecard (see
+// DimensionCases). Dimensions are swept under Reno only: they measure
+// scenario stress, and the stack axis is already covered by PerStack.
+type DimensionResult struct {
+	Dimension string `json:"dimension"`
+	Scores
+}
+
 // Result is the full validation scorecard.
 type Result struct {
 	Quick bool  `json:"quick"`
@@ -122,6 +130,9 @@ type Result struct {
 	// PerStack holds one scorecard per extra sender stack swept (see
 	// Config.Stacks); the embedded Scores above always belong to Reno.
 	PerStack []StackResult `json:"per_stack,omitempty"`
+	// PerDimension holds one scorecard per adversarial-diversity axis (see
+	// DimensionCases), swept under Reno. Omitted with Config.NoDimensions.
+	PerDimension []DimensionResult `json:"per_dimension,omitempty"`
 	// CaseEvidence holds per-case truth-vs-inference diffs plus the
 	// analyzer's evidence records (populated only with Config.Explain,
 	// Reno sweep only).
@@ -136,6 +147,16 @@ func (r *Result) StackByName(name string) (StackResult, bool) {
 		}
 	}
 	return StackResult{}, false
+}
+
+// DimensionByName returns the named per-dimension scorecard.
+func (r *Result) DimensionByName(name string) (DimensionResult, bool) {
+	for _, d := range r.PerDimension {
+		if d.Dimension == name {
+			return d, true
+		}
+	}
+	return DimensionResult{}, false
 }
 
 // validator carries the sweep's accumulators.
@@ -174,7 +195,7 @@ func Run(cfg Config) *Result {
 	res := &Result{Quick: cfg.Quick, Seed: cfg.Seed}
 	sawReno := false
 	for _, st := range stacks {
-		scores, evidence := runStack(cfg, st)
+		scores, evidence := runCases(cfg, Cases(cfg), st)
 		if st == tcpsim.StackReno && !sawReno {
 			sawReno = true
 			res.Scores = scores
@@ -183,12 +204,32 @@ func Run(cfg Config) *Result {
 			res.PerStack = append(res.PerStack, StackResult{Stack: st.String(), Scores: scores})
 		}
 	}
+	if !cfg.NoDimensions {
+		// One scorecard per diversity axis, Reno only, in grid order. The
+		// dimension sweeps never feed the embedded (historically gated)
+		// scores, so the Reno scorecard stays byte-identical with or without
+		// them; evidence stays off — the per-dimension floors are the signal.
+		dimCfg := cfg
+		dimCfg.Explain = false
+		var order []string
+		grouped := map[string][]Case{}
+		for _, c := range DimensionCases(cfg) {
+			if _, ok := grouped[c.Dimension]; !ok {
+				order = append(order, c.Dimension)
+			}
+			grouped[c.Dimension] = append(grouped[c.Dimension], c)
+		}
+		for _, dim := range order {
+			scores, _ := runCases(dimCfg, grouped[dim], tcpsim.StackReno)
+			res.PerDimension = append(res.PerDimension, DimensionResult{Dimension: dim, Scores: scores})
+		}
+	}
 	return res
 }
 
-// runStack sweeps the full case grid under one sender stack with fresh
+// runCases sweeps one case list under one sender stack with fresh
 // accumulators, returning its scorecard plus any per-case evidence.
-func runStack(cfg Config, stack tcpsim.Stack) (Scores, []CaseEvidence) {
+func runCases(cfg Config, cases []Case, stack tcpsim.Stack) (Scores, []CaseEvidence) {
 	altWorkers := 1
 	if cfg.Workers == 1 {
 		altWorkers = 4
@@ -203,7 +244,6 @@ func runStack(cfg Config, stack tcpsim.Stack) (Scores, []CaseEvidence) {
 		},
 	}
 
-	cases := Cases(cfg)
 	var violations []string
 	for _, c := range cases {
 		c.Scenario.Stack = stack

@@ -2,6 +2,7 @@ package oracle
 
 import (
 	"bytes"
+	"os"
 	"strings"
 	"testing"
 
@@ -168,8 +169,11 @@ func TestCheckReportsBreaches(t *testing.T) {
 // byte-identical to a Reno-only run (per-stack accumulators are isolated)
 // and put every non-Reno stack under PerStack.
 func TestMultiStackSweep(t *testing.T) {
-	solo := Run(Config{Quick: true})
-	multi := Run(Config{Quick: true, Stacks: []tcpsim.Stack{tcpsim.StackReno, tcpsim.StackSACK}})
+	// NoDimensions: the adversarial-dimension sweep is Reno-only by
+	// construction (covered by TestDimensionSweep); skipping it here keeps
+	// the double full-grid run cheap.
+	solo := Run(Config{Quick: true, NoDimensions: true})
+	multi := Run(Config{Quick: true, NoDimensions: true, Stacks: []tcpsim.Stack{tcpsim.StackReno, tcpsim.StackSACK}})
 
 	var soloTxt, multiTop bytes.Buffer
 	solo.WriteText(&soloTxt)
@@ -188,6 +192,144 @@ func TestMultiStackSweep(t *testing.T) {
 	}
 	if _, ok := multi.StackByName("sack"); !ok {
 		t.Error("StackByName(sack) missed")
+	}
+}
+
+// TestDimensionSweep: every adversarial-diversity axis appears exactly once
+// in grid order with a complete scorecard, NoDimensions suppresses the axis
+// sweeps without perturbing the embedded Reno scorecard, and the quick sweep
+// clears the committed per-dimension floors.
+func TestDimensionSweep(t *testing.T) {
+	res := Run(Config{Quick: true})
+	wantDims := []string{
+		"long-rtt", "varying-rate", "burst-loss",
+		"heavy-tail-app", "bimodal-app", "fanout",
+	}
+	if len(res.PerDimension) != len(wantDims) {
+		t.Fatalf("swept %d dimensions, want %d: %+v",
+			len(res.PerDimension), len(wantDims), res.PerDimension)
+	}
+	for i, d := range res.PerDimension {
+		if d.Dimension != wantDims[i] {
+			t.Errorf("dimension[%d] = %s, want %s", i, d.Dimension, wantDims[i])
+		}
+		if d.Cases == 0 || d.Conf.Total != d.Cases {
+			t.Errorf("dimension %s: confusion total %d != cases %d",
+				d.Dimension, d.Conf.Total, d.Cases)
+		}
+	}
+	if _, ok := res.DimensionByName("long-rtt"); !ok {
+		t.Error("DimensionByName(long-rtt) missed")
+	}
+	if _, ok := res.DimensionByName("no-such-axis"); ok {
+		t.Error("DimensionByName invented an axis")
+	}
+
+	bare := Run(Config{Quick: true, NoDimensions: true})
+	if bare.PerDimension != nil {
+		t.Errorf("NoDimensions still swept %d dimensions", len(bare.PerDimension))
+	}
+	var withTxt, bareTxt bytes.Buffer
+	renoOnly := &Result{Quick: res.Quick, Seed: res.Seed, Scores: res.Scores}
+	renoOnly.WriteText(&withTxt)
+	bare.WriteText(&bareTxt)
+	if withTxt.String() != bareTxt.String() {
+		t.Errorf("Reno scorecard changed when dimensions were swept:\n--- with\n%s\n--- without\n%s",
+			withTxt.String(), bareTxt.String())
+	}
+
+	// The committed floor file must hold against the quick sweep — the
+	// in-tree copy of the CI dimension gate. Per-stack floors are dropped
+	// because this run sweeps Reno only.
+	f, err := os.Open("../../scripts/validatefloor.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	fl, err := ParseFloors(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl.PerStack = nil
+	if breaches := res.Check(fl); len(breaches) > 0 {
+		t.Errorf("quick sweep breaches committed dimension floors:\n%s",
+			strings.Join(breaches, "\n"))
+	}
+}
+
+// TestParseFloorsPerDimension: the dim.<name>.<key> syntax lands in
+// Floors.PerDimension and bad dimension keys are rejected.
+func TestParseFloorsPerDimension(t *testing.T) {
+	in := `
+series.zero-window.f1 0.95
+dim.long-rtt.series.app-idle.f1 0.93
+dim.long-rtt.violations.max 1
+dim.varying-rate.confusion.accuracy 0.95
+`
+	fl, err := ParseFloors(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr := fl.PerDimension["long-rtt"]
+	if lr == nil || lr.SeriesF1["app-idle"] != 0.93 {
+		t.Fatalf("long-rtt floors = %+v", lr)
+	}
+	if !lr.hasMaxViolations || lr.MaxViolations != 1 {
+		t.Errorf("long-rtt violations.max = %v (set %v)", lr.MaxViolations, lr.hasMaxViolations)
+	}
+	if vr := fl.PerDimension["varying-rate"]; vr == nil || vr.ConfusionAccuracy != 0.95 {
+		t.Errorf("varying-rate floors = %+v", vr)
+	}
+	for _, bad := range []string{"dim. 1.0", "dim.long-rtt 1.0", "dim.long-rtt.bogus 1.0"} {
+		if _, err := ParseFloors(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseFloors(%q) accepted", bad)
+		}
+	}
+}
+
+// TestCheckPerDimension: per-dimension floors gate the matching PerDimension
+// scorecard with a prefixed breach message, and floors for an unswept
+// dimension breach.
+func TestCheckPerDimension(t *testing.T) {
+	res := &Result{
+		Scores: Scores{
+			Series: []SeriesScore{{Name: "app-idle", Kind: "interval", F1: 0.99, Runs: 1}},
+			Conf:   Confusion{Total: 1, Correct: 1, Accuracy: 1},
+			Detect: Detection{Checked: 1, Passed: 1, Rate: 1},
+		},
+		PerDimension: []DimensionResult{{Dimension: "long-rtt", Scores: Scores{
+			Series: []SeriesScore{{Name: "app-idle", Kind: "interval", F1: 0.60, Runs: 1}},
+			Conf:   Confusion{Total: 1, Correct: 1, Accuracy: 1},
+			Detect: Detection{Checked: 1, Passed: 1, Rate: 1},
+		}}},
+	}
+	fl := Floors{
+		SeriesF1: map[string]float64{"app-idle": 0.90},
+		PerDimension: map[string]*Floors{
+			"long-rtt": {SeriesF1: map[string]float64{"app-idle": 0.90}},
+			"fanout":   {SeriesF1: map[string]float64{"app-idle": 0.50}},
+		},
+	}
+	breaches := res.Check(fl)
+	want := []string{
+		"dim long-rtt: series app-idle: F1 0.600 below floor 0.90",
+		"dimension fanout: floors set but dimension not swept",
+	}
+	for _, w := range want {
+		found := false
+		for _, b := range breaches {
+			if strings.Contains(b, w) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("breach %q not reported; got %v", w, breaches)
+		}
+	}
+	for _, b := range breaches {
+		if !strings.Contains(b, "dim") && strings.Contains(b, "app-idle") {
+			t.Errorf("reno scorecard breached spuriously: %v", b)
+		}
 	}
 }
 
@@ -305,6 +447,21 @@ func BenchmarkOracleSweep(b *testing.B) {
 		res := Run(Config{Quick: true})
 		if res.Cases == 0 {
 			b.Fatal("empty sweep")
+		}
+	}
+}
+
+// BenchmarkOracleSweepDimensions times the quick adversarial-dimension grid
+// alone (Reno, no base cases): the 500 ms+ RTT and fanout scenarios dominate
+// the sweep's added cost, and this isolates that share. CI archives it in
+// BENCH_validate.json via the shared -bench regex; like the stack benchmark
+// below it stays out of the benchfloor gate.
+func BenchmarkOracleSweepDimensions(b *testing.B) {
+	cfg := Config{Quick: true}.withDefaults()
+	for i := 0; i < b.N; i++ {
+		scores, _ := runCases(cfg, DimensionCases(cfg), tcpsim.StackReno)
+		if scores.Cases == 0 {
+			b.Fatal("empty dimension sweep")
 		}
 	}
 }

@@ -23,6 +23,11 @@ func (r *Result) WriteText(w io.Writer) {
 		fmt.Fprintf(w, "\n==== stack %s (%d cases) ====\n\n", sr.Stack, sr.Cases)
 		writeScoresText(w, &sr.Scores)
 	}
+	for i := range r.PerDimension {
+		dr := &r.PerDimension[i]
+		fmt.Fprintf(w, "\n==== dimension %s (%d cases) ====\n\n", dr.Dimension, dr.Cases)
+		writeScoresText(w, &dr.Scores)
+	}
 }
 
 // writeScoresText renders one stack's scorecard block.
@@ -85,7 +90,8 @@ func (r *Result) WriteJSON(w io.Writer) error {
 // Per-stack floors prefix any of the above with `stack.<stack>.`, e.g.
 // `stack.cubic.series.zero-window.f1 0.90`. They gate the matching entry in
 // Result.PerStack; a per-stack floor with no matching swept stack is a
-// breach.
+// breach. Per-dimension floors likewise use `dim.<dimension>.<key>`, e.g.
+// `dim.long-rtt.series.app-idle.f1 0.90`, gating Result.PerDimension.
 type Floors struct {
 	SeriesF1          map[string]float64
 	ConfusionAccuracy float64
@@ -95,6 +101,8 @@ type Floors struct {
 	hasMaxViolations  bool
 	// PerStack gates Result.PerStack entries by stack name.
 	PerStack map[string]*Floors
+	// PerDimension gates Result.PerDimension entries by dimension name.
+	PerDimension map[string]*Floors
 }
 
 // DefaultFloors returns the gate the CI validate job enforces when no floor
@@ -142,20 +150,32 @@ func ParseFloors(r io.Reader) (Floors, error) {
 		}
 		key := fields[0]
 		target := &f
-		if rest, ok := strings.CutPrefix(key, "stack."); ok {
-			stack, sub, ok := strings.Cut(rest, ".")
-			if !ok || stack == "" {
-				return f, fmt.Errorf("floor line %d: want \"stack.<name>.<key>\", got %q", line, key)
+		for _, scope := range []struct {
+			prefix string
+			byName *map[string]*Floors
+		}{
+			{"stack.", &f.PerStack},
+			{"dim.", &f.PerDimension},
+		} {
+			rest, ok := strings.CutPrefix(key, scope.prefix)
+			if !ok {
+				continue
 			}
-			if f.PerStack == nil {
-				f.PerStack = map[string]*Floors{}
+			name, sub, ok := strings.Cut(rest, ".")
+			if !ok || name == "" {
+				return f, fmt.Errorf("floor line %d: want %q, got %q",
+					line, scope.prefix+"<name>.<key>", key)
 			}
-			target = f.PerStack[stack]
+			if *scope.byName == nil {
+				*scope.byName = map[string]*Floors{}
+			}
+			target = (*scope.byName)[name]
 			if target == nil {
 				target = &Floors{SeriesF1: map[string]float64{}, FactorMAE: map[string]float64{}}
-				f.PerStack[stack] = target
+				(*scope.byName)[name] = target
 			}
 			key = sub
+			break
 		}
 		if err := target.setKey(key, val); err != nil {
 			return f, fmt.Errorf("floor line %d: %v", line, err)
@@ -188,7 +208,8 @@ func (f *Floors) setKey(key string, val float64) error {
 
 // Check compares the result against the floors and returns the list of
 // breaches (empty when the gate passes). Floors.PerStack entries gate the
-// matching Result.PerStack scorecards.
+// matching Result.PerStack scorecards, Floors.PerDimension the matching
+// Result.PerDimension ones.
 func (r *Result) Check(fl Floors) []string {
 	out := checkScores("", &r.Scores, fl)
 	stacks := make([]string, 0, len(fl.PerStack))
@@ -204,6 +225,20 @@ func (r *Result) Check(fl Floors) []string {
 			continue
 		}
 		out = append(out, checkScores("stack "+n+": ", &sr.Scores, *sub)...)
+	}
+	dims := make([]string, 0, len(fl.PerDimension))
+	for n := range fl.PerDimension {
+		dims = append(dims, n)
+	}
+	sort.Strings(dims)
+	for _, n := range dims {
+		sub := fl.PerDimension[n]
+		dr, ok := r.DimensionByName(n)
+		if !ok {
+			out = append(out, fmt.Sprintf("dimension %s: floors set but dimension not swept", n))
+			continue
+		}
+		out = append(out, checkScores("dim "+n+": ", &dr.Scores, *sub)...)
 	}
 	return out
 }

@@ -1,6 +1,8 @@
 package series
 
 import (
+	"sort"
+
 	"tdat/internal/explain"
 	"tdat/internal/flows"
 	"tdat/internal/timerange"
@@ -241,7 +243,12 @@ func (c *Catalog) extract() {
 // spaces a packet wirelen/R behind its predecessor, small packets close
 // behind big ones — an application timer releases on the clock regardless
 // of size. Runs of ≥ BandwidthRunLen packets matching that proportionality
-// and spanning at least one RTT are bandwidth-limited.
+// and spanning at least one RTT are bandwidth-limited. The proportionality
+// anchor is local (each gap against the drain rate the previous gap
+// implied), so a bottleneck whose rate varies over the transfer — a policer
+// stepping through a schedule — still reads as one drain; runs slower than
+// the tightest spacing the wire ever demonstrated additionally need a
+// size-tracking small packet as evidence they are not a timer.
 func (c *Catalog) detectBandwidth() *timerange.Set {
 	data := c.conn.Data
 	mss := c.mss()
@@ -285,7 +292,7 @@ func (c *Catalog) detectBandwidth() *timerange.Set {
 		// pacing (the same cutoff the run filter applies below) — and when
 		// an application emits one segment per timer tick, the pacing
 		// period itself masquerades as the serialization time. Bail before
-		// it anchors the proportionality test.
+		// it anchors the slow-run guard below.
 		if rec.Enabled() {
 			rec.Add(explain.Evidence{
 				Rule: "series.bandwidth-limited", Outcome: explain.OutcomeVetoed,
@@ -300,13 +307,32 @@ func (c *Catalog) detectBandwidth() *timerange.Set {
 	wireMSS := Micros(mss + hdrLen)
 
 	runStart := -1
+	runSmall := false    // run carries a sub-half-MSS packet on a tracking gap
+	runWire := Micros(0) // wire bytes carried across the run's gaps
+	runDry := 0          // packets with nothing outstanding beyond themselves
 	flush := func(end int) {
-		defer func() { runStart = -1 }()
+		defer func() { runStart = -1; runSmall = false; runWire = 0; runDry = 0 }()
 		if runStart < 0 || end-runStart+1 < c.cfg.BandwidthRunLen {
 			return
 		}
 		r := timerange.R(data[runStart].Time, data[end].Time+1)
 		if r.Len() < rtt {
+			return
+		}
+		// A saturated bottleneck keeps a standing queue: every packet in
+		// the drain leaves earlier bytes still unacknowledged behind it. An
+		// application timer runs the pipe dry between ticks — each release
+		// is the only thing outstanding — even when its cadence happens to
+		// be size-consistent (all ticks near-MSS). Reject runs that are dry
+		// more often than not.
+		if runDry*2 > end-runStart {
+			return
+		}
+		// The run's own implied full-segment serialization. A "run" whose
+		// bytes move faster than 100 µs per segment is a line-rate burst
+		// (self-consistent, but not a drain), mirroring the global
+		// fast-wire rejection at run granularity.
+		if runWire > 0 && (r.Len()-1)*wireMSS/runWire < 100 {
 			return
 		}
 		// Uniform gaps alone are ambiguous. Two cadences are excluded:
@@ -336,17 +362,47 @@ func (c *Catalog) detectBandwidth() *timerange.Set {
 		if avgGap > 4*rtt {
 			return
 		}
+		// A run draining slower than the tightest spacing the wire has
+		// demonstrated claims the bottleneck itself slowed down. That is
+		// real on a time-varying link, but it is also exactly what an
+		// application timer looks like — so demand the one signature a
+		// timer cannot fake: a small packet whose gap shrank with it.
+		// (Equal-size packets pass the relative proportionality test for
+		// free; only a size change makes it informative.)
+		if avgGap > serMSS*17/10 && !runSmall {
+			return
+		}
 		bw.Add(r)
 	}
-	for i := 1; i < len(data); i++ {
+	// The proportionality test is anchored locally — each gap is compared
+	// to the per-byte drain time the previous gap implied — so the run
+	// survives a bottleneck whose rate drifts (a policer stepping through
+	// a schedule moves the clock slowly; an application burst jumps it).
+	for i := 2; i < len(data); i++ {
 		gap := data[i].Time - data[i-1].Time
-		expected := serMSS * Micros(data[i].Len+hdrLen) / wireMSS
-		ok := gap > 0 && expected > 0 &&
-			gap >= expected*3/5 && gap <= expected*17/10
+		wl := Micros(data[i].Len + hdrLen)
+		pgap := data[i-1].Time - data[i-2].Time
+		pwl := Micros(data[i-1].Len + hdrLen)
+		ok := gap > 0 && pgap > 0 &&
+			gap*pwl*5 >= pgap*wl*3 && gap*pwl*10 <= pgap*wl*17
 		if ok {
 			if runStart < 0 {
-				runStart = i - 1
+				runStart = i - 2
+				runWire += pwl
+				if data[i-1].Len <= mss/2 {
+					runSmall = true
+				}
+				if c.outLevels[i-1] <= data[i-1].Len {
+					runDry++
+				}
 			}
+			if data[i].Len <= mss/2 {
+				runSmall = true
+			}
+			if c.outLevels[i] <= data[i].Len {
+				runDry++
+			}
+			runWire += wl
 			continue
 		}
 		flush(i - 1)
@@ -390,6 +446,33 @@ func (c *Catalog) interpret() {
 	}
 }
 
+// windowBound reports whether flight f was limited by the receiver's
+// advertised window. Two signatures qualify. The direct one: peak
+// outstanding bytes came within slack of the tightest advertised window.
+// The rate one, for long-delay paths: outstanding bytes are measured where
+// the sniffer sits, and with the compensation shift only covering ACKs
+// that release data, a window-filling sender half a second away shows only
+// part of its true flight size — but its throughput cannot exceed the
+// advertised window per round trip. A sustained flight (several packets
+// spanning at least two round trips) whose average rate reaches that
+// ceiling is window-clocked regardless of what the outstanding counter
+// caught.
+func windowBound(f *Flight, slackB int, rtt Micros) bool {
+	if f.MaxOut > 0 && f.WinMin-f.MaxOut < slackB {
+		return true
+	}
+	span := f.Last - f.First
+	if f.Packets < 5 || span < 2*rtt || f.WinMin <= slackB {
+		return false
+	}
+	if f.WinMin+slackB < f.WindowAtStart {
+		// The tightest window was a transient dip, not the prevailing
+		// ceiling — a flight average against it says nothing.
+		return false
+	}
+	return int64(f.Bytes)*int64(rtt) >= int64(f.WinMin-slackB)*int64(span)
+}
+
 // operate derives the behavioural series (rule class 3, §III-C3).
 func (c *Catalog) operate() {
 	data := c.conn.Data
@@ -418,16 +501,75 @@ func (c *Catalog) operate() {
 			appLim.Add(timerange.R(pre, data[0].Time))
 		}
 	}
+	// ACK arrival times, sorted: flight shifting can leave the shifted
+	// stream slightly out of order, and the launched-by-an-ACK exclusion
+	// below needs binary search.
+	ackTimes := make([]Micros, len(c.acks))
+	for i, a := range c.acks {
+		ackTimes[i] = a.Time
+	}
+	sort.Slice(ackTimes, func(i, j int) bool { return ackTimes[i] < ackTimes[j] })
+	ackJustBefore := func(t Micros) bool {
+		// Any ACK inside (t-immediate, t]: the sender moved the moment the
+		// transport let it, so the preceding silence was not the app's.
+		i := sort.Search(len(ackTimes), func(i int) bool { return ackTimes[i] > t })
+		return i > 0 && t-ackTimes[i-1] < immediate
+	}
+	// Cursors for the recovery-stall exclusion: visEnd is the highest
+	// sequence the sniffer has seen by each gap's start, ackMax the highest
+	// cumulative acknowledgment to cross by the gap's end. ACKs are read at
+	// their original arrival times — the receiver's state is measured next
+	// to the receiver, so no sender-viewpoint shift applies.
+	origAcks := c.conn.Acks
+	vi, oi := 0, 0
+	var visEnd, ackMax int64
 	for i := 1; i < len(c.Flights); i++ {
 		f, g := &c.Flights[i-1], &c.Flights[i]
+		for vi < len(data) && data[vi].Time <= f.Last {
+			if data[vi].SeqEnd > visEnd {
+				visEnd = data[vi].SeqEnd
+			}
+			vi++
+		}
+		for oi < len(origAcks) && origAcks[oi].Time <= g.First {
+			if origAcks[oi].Ack > ackMax {
+				ackMax = origAcks[oi].Ack
+			}
+			oi++
+		}
 		if g.First-f.Last <= c.cfg.AppIdleThreshold {
 			continue
 		}
-		if f.MaxOut > 0 && f.WinMin-f.MaxOut < slackB {
+		if windowBound(f, slackB, c.rtt()) {
 			continue // the sender was blocked on the receiver window
+		}
+		if visEnd-ackMax >= int64(2*mss) {
+			// Two or more full segments the sniffer saw before the gap were
+			// still unacknowledged when sending resumed: the transport spent
+			// the silence in loss recovery (an RTO backoff whose
+			// retransmissions were dropped before the sniffer leaves no
+			// other trace). An idle application has nothing comparable
+			// outstanding — a delayed ACK withholds at most one full
+			// segment, never two.
+			continue
 		}
 		if f.AckTime > 0 && g.First >= f.AckTime && g.First-f.AckTime <= immediate {
 			continue // ACK-clocked: congestion-window bound, not the app
+		}
+		if g.FirstKind == flows.DataGapFill || g.FirstKind == flows.DataRetransmit {
+			// The flight opens with a repair: the silence before it was the
+			// transport waiting out loss detection (dup-ACK count or RTO),
+			// not the application. The recovery sets only start where the
+			// sniffer could first see the loss, so at long RTTs they do not
+			// reach back across this wait — exclude it here.
+			continue
+		}
+		if ackJustBefore(g.First) {
+			// The flight launched right behind an ACK arrival (in shifted,
+			// sender-viewpoint time): partial-ACK-clocked recovery or
+			// window-release clocking. f's completion ACK — checked above —
+			// is the wrong anchor whenever f itself is still unacknowledged.
+			continue
 		}
 		start := f.Last + 1
 		// The paper charges idle "from the moment the sender receives the
@@ -479,13 +621,41 @@ func (c *Catalog) operate() {
 	cwnd := timerange.NewSet()
 	slack := c.cfg.WindowSlackMSS * mss
 	rtt := c.rtt()
+	// Loss-depressed congestion windows are the loss's cost, not the
+	// sender's choice: after a drop Reno halves (or, on RTO, restarts) the
+	// window and crawls back one segment per round trip, so on long-delay
+	// lossy paths most wall-clock time is ACK-clocked at a window the loss
+	// set — blaming the sender for it inverts the paper's causality. A
+	// cwnd-bounded flight is charged to the epoch of its most recent loss
+	// while its peak outstanding sits below ¾ of the pre-loss peak and the
+	// loss is recent enough for regrowth to still be underway (32 round
+	// trips covers slow-start restart plus the linear climb back to ¾).
+	upR := c.Get(UpstreamLoss).Ranges()
+	downR := c.Get(DownstreamLoss).Ranges()
+	epochUp := timerange.NewSet()
+	epochDown := timerange.NewSet()
+	const regrowRTTs = 32
+	var peakOut int
+	ui, di := 0, 0
+	var lastUp, lastDown Micros
 	for i := range c.Flights {
 		f := &c.Flights[i]
+		for ui < len(upR) && upR[ui].Start <= f.First {
+			lastUp = upR[ui].Start
+			ui++
+		}
+		for di < len(downR) && downR[di].Start <= f.First {
+			lastDown = downR[di].Start
+			di++
+		}
+		if f.MaxOut > peakOut {
+			peakOut = f.MaxOut
+		}
 		end := f.AckTime
 		if end == 0 {
 			end = f.Last + 2*rtt
 		}
-		if f.MaxOut > 0 && f.WinMin-f.MaxOut < slack {
+		if windowBound(f, slack, rtt) {
 			// A window-filling flight is receiver-bound for its whole wait:
 			// until the receiver's next release lets the following flight
 			// go, however long that takes. This applies to sub-MSS flights
@@ -519,7 +689,16 @@ func (c *Catalog) operate() {
 			prev := c.Flights[i-1]
 			if prev.AckTime > 0 && f.First >= prev.AckTime && f.First-prev.AckTime <= immediate {
 				f.CwndBounded = true
-				cwnd.Add(r)
+				lastLoss, epoch := lastUp, epochUp
+				if lastDown > lastLoss {
+					lastLoss, epoch = lastDown, epochDown
+				}
+				if lastLoss > 0 && f.First-lastLoss <= regrowRTTs*rtt &&
+					4*f.MaxOut < 3*peakOut {
+					epoch.Add(r)
+				} else {
+					cwnd.Add(r)
+				}
 			}
 		}
 	}
@@ -532,6 +711,20 @@ func (c *Catalog) operate() {
 	// applies above).
 	cwndFinal := cwnd.Subtract(c.Get(BandwidthLimited))
 	c.set(CwndBndOut, cwndFinal)
+	// Loss-depressed ACK clocking joins the interpreted series of the loss
+	// that depressed it (same sniffer-location mapping interpret applies to
+	// the recovery periods themselves); the bandwidth drain keeps precedence
+	// here exactly as it does over CwndBndOut.
+	epochUpF := epochUp.Subtract(c.Get(BandwidthLimited))
+	epochDownF := epochDown.Subtract(c.Get(BandwidthLimited))
+	switch c.cfg.Sniffer {
+	case AtReceiver:
+		c.set(NetworkLoss, c.Get(NetworkLoss).Union(epochUpF))
+		c.set(RecvLocalLoss, c.Get(RecvLocalLoss).Union(epochDownF))
+	case AtSender:
+		c.set(SendLocalLoss, c.Get(SendLocalLoss).Union(epochUpF))
+		c.set(NetworkLoss, c.Get(NetworkLoss).Union(epochDownF))
+	}
 	if rec := c.cfg.Explain; rec.Enabled() {
 		rec.Add(explain.Evidence{
 			Rule: "series.cwnd-bnd-out", Outcome: explain.OutcomeScored,
@@ -539,9 +732,10 @@ func (c *Catalog) operate() {
 			Inputs: []explain.KV{
 				{K: "raw_ack_clocked_us", V: float64(cwnd.Size())},
 				{K: "excluded_bandwidth_us", V: float64(cwnd.Intersect(c.Get(BandwidthLimited)).Size())},
+				{K: "loss_depressed_us", V: float64(epochUpF.Size() + epochDownF.Size())},
 			},
 			Intervals: []explain.IntervalSet{explain.Capture("CwndBndOut", cwndFinal)},
-			Detail:    "ACK-clocked flights minus bandwidth-drain precedence",
+			Detail:    "ACK-clocked flights minus bandwidth-drain precedence; loss-depressed windows charged to their loss epoch",
 		})
 	}
 
@@ -609,11 +803,13 @@ func (c *Catalog) buildFlights() {
 				Last:          d.Time,
 				WindowAtStart: window,
 				WinMin:        window,
+				FirstKind:     d.Kind,
 			})
 			cur = &flights[len(flights)-1]
 		}
 		cur.Last = d.Time
 		cur.Packets++
+		cur.Bytes += d.Len
 		if d.Len > cur.MaxLen {
 			cur.MaxLen = d.Len
 		}

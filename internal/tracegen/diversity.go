@@ -1,0 +1,146 @@
+package tracegen
+
+import (
+	"net/netip"
+
+	"tdat/internal/bgp"
+	"tdat/internal/bgpsim"
+	"tdat/internal/dist"
+	"tdat/internal/netem"
+	"tdat/internal/sim"
+	"tdat/internal/tcpsim"
+)
+
+// heavyTailProfile is the KindHeavyTailApp send pattern: Pareto idle gaps
+// (40 ms scale, tail index 1.5 — infinite variance, so a few giant pauses
+// dominate) and Pareto burst sizes, both clamped to keep a single draw
+// from stalling or flooding the whole transfer.
+func heavyTailProfile(seed int64) *bgpsim.AppProfile {
+	return &bgpsim.AppProfile{
+		Seed:    seed + 101,
+		IdleGap: dist.Clamp{D: dist.Pareto{Alpha: 1.5, Xm: 40_000}, Lo: 1_000, Hi: 8_000_000},
+		Burst:   dist.Clamp{D: dist.Pareto{Alpha: 1.3, Xm: 6}, Lo: 1, Hi: 512},
+	}
+}
+
+// bimodalProfile is the KindBimodalApp send pattern: a steady trickle mode
+// (30 ms gaps, ~8-update bursts) mixed with a bulk-batch mode (400 ms
+// gaps, ~64-update bursts) — the two-regime behavior of routers that
+// alternate incremental updates with periodic batch refreshes.
+func bimodalProfile(seed int64) *bgpsim.AppProfile {
+	return &bgpsim.AppProfile{
+		Seed: seed + 103,
+		IdleGap: dist.Clamp{
+			D:  dist.Bimodal{Mean1: 30_000, Std1: 8_000, Weight1: 0.7, Mean2: 400_000, Std2: 60_000},
+			Lo: 1_000, Hi: 2_000_000,
+		},
+		Burst: dist.Clamp{
+			D:  dist.Bimodal{Mean1: 8, Std1: 2, Weight1: 0.8, Mean2: 64, Std2: 12},
+			Lo: 1, Hi: 256,
+		},
+	}
+}
+
+// runFanout executes KindFanout: one speaker replicates the table through
+// a single peer group to GroupMembers collectors. Member 0 is the observed
+// connection (sniffer + ground truth, wired exactly like runScenario); the
+// rest are unobserved, and SlowMembers of them run rate-limited collector
+// apps, so the observed member repeatedly exhausts the group slack bound
+// and stalls — the route-server-scale amplification of paper §II-B3.
+func runFanout(sc Scenario) *Trace {
+	eng := sim.New(0, sc.Seed)
+	table := Table(eng.Rand(), sc.Routes, sc.RoutesPerGroup)
+
+	speaker := bgpsim.NewSpeaker(eng, bgpsim.SpeakerConfig{
+		AS:              7018,
+		GroupQueueSlack: sc.GroupSlack,
+		// Mild pacing, like KindClean: routers never blast at line rate.
+		PacingInterval: 20_000,
+		PacingBudget:   32,
+	})
+	speaker.Table = table
+	group := speaker.NewPeerGroup()
+
+	// Member 0: the observed connection.
+	spec := bgpsim.ConnSpec{
+		RouterAddr:    netip.MustParseAddr("10.0.0.1"),
+		CollectorAddr: netip.MustParseAddr("10.0.0.2"),
+		Path: netem.PathConfig{
+			UpstreamDelay:   sc.RTT / 2,
+			DownstreamDelay: sc.RTT / 16,
+		},
+	}
+	tcpsim.ApplyStack(sc.Stack, &spec.RouterTCP, &spec.CollectorTCP)
+	conn := bgpsim.Dial(eng, spec, 7018)
+	sess := speaker.AddSession(conn.RouterPeer, group)
+	queued := -1
+	sess.OnTransferQueued = func(n, _ int) { queued = n }
+	host := bgpsim.NewCollectorHost(eng, bgpsim.CollectorConfig{})
+	csess := host.AddSession(conn.CollectorPeer, 7018)
+	rec := newTruthRecorder()
+	rec.attach(conn, sess)
+
+	// Members 1..N-1: unobserved replicas. The first SlowMembers of them
+	// read at CollectorRate and drag the group floor; the rest share one
+	// unthrottled host.
+	fastHost := bgpsim.NewCollectorHost(eng, bgpsim.CollectorConfig{})
+	for i := 1; i < sc.GroupMembers; i++ {
+		mspec := bgpsim.ConnSpec{
+			RouterAddr:    netip.MustParseAddr("10.0.0.1"),
+			CollectorAddr: netip.AddrFrom4([4]byte{10, 0, byte(2 + i>>8), byte(i)}),
+			Path: netem.PathConfig{
+				UpstreamDelay:   sc.RTT / 2,
+				DownstreamDelay: sc.RTT / 16,
+			},
+		}
+		h := fastHost
+		if i <= sc.SlowMembers {
+			// Slow members pair a throttled reader with tight socket buffers:
+			// a member's cursor only stalls once it has written
+			// SendBuf+RecvBuf plus whatever the app drained, so with default
+			// 64 KB buffers a small table fits entirely in flight and the
+			// slack bound never binds. Tight buffers push the app bottleneck
+			// back to the speaker, the way RunPeerGroup pins SendBuf.
+			mspec.RouterTCP.SendBuf = 4096
+			mspec.CollectorTCP.RecvBuf = 4096
+			h = bgpsim.NewCollectorHost(eng, bgpsim.CollectorConfig{TotalRate: sc.CollectorRate})
+		}
+		mconn := bgpsim.Dial(eng, mspec, 7018)
+		speaker.AddSession(mconn.RouterPeer, group)
+		h.AddSession(mconn.CollectorPeer, 7018)
+	}
+
+	// Run until the observed member's archive is complete (which, through
+	// the slack bound, implies the whole group is within slack of done).
+	const chunk = 5_000_000
+	for eng.Now() < sc.Horizon {
+		until := eng.Now() + chunk
+		if until > sc.Horizon {
+			until = sc.Horizon
+		}
+		eng.Run(until)
+		if queued >= 0 && len(csess.Archive()) >= queued {
+			eng.Run(eng.Now() + 1_000_000) // drain trailing ACKs
+			break
+		}
+	}
+
+	tr := &Trace{
+		Kind:        sc.Kind,
+		Captures:    conn.Sniffer().Captures(),
+		Archive:     csess.Archive(),
+		RouterStats: conn.RouterPeer.Endpoint().Stats(),
+		Truth:       rec.finish(eng.Now()),
+	}
+	for _, e := range tr.Archive {
+		if m, err := bgp.Parse(e.Raw); err == nil {
+			if u, ok := m.(*bgp.Update); ok {
+				tr.RoutesDelivered += len(u.NLRI)
+			}
+		}
+	}
+	if n := len(tr.Archive); n > 0 {
+		tr.GroundDuration = tr.Archive[n-1].Time
+	}
+	return tr
+}

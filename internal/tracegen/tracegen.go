@@ -91,6 +91,19 @@ const (
 	// KindZeroAckBug enables the router's zero-window probe-discard bug
 	// against a slow reader.
 	KindZeroAckBug
+	// KindHeavyTailApp drives the sender with Pareto-distributed idle gaps
+	// and burst sizes (heavy-tailed application traffic).
+	KindHeavyTailApp
+	// KindBimodalApp drives the sender with a two-mode idle/burst mix
+	// (steady trickle alternating with bulk batches).
+	KindBimodalApp
+	// KindVaryingRate runs the upstream link on a time-varying capacity
+	// profile (step or sawtooth) instead of a fixed rate.
+	KindVaryingRate
+	// KindFanout replicates the transfer to a route-server-scale peer
+	// group; the observed member stalls on the slack bound behind the
+	// group's slowest collectors.
+	KindFanout
 )
 
 // String implements fmt.Stringer.
@@ -112,6 +125,14 @@ func (k Kind) String() string {
 		return "bandwidth"
 	case KindZeroAckBug:
 		return "zero-ack-bug"
+	case KindHeavyTailApp:
+		return "heavy-tail-app"
+	case KindBimodalApp:
+		return "bimodal-app"
+	case KindVaryingRate:
+		return "varying-rate"
+	case KindFanout:
+		return "fanout"
 	default:
 		return "unknown"
 	}
@@ -148,6 +169,28 @@ type Scenario struct {
 	// router's congestion control plus any receiver quirk. The zero value
 	// is Reno, preserving every existing trace byte-for-byte.
 	Stack tcpsim.Stack
+
+	// RateProfile selects the KindVaryingRate capacity shape: "step"
+	// (square wave, the default) or "sawtooth". The profile swings between
+	// UpstreamRate and RateLow with period RatePeriod.
+	RateProfile string
+	// RateLow is the trough capacity of KindVaryingRate in bytes/sec
+	// (default UpstreamRate/4).
+	RateLow int64
+	// RatePeriod is the capacity-profile period (default 1.5 s).
+	RatePeriod Micros
+	// BurstLoss replaces the loss kinds' i.i.d. drops with a seeded
+	// Gilbert–Elliott burst-loss process (nil keeps i.i.d. / episodes).
+	BurstLoss *netem.GEParams
+	// GroupMembers sizes the KindFanout peer group (default 120).
+	GroupMembers int
+	// GroupSlack is the fanout peer-group slack bound in updates
+	// (default 64).
+	GroupSlack int
+	// SlowMembers is how many unobserved fanout members run throttled
+	// collectors (rate CollectorRate each), making the slack bound bind
+	// (default max(1, GroupMembers/32)).
+	SlowMembers int
 }
 
 // lossWindows collects every scripted loss window of the scenario.
@@ -189,6 +232,24 @@ func (s Scenario) withDefaults() Scenario {
 	}
 	if s.Horizon == 0 {
 		s.Horizon = 1_200_000_000
+	}
+	if s.RateLow == 0 {
+		s.RateLow = s.UpstreamRate / 4
+	}
+	if s.RatePeriod == 0 {
+		s.RatePeriod = 1_500_000
+	}
+	if s.GroupMembers == 0 {
+		s.GroupMembers = 120
+	}
+	if s.GroupSlack == 0 {
+		s.GroupSlack = 64
+	}
+	if s.SlowMembers == 0 {
+		s.SlowMembers = s.GroupMembers / 32
+		if s.SlowMembers < 1 {
+			s.SlowMembers = 1
+		}
 	}
 	return s
 }
@@ -234,6 +295,9 @@ func Run(sc Scenario) *Trace { return runScenario(sc, 0, 0) }
 // do not pick their own.
 func runScenario(sc Scenario, rtoBackoff float64, collectorBuf int) *Trace {
 	sc = sc.withDefaults()
+	if sc.Kind == KindFanout {
+		return runFanout(sc)
+	}
 	eng := sim.New(0, sc.Seed)
 	table := Table(eng.Rand(), sc.Routes, sc.RoutesPerGroup)
 
@@ -262,19 +326,35 @@ func runScenario(sc Scenario, rtoBackoff float64, collectorBuf int) *Trace {
 	case KindSmallWindow:
 		spec.CollectorTCP.RecvBuf = sc.RecvBuf
 	case KindUpstreamLoss:
-		if wins := sc.lossWindows(); len(wins) > 0 {
-			spec.Path.UpstreamHook = netem.LossEpisodes(wins...)
-		} else {
+		switch {
+		case sc.BurstLoss != nil:
+			spec.Path.UpstreamHook = netem.GilbertElliott(sc.Seed+7, *sc.BurstLoss)
+		case len(sc.lossWindows()) > 0:
+			spec.Path.UpstreamHook = netem.LossEpisodes(sc.lossWindows()...)
+		default:
 			spec.Path.UpstreamLoss = sc.LossRate
 		}
 	case KindDownstreamLoss:
-		if wins := sc.lossWindows(); len(wins) > 0 {
-			spec.Path.DownstreamHook = netem.LossEpisodes(wins...)
-		} else {
+		switch {
+		case sc.BurstLoss != nil:
+			spec.Path.DownstreamHook = netem.GilbertElliott(sc.Seed+9, *sc.BurstLoss)
+		case len(sc.lossWindows()) > 0:
+			spec.Path.DownstreamHook = netem.LossEpisodes(sc.lossWindows()...)
+		default:
 			spec.Path.DownstreamLoss = sc.LossRate
 		}
 	case KindBandwidth:
 		spec.Path.UpstreamRate = sc.UpstreamRate
+	case KindHeavyTailApp:
+		scfg.AppProfile = heavyTailProfile(sc.Seed)
+	case KindBimodalApp:
+		scfg.AppProfile = bimodalProfile(sc.Seed)
+	case KindVaryingRate:
+		if sc.RateProfile == "sawtooth" {
+			spec.Path.UpstreamSchedule = netem.Sawtooth(sc.UpstreamRate, sc.RateLow, sc.RatePeriod, 8)
+		} else {
+			spec.Path.UpstreamSchedule = netem.Square(sc.UpstreamRate, sc.RateLow, sc.RatePeriod)
+		}
 	case KindZeroAckBug:
 		spec.RouterTCP.ZeroWindowProbeBug = true
 		spec.CollectorTCP.RecvBuf = 8192
