@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	tdatlint [-dir d] [-json] [-analyzers a,b] [-list] [packages...]
+//	tdatlint [-dir d] [-json] [-analyzers a,b] [-list] [-timing] [packages...]
 //
 // Packages default to ./... relative to -dir. Exit status is 0 when the
 // tree is clean, 1 when diagnostics were reported, and 2 on usage or load
@@ -22,6 +22,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"tdat/internal/lint"
 )
@@ -39,6 +40,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		onlyList = fs.Bool("list", false, "list registered analyzers and exit")
 		names    = fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
 		count    = fs.Bool("count-ignores", false, "print the number of //tdatlint:ignore comments and exit (the suppression ratchet)")
+		listIgn  = fs.Bool("list-ignores", false, "print every //tdatlint:ignore suppression (file:line:col: code: reason) and exit")
+		timing   = fs.Bool("timing", false, "report per-analyzer wall time on stderr, slowest first")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: tdatlint [flags] [packages]\n")
@@ -76,7 +79,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, lint.CountIgnores(pkgs))
 		return 0
 	}
-	diags := lint.Run(pkgs, analyzers)
+	if *listIgn {
+		for _, line := range lint.IgnoreList(pkgs) {
+			fmt.Fprintln(stdout, line)
+		}
+		return 0
+	}
+	// The clock lives in the driver: internal/lint never reads wall time,
+	// holding the linter to the rule it enforces.
+	var clock func() int64
+	if *timing {
+		clock = func() int64 { return time.Now().UnixNano() }
+	}
+	diags, timings := lint.RunTimed(pkgs, analyzers, clock)
+	if *timing {
+		for _, row := range timings {
+			fmt.Fprintf(stderr, "tdatlint: %-12s %8.1fms\n", row.Name, float64(row.Nanos)/1e6)
+		}
+	}
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")

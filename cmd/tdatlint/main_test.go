@@ -113,15 +113,81 @@ func TestMetamorphicIdenticalRuns(t *testing.T) {
 }
 
 // TestCountIgnores pins the suppression ratchet's counter: the fixture
-// module carries exactly three //tdatlint:ignore comments (used, reasonless,
-// stale), and documentation examples inside other comments don't count.
+// module carries five suppressions across four //tdatlint:ignore comments —
+// used, reasonless, stale, and one multi-code line that counts once per
+// code. Documentation examples inside other comments don't count.
 func TestCountIgnores(t *testing.T) {
 	code, out, _ := runDriver(t, "-dir", fixture, "-count-ignores", "./...")
 	if code != 0 {
 		t.Fatalf("exit = %d, want 0", code)
 	}
-	if got := strings.TrimSpace(out); got != "3" {
-		t.Errorf("-count-ignores = %q, want 3", got)
+	if got := strings.TrimSpace(out); got != "5" {
+		t.Errorf("-count-ignores = %q, want 5", got)
+	}
+}
+
+// TestListIgnores pins the ratchet's audit trail: every suppression is
+// listed per code with its location and reason, so a ratchet failure can
+// name the analyzer being waived.
+func TestListIgnores(t *testing.T) {
+	code, out, _ := runDriver(t, "-dir", fixture, "-list-ignores", "./...")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("-list-ignores printed %d lines, want 5:\n%s", len(lines), out)
+	}
+	// The multi-code line in ignored.go expands to one entry per code,
+	// sharing a location and reason.
+	var mixed []string
+	for _, l := range lines {
+		if strings.Contains(l, "one waived draw") {
+			mixed = append(mixed, l)
+		}
+	}
+	if len(mixed) != 2 {
+		t.Fatalf("multi-code ignore expanded to %d entries, want 2:\n%s", len(mixed), out)
+	}
+	if !strings.Contains(mixed[0], " globalrand: ") || !strings.Contains(mixed[1], " wallclock: ") {
+		t.Errorf("multi-code entries missing per-code labels:\n%s", strings.Join(mixed, "\n"))
+	}
+}
+
+// TestMultiCodeIgnorePerCode pins the per-code suppression contract end to
+// end: on the fixture's Mixed function one line waives globalrand (used)
+// and wallclock (stale), so a full run must stay silent about the rand
+// draw but flag the wallclock half as unusedignore.
+func TestMultiCodeIgnorePerCode(t *testing.T) {
+	code, out, _ := runDriver(t, "-dir", fixture, "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if strings.Contains(out, "ignored.go:34") {
+		t.Errorf("globalrand finding on the waived line leaked through:\n%s", out)
+	}
+	if !strings.Contains(out, `ignored.go:33:2: unusedignore: suppression for "wallclock"`) {
+		t.Errorf("stale wallclock half of the multi-code ignore not reported:\n%s", out)
+	}
+}
+
+// TestTimingFlag pins -timing: one stderr row per analyzer plus the shared
+// summary engine, diagnostics on stdout untouched.
+func TestTimingFlag(t *testing.T) {
+	code, out, stderr := runDriver(t, "-dir", fixture, "-timing", "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if out == "" {
+		t.Error("-timing suppressed stdout diagnostics")
+	}
+	for _, a := range lint.Analyzers() {
+		if !strings.Contains(stderr, a.Name) {
+			t.Errorf("-timing stderr missing a row for %s:\n%s", a.Name, stderr)
+		}
+	}
+	if !strings.Contains(stderr, "summaries") {
+		t.Errorf("-timing stderr missing the summaries row:\n%s", stderr)
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 
 	"tdat/internal/faults"
@@ -70,8 +71,14 @@ func run() error {
 		"clock_regression.pcap": faults.Serialize(
 			faults.Apply(3, recs, faults.ClockRegression(10, 3_000_000))),
 	}
-	for name, data := range corpus {
-		if err := writeFile(filepath.Join(corpusDir, name), data); err != nil {
+	// Sorted order keeps the progress log byte-stable run to run.
+	names := make([]string, 0, len(corpus))
+	for name := range corpus {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := writeFile(filepath.Join(corpusDir, name), corpus[name]); err != nil {
 			return err
 		}
 	}

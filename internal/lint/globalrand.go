@@ -15,8 +15,9 @@ func init() {
 	Register(&Analyzer{
 		Name: "globalrand",
 		Doc: "forbids the math/rand global-source functions (rand.Intn, rand.Float64, ...) " +
-			"and wall-clock-seeded generators outside tests: tracegen/tcpsim/netem runs must " +
-			"be reproducible from a seed for the ground-truth oracle to score them",
+			"and wall-clock-seeded generators — directly or through any chain of helper calls " +
+			"(interprocedural summaries): tracegen/tcpsim/netem runs must be reproducible " +
+			"from a seed for the ground-truth oracle to score them",
 		Run: runGlobalrand,
 	})
 }
@@ -29,18 +30,25 @@ func runGlobalrand(p *Pass) {
 				return true
 			}
 			pkg, name, ok := pkgFuncCall(p.Info, call)
-			if !ok || pkg != "math/rand" {
+			if ok && (pkg == "math/rand" || pkg == "math/rand/v2") {
+				if !globalrandAllowed[name] {
+					p.Reportf(call.Pos(),
+						"rand.%s draws from the process-global source; thread a seeded *rand.Rand instead (simulator reproducibility)",
+						name)
+					return true
+				}
+				if (name == "New" || name == "NewSource") && containsWallclockSeed(p, call) {
+					p.Reportf(call.Pos(),
+						"rand.%s seeded from the wall clock defeats reproducibility; take the seed from a flag or config", name)
+				}
 				return true
 			}
-			if !globalrandAllowed[name] {
-				p.Reportf(call.Pos(),
-					"rand.%s draws from the process-global source; thread a seeded *rand.Rand instead (simulator reproducibility)",
-					name)
-				return true
-			}
-			if (name == "New" || name == "NewSource") && containsWallclockSeed(p, call) {
-				p.Reportf(call.Pos(),
-					"rand.%s seeded from the wall clock defeats reproducibility; take the seed from a flag or config", name)
+			if callee := staticCallee(p.Info, call); callee != nil {
+				if sum := p.Prog.SummaryOf(callee); sum != nil && sum.GlobalrandVia != "" {
+					p.Reportf(call.Pos(),
+						"call to %s reaches the process-global rand source (%s); thread a seeded *rand.Rand instead",
+						callee.Name(), chainWitness(callee.Name(), sum.GlobalrandVia))
+				}
 			}
 			return true
 		})
@@ -48,7 +56,8 @@ func runGlobalrand(p *Pass) {
 }
 
 // containsWallclockSeed reports whether any argument of call reaches into
-// time.Now (the classic rand.NewSource(time.Now().UnixNano()) anti-pattern).
+// time.Now — the classic rand.NewSource(time.Now().UnixNano()) anti-pattern —
+// either directly or through a module helper whose summary reads the clock.
 func containsWallclockSeed(p *Pass, call *ast.CallExpr) bool {
 	found := false
 	for _, arg := range call.Args {
@@ -60,6 +69,12 @@ func containsWallclockSeed(p *Pass, call *ast.CallExpr) bool {
 			if pkg, name, ok := pkgFuncCall(p.Info, inner); ok && pkg == "time" && name == "Now" {
 				found = true
 				return false
+			}
+			if callee := staticCallee(p.Info, inner); callee != nil {
+				if sum := p.Prog.SummaryOf(callee); sum != nil && sum.WallclockVia != "" {
+					found = true
+					return false
+				}
 			}
 			return true
 		})

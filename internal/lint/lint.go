@@ -48,6 +48,10 @@ type Pass struct {
 	// under any module name exercise the same logic as the real tree.
 	RelPath string
 
+	// Prog is the whole-module interprocedural view: function summaries
+	// computed bottom-up over the package set before any analyzer ran.
+	Prog *Program
+
 	report func(Diagnostic)
 	relDir string
 }
@@ -108,11 +112,34 @@ func Lookup(name string) *Analyzer {
 // suppressions become diagnostics of their own (codes "badignore" and
 // "unusedignore").
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunTimed(pkgs, analyzers, nil)
+	return diags
+}
+
+// Timing is one row of a timed run: how long an analyzer (or the shared
+// summary engine, reported as "summaries") spent across all packages.
+type Timing struct {
+	Name  string
+	Nanos int64
+}
+
+// RunTimed is Run with optional per-analyzer wall-time accounting. clock
+// returns a monotonic nanosecond reading and is injected by the driver —
+// this package never reads the clock itself, holding the linter to the
+// wallclock rule it enforces. A nil clock skips accounting.
+func RunTimed(pkgs []*Package, analyzers []*Analyzer, clock func() int64) ([]Diagnostic, []Timing) {
+	now := func() int64 { return 0 }
+	if clock != nil {
+		now = clock
+	}
 	var raw []Diagnostic
 	ran := map[string]bool{}
 	for _, a := range analyzers {
 		ran[a.Name] = true
 	}
+	t0 := now()
+	prog := BuildProgram(pkgs)
+	elapsed := map[string]int64{"summaries": now() - t0}
 	var sup suppressions
 	for _, pkg := range pkgs {
 		sup.collect(pkg)
@@ -124,10 +151,13 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
 				RelPath:  pkg.RelPath,
+				Prog:     prog,
 				relDir:   pkg.ModRoot,
 				report:   func(d Diagnostic) { raw = append(raw, d) },
 			}
+			ta := now()
 			a.Run(pass)
+			elapsed[a.Name] += now() - ta
 		}
 	}
 	out := raw[:0]
@@ -162,22 +192,53 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			dedup = append(dedup, d)
 		}
 	}
-	return dedup
+	var timings []Timing
+	if clock != nil {
+		timings = append(timings, Timing{Name: "summaries", Nanos: elapsed["summaries"]})
+		for _, a := range analyzers {
+			timings = append(timings, Timing{Name: a.Name, Nanos: elapsed[a.Name]})
+		}
+		sort.SliceStable(timings, func(i, j int) bool { return timings[i].Nanos > timings[j].Nanos })
+	}
+	return dedup, timings
 }
 
 // IgnorePrefix is the suppression-comment marker: //tdatlint:ignore CODE reason.
 const IgnorePrefix = "tdatlint:ignore"
 
-// CountIgnores returns the number of suppression comments (well-formed or
-// not) across pkgs — the quantity scripts/lintcheck.sh ratchets against
-// scripts/lintfloor.txt. Parsing the ASTs, rather than grepping, keeps
-// documentation examples and string literals out of the count.
+// CountIgnores returns the number of suppressed codes (well-formed or not)
+// across pkgs — the quantity scripts/lintcheck.sh ratchets against
+// scripts/lintfloor.txt. A multi-code line (//tdatlint:ignore a,b reason)
+// counts once per code: each code is a separate waiver. Parsing the ASTs,
+// rather than grepping, keeps documentation examples and string literals
+// out of the count.
 func CountIgnores(pkgs []*Package) int {
 	var s suppressions
 	for _, pkg := range pkgs {
 		s.collect(pkg)
 	}
 	return len(s.list)
+}
+
+// IgnoreList renders every suppression across pkgs as a sorted
+// "file:line:col: code: reason" line — one line per suppressed code, so
+// scripts/lintcheck.sh can name the analyzer behind each new waiver when
+// the ratchet fails.
+func IgnoreList(pkgs []*Package) []string {
+	var s suppressions
+	for _, pkg := range pkgs {
+		s.collect(pkg)
+	}
+	out := make([]string, 0, len(s.list))
+	for _, ig := range s.list {
+		code := ig.code
+		if ig.bad != "" {
+			code = "badignore"
+		}
+		out = append(out, fmt.Sprintf("%s:%d:%d: %s: %s", ig.file, ig.line, ig.col, code, ig.reason))
+	}
+	sort.Strings(out)
+	return out
 }
 
 // ignore is one parsed suppression comment.
@@ -198,7 +259,9 @@ type suppressions struct {
 	byKey map[string]map[int][]*ignore
 }
 
-// collect parses the suppression comments out of pkg's files.
+// collect parses the suppression comments out of pkg's files. A comment
+// carrying several comma-separated codes contributes one ignore entry per
+// code, so matching and unused-detection are per-code.
 func (s *suppressions) collect(pkg *Package) {
 	if s.byKey == nil {
 		s.byKey = map[string]map[int][]*ignore{}
@@ -206,28 +269,33 @@ func (s *suppressions) collect(pkg *Package) {
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				ig, ok := parseIgnore(c.Text)
+				igs, ok := parseIgnore(c.Text)
 				if !ok {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
-				ig.file = relFile(pkg.ModRoot, pos.Filename)
-				ig.line = pos.Line
-				ig.col = pos.Column
-				s.list = append(s.list, ig)
-				if s.byKey[ig.file] == nil {
-					s.byKey[ig.file] = map[int][]*ignore{}
+				for _, ig := range igs {
+					ig.file = relFile(pkg.ModRoot, pos.Filename)
+					ig.line = pos.Line
+					ig.col = pos.Column
+					s.list = append(s.list, ig)
+					if s.byKey[ig.file] == nil {
+						s.byKey[ig.file] = map[int][]*ignore{}
+					}
+					s.byKey[ig.file][ig.line] = append(s.byKey[ig.file][ig.line], ig)
 				}
-				s.byKey[ig.file][ig.line] = append(s.byKey[ig.file][ig.line], ig)
 			}
 		}
 	}
 }
 
 // parseIgnore recognizes a //tdatlint:ignore comment, reporting whether the
-// comment is a suppression at all; malformed suppressions come back with a
+// comment is a suppression at all. The code field may carry several codes
+// separated by commas (//tdatlint:ignore maporder,wallclock reason); each
+// becomes its own entry so suppression matching and the unusedignore check
+// work per-code, not per-line. Malformed suppressions come back with a
 // non-empty bad field.
-func parseIgnore(text string) (*ignore, bool) {
+func parseIgnore(text string) ([]*ignore, bool) {
 	body, ok := strings.CutPrefix(text, "//")
 	if !ok {
 		return nil, false // /* */ comments are not suppression carriers
@@ -242,12 +310,22 @@ func parseIgnore(text string) (*ignore, bool) {
 	}
 	fields := strings.Fields(rest)
 	if len(fields) == 0 {
-		return &ignore{bad: "missing code: want //tdatlint:ignore CODE reason"}, true
+		return []*ignore{{bad: "missing code: want //tdatlint:ignore CODE reason"}}, true
 	}
-	if len(fields) == 1 {
-		return &ignore{code: fields[0], bad: fmt.Sprintf("missing reason for suppressed code %q", fields[0])}, true
+	codes := strings.Split(fields[0], ",")
+	reason := strings.Join(fields[1:], " ")
+	out := make([]*ignore, 0, len(codes))
+	for _, code := range codes {
+		switch {
+		case code == "":
+			out = append(out, &ignore{bad: fmt.Sprintf("empty code in multi-code suppression %q", fields[0])})
+		case reason == "":
+			out = append(out, &ignore{code: code, bad: fmt.Sprintf("missing reason for suppressed code %q", code)})
+		default:
+			out = append(out, &ignore{code: code, reason: reason})
+		}
 	}
-	return &ignore{code: fields[0], reason: strings.Join(fields[1:], " ")}, true
+	return out, true
 }
 
 // matches reports whether d is suppressed by an ignore on its own line or

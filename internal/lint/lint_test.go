@@ -6,35 +6,55 @@ import (
 )
 
 func TestParseIgnore(t *testing.T) {
-	cases := []struct {
-		name   string
-		text   string
-		isIg   bool
+	type entry struct {
 		code   string
 		reason string
 		bad    bool
+	}
+	cases := []struct {
+		name string
+		text string
+		isIg bool
+		want []entry
 	}{
-		{"well-formed", "//tdatlint:ignore wallclock the profile times itself", true, "wallclock", "the profile times itself", false},
-		{"leading space", "// tdatlint:ignore maporder keys sorted upstream", true, "maporder", "keys sorted upstream", false},
-		{"missing reason", "//tdatlint:ignore wallclock", true, "wallclock", "", true},
-		{"missing code", "//tdatlint:ignore", true, "", "", true},
-		{"missing code whitespace", "//tdatlint:ignore   ", true, "", "", true},
-		{"not ours", "// just a comment", false, "", "", false},
-		{"prefix collision", "//tdatlint:ignorexyz wallclock r", false, "", "", false},
-		{"block comment", "/*tdatlint:ignore wallclock r*/", false, "", "", false},
+		{"well-formed", "//tdatlint:ignore wallclock the profile times itself", true,
+			[]entry{{"wallclock", "the profile times itself", false}}},
+		{"leading space", "// tdatlint:ignore maporder keys sorted upstream", true,
+			[]entry{{"maporder", "keys sorted upstream", false}}},
+		{"missing reason", "//tdatlint:ignore wallclock", true,
+			[]entry{{"wallclock", "", true}}},
+		{"missing code", "//tdatlint:ignore", true,
+			[]entry{{"", "", true}}},
+		{"missing code whitespace", "//tdatlint:ignore   ", true,
+			[]entry{{"", "", true}}},
+		{"multi-code", "//tdatlint:ignore globalrand,wallclock deliberate demo", true,
+			[]entry{{"globalrand", "deliberate demo", false}, {"wallclock", "deliberate demo", false}}},
+		{"multi-code missing reason", "//tdatlint:ignore globalrand,wallclock", true,
+			[]entry{{"globalrand", "", true}, {"wallclock", "", true}}},
+		{"multi-code trailing comma", "//tdatlint:ignore maporder, keys sorted", true,
+			[]entry{{"maporder", "keys sorted", false}, {"", "", true}}},
+		{"not ours", "// just a comment", false, nil},
+		{"prefix collision", "//tdatlint:ignorexyz wallclock r", false, nil},
+		{"block comment", "/*tdatlint:ignore wallclock r*/", false, nil},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			ig, ok := parseIgnore(tc.text)
+			igs, ok := parseIgnore(tc.text)
 			if ok != tc.isIg {
 				t.Fatalf("parseIgnore(%q) recognized=%v, want %v", tc.text, ok, tc.isIg)
 			}
 			if !ok {
 				return
 			}
-			if ig.code != tc.code || ig.reason != tc.reason || (ig.bad != "") != tc.bad {
-				t.Errorf("parseIgnore(%q) = code %q reason %q bad %q; want code %q reason %q bad=%v",
-					tc.text, ig.code, ig.reason, ig.bad, tc.code, tc.reason, tc.bad)
+			if len(igs) != len(tc.want) {
+				t.Fatalf("parseIgnore(%q) = %d entries, want %d", tc.text, len(igs), len(tc.want))
+			}
+			for i, ig := range igs {
+				w := tc.want[i]
+				if ig.code != w.code || ig.reason != w.reason || (ig.bad != "") != w.bad {
+					t.Errorf("parseIgnore(%q)[%d] = code %q reason %q bad %q; want code %q reason %q bad=%v",
+						tc.text, i, ig.code, ig.reason, ig.bad, w.code, w.reason, w.bad)
+				}
 			}
 		})
 	}
@@ -116,7 +136,7 @@ func TestRelFile(t *testing.T) {
 }
 
 func TestAnalyzersRegistered(t *testing.T) {
-	want := []string{"globalrand", "maporder", "nilobs", "setpurity", "wallclock"}
+	want := []string{"aliasretain", "globalrand", "maporder", "nilobs", "poolleak", "setpurity", "wallclock"}
 	got := Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("registered %d analyzers, want %d", len(got), len(want))

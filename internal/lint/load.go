@@ -33,6 +33,7 @@ type listedPackage struct {
 	Dir        string
 	Name       string
 	GoFiles    []string
+	Imports    []string
 }
 
 // Load enumerates patterns (e.g. "./...") relative to dir with the go
@@ -54,7 +55,17 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		return nil, err
 	}
 	fset := token.NewFileSet()
-	imp := importer.ForCompiler(fset, "source", nil)
+	// Module-internal imports are resolved against the packages this very
+	// load has already checked (topological order below guarantees the
+	// dependency is done first); everything else falls through to the stdlib
+	// source importer. Sharing one *types.Package per module package keeps
+	// type identity consistent across the whole program — the property the
+	// interprocedural summary engine leans on.
+	imp := &moduleImporter{
+		base:  importer.ForCompiler(fset, "source", nil),
+		local: map[string]*types.Package{},
+	}
+	listed = topoSort(listed)
 	var pkgs []*Package
 	for _, lp := range listed {
 		if len(lp.GoFiles) == 0 {
@@ -88,6 +99,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if len(typeErrs) > 0 {
 			return nil, fmt.Errorf("lint: type-check %s: %v (and %d more)", lp.ImportPath, typeErrs[0], len(typeErrs)-1)
 		}
+		imp.local[lp.ImportPath] = tpkg
 		pkgs = append(pkgs, &Package{
 			ImportPath: lp.ImportPath,
 			RelPath:    relPkgPath(modPath, lp.ImportPath),
@@ -101,6 +113,52 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	}
 	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
 	return pkgs, nil
+}
+
+// moduleImporter resolves imports of packages loaded in this very run from
+// their checked form, deferring to base (the stdlib source importer) for
+// everything outside the load set.
+type moduleImporter struct {
+	base  types.Importer
+	local map[string]*types.Package
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := m.local[path]; ok {
+		return pkg, nil
+	}
+	return m.base.Import(path)
+}
+
+// topoSort orders listed so that every package follows all its in-set
+// dependencies (valid Go has no import cycles; any malformed leftovers are
+// appended in listing order and fail type-check with a real error).
+func topoSort(listed []listedPackage) []listedPackage {
+	byPath := make(map[string]int, len(listed))
+	for i, lp := range listed {
+		byPath[lp.ImportPath] = i
+	}
+	done := make([]bool, len(listed))
+	out := make([]listedPackage, 0, len(listed))
+	var visit func(i int, trail map[int]bool)
+	visit = func(i int, trail map[int]bool) {
+		if done[i] || trail[i] {
+			return
+		}
+		trail[i] = true
+		for _, dep := range listed[i].Imports {
+			if j, ok := byPath[dep]; ok {
+				visit(j, trail)
+			}
+		}
+		delete(trail, i)
+		done[i] = true
+		out = append(out, listed[i])
+	}
+	for i := range listed {
+		visit(i, map[int]bool{})
+	}
+	return out
 }
 
 // modInfo returns the module path and root directory governing dir.
@@ -129,7 +187,7 @@ func relPkgPath(modPath, importPath string) string {
 
 // goList resolves package patterns to their file sets.
 func goList(dir string, patterns []string) ([]listedPackage, error) {
-	args := append([]string{"list", "-json=ImportPath,Dir,Name,GoFiles", "--"}, patterns...)
+	args := append([]string{"list", "-json=ImportPath,Dir,Name,GoFiles,Imports", "--"}, patterns...)
 	out, err := runGo(dir, args...)
 	if err != nil {
 		return nil, err

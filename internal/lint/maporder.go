@@ -81,6 +81,43 @@ func checkMapRange(p *Pass, enclosing *ast.BlockStmt, rs *ast.RangeStmt) {
 			}
 		case *ast.CallExpr:
 			checkOrderedOutput(p, s)
+			callee := staticCallee(p.Info, s)
+			sum := p.Prog.SummaryOf(callee)
+			if sum == nil {
+				return true
+			}
+			if sum.EmitsWriter {
+				p.Reportf(s.Pos(),
+					"call to %s during map iteration emits output (transitively writes to an io.Writer) in map order; iterate sorted keys instead",
+					callee.Name())
+			}
+			if sum.EmitsChan {
+				p.Reportf(s.Pos(),
+					"call to %s during map iteration sends on a channel (transitively): map order becomes message order; iterate sorted keys instead",
+					callee.Name())
+			}
+			// A callee that appends through a pointer parameter accumulates
+			// into caller storage just like an in-loop append would.
+			args := callArgs(p.Info, s)
+			for i, arg := range args {
+				if !sum.AppendsVia[argIndex(callee, i)] {
+					continue
+				}
+				id := rootIdent(stripAddr(arg))
+				if id == nil {
+					continue
+				}
+				obj := objOf(p.Info, id)
+				if obj == nil || obj.Name() == "_" {
+					continue
+				}
+				if obj.Pos() >= rs.Body.Pos() && obj.Pos() <= rs.Body.End() {
+					continue // loop-local target: rebuilt every iteration
+				}
+				if _, seen := appends[obj]; !seen {
+					appends[obj] = s.Pos()
+				}
+			}
 		}
 		return true
 	})

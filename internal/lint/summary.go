@@ -1,0 +1,587 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// summarize computes fi's summary from its body and the current summaries
+// of its callees (one fixpoint round). The analysis is flow-insensitive:
+// parameter aliases ("taint") propagate through assignments to a local
+// fixpoint, then one effects pass records where aliases end up and which
+// ambient effects (clock, randomness, ordered output, pool traffic) the
+// body exercises. Function literals are analyzed inline — their bodies run
+// with the enclosing function's bindings, which both handles captured
+// variables and conservatively attributes a literal's effects to its
+// definer even when the literal is only stored.
+func (prog *Program) summarize(fi *funcInfo) *Summary {
+	st := &intraState{
+		prog:  prog,
+		fi:    fi,
+		info:  fi.pkg.Info,
+		pidx:  map[types.Object]int{},
+		taint: map[types.Object]uint64{},
+	}
+	params := paramObjs(fi.pkg.Info, fi.decl)
+	st.sum = &Summary{
+		Flows:      make([]ParamFlow, len(params)),
+		AppendsVia: map[int]bool{},
+		PutsParam:  map[int]bool{},
+	}
+	for i, o := range params {
+		if o != nil && o.Name() != "_" && refBearing(o.Type()) {
+			st.pidx[o] = i
+			st.taint[o] = 1 << uint(i%64)
+		}
+	}
+	st.exemptWallclock = sanctionedClockScope(fi.pkg)
+	st.propagate(fi.decl.Body)
+	st.effects(fi.decl.Body)
+	return st.sum
+}
+
+// sanctionedClockScope reports whether pkg may read the wall clock: the
+// observability layer and command front-ends (the same scope rule the
+// wallclock analyzer applies directly).
+func sanctionedClockScope(pkg *Package) bool {
+	return pkg.RelPath == "internal/obs" ||
+		strings.HasPrefix(pkg.RelPath, "cmd/") ||
+		pkg.Types.Name() == "main"
+}
+
+type intraState struct {
+	prog  *Program
+	fi    *funcInfo
+	info  *types.Info
+	pidx  map[types.Object]int // parameter object → summary index
+	taint map[types.Object]uint64
+	sum   *Summary
+
+	exemptWallclock bool
+}
+
+// propagate runs the local taint fixpoint: every binding whose RHS carries
+// a parameter alias taints its LHS root, including aliases a callee stores
+// through a pointer argument (ParamFlow.ToParams).
+func (st *intraState) propagate(body *ast.BlockStmt) {
+	for round := 0; round < 32; round++ {
+		changed := false
+		mark := func(obj types.Object, bits uint64) {
+			if obj == nil || bits == 0 {
+				return
+			}
+			if st.taint[obj]|bits != st.taint[obj] {
+				st.taint[obj] |= bits
+				changed = true
+			}
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				st.bindAssign(s, mark)
+			case *ast.ValueSpec:
+				for i, name := range s.Names {
+					if i < len(s.Values) {
+						mark(st.info.Defs[name], st.exprTaint(s.Values[i]))
+					} else if len(s.Values) == 1 {
+						mark(st.info.Defs[name], st.exprTaint(s.Values[0]))
+					}
+				}
+			case *ast.RangeStmt:
+				st.bindRange(s, mark)
+			case *ast.CallExpr:
+				st.bindCallFlows(s, mark)
+			}
+			return true
+		})
+		if !changed {
+			return
+		}
+	}
+}
+
+// bindAssign applies one assignment's taint transfer to local roots.
+// Non-local roots are recorded later by the effects pass.
+func (st *intraState) bindAssign(s *ast.AssignStmt, mark func(types.Object, uint64)) {
+	for i, lhs := range s.Lhs {
+		var bits uint64
+		if len(s.Rhs) == len(s.Lhs) {
+			bits = st.exprTaint(s.Rhs[i])
+		} else if len(s.Rhs) == 1 {
+			bits = st.exprTaint(s.Rhs[0]) // tuple: every result may alias
+		}
+		if bits == 0 {
+			continue
+		}
+		if t := st.info.TypeOf(lhs); t != nil && !refBearing(t) {
+			continue
+		}
+		if root := rootIdent(lhs); root != nil {
+			mark(objOf(st.info, root), bits)
+		}
+	}
+}
+
+// bindRange taints range variables drawn from a tainted collection.
+func (st *intraState) bindRange(s *ast.RangeStmt, mark func(types.Object, uint64)) {
+	bits := st.exprTaint(s.X)
+	if bits == 0 {
+		return
+	}
+	markExpr := func(e ast.Expr) {
+		if e == nil {
+			return
+		}
+		if t := st.info.TypeOf(e); t != nil && !refBearing(t) {
+			return
+		}
+		if id, ok := e.(*ast.Ident); ok {
+			mark(objOf(st.info, id), bits)
+		}
+	}
+	markExpr(s.Key)
+	markExpr(s.Value)
+}
+
+// bindCallFlows applies a callee's ToParams flows: an alias of a tainted
+// argument stored by the callee into another argument's pointee taints
+// that argument's local root here.
+func (st *intraState) bindCallFlows(call *ast.CallExpr, mark func(types.Object, uint64)) {
+	callee := staticCallee(st.info, call)
+	if callee == nil {
+		return
+	}
+	sum := st.prog.SummaryOf(callee)
+	if sum == nil {
+		return
+	}
+	args := callArgs(st.info, call)
+	for i, arg := range args {
+		bits := st.exprTaint(arg)
+		if bits == 0 {
+			continue
+		}
+		fl := sum.flow(argIndex(callee, i))
+		if fl.ToParams == 0 {
+			continue
+		}
+		for j, target := range args {
+			if fl.ToParams&(1<<uint(argIndex(callee, j)%64)) == 0 {
+				continue
+			}
+			if root := rootIdent(stripAddr(target)); root != nil {
+				mark(objOf(st.info, root), bits)
+			}
+		}
+	}
+}
+
+// stripAddr unwraps a leading &.
+func stripAddr(e ast.Expr) ast.Expr {
+	if u, ok := unparen(e).(*ast.UnaryExpr); ok && u.Op.String() == "&" {
+		return u.X
+	}
+	return e
+}
+
+// exprTaint returns the parameter bitset an expression's value may alias.
+func (st *intraState) exprTaint(e ast.Expr) uint64 {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return st.taint[objOf(st.info, x)]
+	case *ast.ParenExpr:
+		return st.exprTaint(x.X)
+	case *ast.SelectorExpr:
+		if t := st.info.TypeOf(x); t != nil && !refBearing(t) {
+			return 0 // scalar field of a tainted struct carries no alias
+		}
+		if sel := st.info.Selections[x]; sel != nil && sel.Kind() != types.FieldVal {
+			return 0 // method values do not alias data
+		}
+		return st.exprTaint(x.X)
+	case *ast.IndexExpr:
+		if t := st.info.TypeOf(x); t != nil && !refBearing(t) {
+			return 0
+		}
+		return st.exprTaint(x.X)
+	case *ast.SliceExpr:
+		return st.exprTaint(x.X)
+	case *ast.StarExpr:
+		return st.exprTaint(x.X)
+	case *ast.UnaryExpr:
+		if x.Op.String() == "&" {
+			return st.exprTaint(x.X)
+		}
+		return 0
+	case *ast.TypeAssertExpr:
+		return st.exprTaint(x.X)
+	case *ast.CompositeLit:
+		var bits uint64
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			bits |= st.exprTaint(el)
+		}
+		return bits
+	case *ast.CallExpr:
+		return st.callTaint(x)
+	}
+	return 0
+}
+
+// callTaint models value flow through calls: append and conversions by
+// their copy semantics, module callees by their ToResult summaries, and
+// everything else (stdlib, dynamic dispatch) as alias-free — the engine's
+// documented optimism (DESIGN.md §18).
+func (st *intraState) callTaint(call *ast.CallExpr) uint64 {
+	// Conversions: []byte(s)/string(b) copy; same-shape reference
+	// conversions (e.g. json.RawMessage(b)) keep the alias.
+	if tv, ok := st.info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		src := st.info.TypeOf(call.Args[0])
+		if refBearing(tv.Type) && src != nil && refBearing(src) {
+			// string→[]byte and []byte→string copy even though one side
+			// is reference-shaped.
+			if isString(src) || isString(tv.Type) {
+				return 0
+			}
+			return st.exprTaint(call.Args[0])
+		}
+		return 0
+	}
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := objOf(st.info, id).(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "append":
+				return st.appendTaint(call)
+			case "min", "max", "len", "cap", "copy", "make", "new", "clear", "delete":
+				return 0
+			default:
+				return 0
+			}
+		}
+	}
+	callee := staticCallee(st.info, call)
+	if callee == nil {
+		return 0
+	}
+	sum := st.prog.SummaryOf(callee)
+	if sum == nil {
+		return 0
+	}
+	var bits uint64
+	args := callArgs(st.info, call)
+	for i, arg := range args {
+		if sum.flow(argIndex(callee, i)).ToResult {
+			bits |= st.exprTaint(arg)
+		}
+	}
+	return bits
+}
+
+// appendTaint: append(dst, src...) with scalar elements copies src (the
+// sanctioned ownership transfer); appending reference-bearing elements —
+// or the slice header itself as an element — retains the alias.
+func (st *intraState) appendTaint(call *ast.CallExpr) uint64 {
+	if len(call.Args) == 0 {
+		return 0
+	}
+	bits := st.exprTaint(call.Args[0])
+	elemScalar := false
+	if t := st.info.TypeOf(call.Args[0]); t != nil {
+		if sl, ok := t.Underlying().(*types.Slice); ok {
+			elemScalar = !refBearing(sl.Elem())
+		}
+	}
+	for _, arg := range call.Args[1:] {
+		if call.Ellipsis.IsValid() && elemScalar {
+			continue // spread copy of scalar elements: ownership transferred
+		}
+		bits |= st.exprTaint(arg)
+	}
+	return bits
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// effects performs the single post-fixpoint pass that fills in the
+// summary: ambient effects and where parameter aliases escape to.
+func (st *intraState) effects(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.SelectorExpr:
+			st.noteBannedRef(s)
+		case *ast.SendStmt:
+			st.sum.EmitsChan = true
+			st.escape(st.exprTaint(s.Value))
+		case *ast.ReturnStmt:
+			for _, res := range s.Results {
+				st.result(res)
+			}
+		case *ast.AssignStmt:
+			st.noteStores(s)
+		case *ast.CallExpr:
+			st.noteCall(s)
+		}
+		return true
+	})
+}
+
+// noteBannedRef records wall-clock and global-rand references — calls and
+// function values alike, since both reach the effect.
+func (st *intraState) noteBannedRef(sel *ast.SelectorExpr) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pn, ok := st.info.Uses[id].(*types.PkgName)
+	if !ok {
+		return
+	}
+	// Only selected functions carry the effect: referring to the type
+	// *rand.Rand or a constant like time.Microsecond is exactly how the
+	// sanctioned seeded/trace-derived code is written.
+	if _, isFunc := st.info.Uses[sel.Sel].(*types.Func); !isFunc {
+		return
+	}
+	switch pn.Imported().Path() {
+	case "time":
+		if wallclockBanned[sel.Sel.Name] && !st.exemptWallclock && st.sum.WallclockVia == "" {
+			st.sum.WallclockVia = "time." + sel.Sel.Name
+		}
+	case "math/rand", "math/rand/v2":
+		if !globalrandAllowed[sel.Sel.Name] && st.sum.GlobalrandVia == "" {
+			st.sum.GlobalrandVia = "rand." + sel.Sel.Name
+		}
+	}
+}
+
+// escape marks every parameter in bits as heap-escaping.
+func (st *intraState) escape(bits uint64) {
+	for i := range st.sum.Flows {
+		if bits&(1<<uint(i%64)) != 0 {
+			st.sum.Flows[i].Escapes = true
+		}
+	}
+}
+
+// result marks parameters aliased by a returned expression, and detects
+// the pooled-lease pattern (returning a live Pool.Get obligation).
+func (st *intraState) result(res ast.Expr) {
+	bits := st.exprTaint(res)
+	for i := range st.sum.Flows {
+		if bits&(1<<uint(i%64)) != 0 {
+			st.sum.Flows[i].ToResult = true
+		}
+	}
+	if st.pooledExpr(res) {
+		st.sum.ReturnsPooled = true
+	}
+}
+
+// pooledExpr reports whether e is a live pool obligation: a direct
+// sync.Pool.Get (possibly type-asserted), a call to a lease function, or a
+// local that such a value was assigned to.
+func (st *intraState) pooledExpr(e ast.Expr) bool {
+	switch x := unparen(e).(type) {
+	case *ast.TypeAssertExpr:
+		return st.pooledExpr(x.X)
+	case *ast.CallExpr:
+		if isSyncPoolMethod(st.info, x, "Get") {
+			return true
+		}
+		if callee := staticCallee(st.info, x); callee != nil {
+			if sum := st.prog.SummaryOf(callee); sum != nil && sum.ReturnsPooled {
+				return true
+			}
+		}
+	case *ast.Ident:
+		obj := objOf(st.info, x)
+		if obj == nil {
+			return false
+		}
+		return st.pooledLocal(obj)
+	}
+	return false
+}
+
+// pooledLocal reports whether obj was (syntactically) assigned a pool
+// obligation anywhere in the function.
+func (st *intraState) pooledLocal(obj types.Object) bool {
+	found := false
+	ast.Inspect(st.fi.decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || objOf(st.info, id) != obj {
+				continue
+			}
+			if st.pooledRHS(as.Rhs[i]) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// pooledRHS is pooledExpr without the ident case (avoiding recursion
+// through chained locals; one level of naming is the repo idiom).
+func (st *intraState) pooledRHS(e ast.Expr) bool {
+	switch x := unparen(e).(type) {
+	case *ast.TypeAssertExpr:
+		return st.pooledRHS(x.X)
+	case *ast.CallExpr:
+		if isSyncPoolMethod(st.info, x, "Get") {
+			return true
+		}
+		if callee := staticCallee(st.info, x); callee != nil {
+			if sum := st.prog.SummaryOf(callee); sum != nil && sum.ReturnsPooled {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// noteStores records alias escapes through assignment targets: package
+// variables and pointer parameters receive caller-visible aliases; append
+// through a parameter is the map-order accumulation effect.
+func (st *intraState) noteStores(s *ast.AssignStmt) {
+	for i, lhs := range s.Lhs {
+		var rhs ast.Expr
+		if len(s.Rhs) == len(s.Lhs) {
+			rhs = s.Rhs[i]
+		} else if len(s.Rhs) == 1 {
+			rhs = s.Rhs[0]
+		}
+		if rhs == nil {
+			continue
+		}
+		// append through a parameter (receiver field or *[]T deref).
+		if call, ok := unparen(rhs).(*ast.CallExpr); ok && isBuiltinAppend(st.info, call) {
+			if root := rootIdent(lhs); root != nil {
+				if idx, isParam := st.pidx[objOf(st.info, root)]; isParam {
+					if _, plain := lhs.(*ast.Ident); !plain {
+						st.sum.AppendsVia[idx] = true
+					}
+				}
+			}
+		}
+		bits := st.exprTaint(rhs)
+		if bits == 0 {
+			continue
+		}
+		if t := st.info.TypeOf(lhs); t != nil && !refBearing(t) {
+			continue
+		}
+		root := rootIdent(lhs)
+		if root == nil {
+			st.escape(bits) // store through an unrooted expression
+			continue
+		}
+		obj := objOf(st.info, root)
+		switch {
+		case obj == nil:
+			st.escape(bits)
+		case st.isPackageLevel(obj):
+			st.escape(bits)
+		default:
+			if idx, isParam := st.pidx[obj]; isParam {
+				if _, plain := lhs.(*ast.Ident); !plain {
+					// Store through a parameter's pointee: the alias is
+					// now visible to the caller via that argument.
+					for src := range st.sum.Flows {
+						if bits&(1<<uint(src%64)) != 0 {
+							st.sum.Flows[src].ToParams |= 1 << uint(idx%64)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// isPackageLevel reports whether obj is a package-scoped variable.
+func (st *intraState) isPackageLevel(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	return v.Parent() == st.fi.pkg.Types.Scope()
+}
+
+// noteCall records call-mediated effects: ordered output, transitive
+// clock/rand reach, pool Put transfer, and argument-alias escapes.
+func (st *intraState) noteCall(call *ast.CallExpr) {
+	// fmt printers and io.Writer writes — the map-order output effect.
+	if pkg, name, ok := pkgFuncCall(st.info, call); ok {
+		if pkg == "fmt" && (strings.HasPrefix(name, "Fprint") || strings.HasPrefix(name, "Print")) {
+			st.sum.EmitsWriter = true
+		}
+	} else if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok && writerMethods[sel.Sel.Name] {
+		if implementsWriter(st.info.TypeOf(sel.X)) {
+			st.sum.EmitsWriter = true
+		}
+	}
+	// sync.Pool.Put on a parameter transfers the obligation to callers.
+	if isSyncPoolMethod(st.info, call, "Put") && len(call.Args) == 1 {
+		if root := rootIdent(stripAddr(call.Args[0])); root != nil {
+			if idx, isParam := st.pidx[objOf(st.info, root)]; isParam {
+				st.sum.PutsParam[idx] = true
+			}
+		}
+	}
+	callee := staticCallee(st.info, call)
+	if callee == nil {
+		return
+	}
+	sum := st.prog.SummaryOf(callee)
+	if sum == nil {
+		return
+	}
+	if sum.EmitsWriter {
+		st.sum.EmitsWriter = true
+	}
+	if sum.EmitsChan {
+		st.sum.EmitsChan = true
+	}
+	if sum.WallclockVia != "" && !st.exemptWallclock && st.sum.WallclockVia == "" {
+		st.sum.WallclockVia = chainWitness(callee.Name(), sum.WallclockVia)
+	}
+	if sum.GlobalrandVia != "" && st.sum.GlobalrandVia == "" {
+		st.sum.GlobalrandVia = chainWitness(callee.Name(), sum.GlobalrandVia)
+	}
+	args := callArgs(st.info, call)
+	for i, arg := range args {
+		ci := argIndex(callee, i)
+		bits := st.exprTaint(arg)
+		if bits != 0 && sum.flow(ci).Escapes {
+			st.escape(bits)
+		}
+		root := rootIdent(stripAddr(arg))
+		if root == nil {
+			continue
+		}
+		obj := objOf(st.info, root)
+		if idx, isParam := st.pidx[obj]; isParam {
+			if sum.PutsParam[ci] {
+				st.sum.PutsParam[idx] = true
+			}
+			if sum.AppendsVia[ci] {
+				st.sum.AppendsVia[idx] = true
+			}
+		}
+	}
+}

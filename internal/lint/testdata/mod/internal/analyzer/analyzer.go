@@ -72,3 +72,78 @@ func Invert(m map[string]int) map[int]string {
 	}
 	return out
 }
+
+// nowMicros hides the clock one call deep (wallclock: direct finding here;
+// every caller is flagged through the interprocedural summary).
+func nowMicros() int64 { return time.Now().UnixNano() }
+
+// Tag reaches the clock through nowMicros (wallclock: transitive finding).
+func Tag() int64 { return nowMicros() }
+
+// Audit is two hops from the clock; the witness chain elides the middle
+// (wallclock: transitive finding).
+func Audit() int64 { return Tag() }
+
+// Clock smuggles the clock out as a stored function value (wallclock:
+// finding even though nothing here calls it).
+var Clock = time.Now
+
+// roll hides the global source one call deep (globalrand: direct finding
+// here; callers are flagged through the summary).
+func roll() int { return rand.Intn(6) }
+
+// Deal reaches the global source through roll (globalrand: transitive
+// finding).
+func Deal() int { return roll() }
+
+// TimeSeededSource seeds from the clock behind a helper (globalrand:
+// finding via the helper's wallclock summary; wallclock flags the nowMicros
+// call too).
+func TimeSeededSource() rand.Source { return rand.NewSource(nowMicros()) }
+
+// emit hides the writer one call deep (summary: emits to a writer).
+func emit(w io.Writer, s string) { fmt.Fprintln(w, s) }
+
+// RenderVia emits during map iteration through emit (maporder: transitive
+// finding).
+func RenderVia(w io.Writer, m map[string]int) {
+	for k := range m {
+		emit(w, k)
+	}
+}
+
+// send hides the channel send one call deep (summary: emits on a channel).
+func send(ch chan<- int, v int) { ch <- v }
+
+// PublishVia sends during map iteration through send (maporder: transitive
+// finding).
+func PublishVia(m map[string]int, ch chan<- int) {
+	for _, v := range m {
+		send(ch, v)
+	}
+}
+
+// collect appends through its pointer parameter (summary: appends via
+// parameter 0).
+func collect(dst *[]string, k string) { *dst = append(*dst, k) }
+
+// KeysVia accumulates through collect during map iteration and never sorts
+// (maporder: transitive finding).
+func KeysVia(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		collect(&out, k)
+	}
+	return out
+}
+
+// SortedKeysVia accumulates through collect, then sorts — the collect-and-
+// sort idiom stays clean across a call boundary (maporder: clean).
+func SortedKeysVia(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		collect(&out, k)
+	}
+	sort.Strings(out)
+	return out
+}

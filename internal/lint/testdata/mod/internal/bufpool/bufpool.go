@@ -1,0 +1,74 @@
+// Package bufpool is the poolleak fixture: leases that leak on an early
+// return, reads after Put, and the balanced idioms — direct, deferred, and
+// through putter/lease helpers the summary engine must understand.
+package bufpool
+
+import "sync"
+
+var pool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 1024)
+	return &b
+}}
+
+// Grow leaks the lease on its early-return path (poolleak: finding at the
+// return; the happy path below is balanced).
+func Grow(n int) int {
+	bp := pool.Get().(*[]byte)
+	if n > 1<<20 {
+		return -1
+	}
+	for cap(*bp) < n {
+		*bp = append(*bp, 0)
+	}
+	c := cap(*bp)
+	pool.Put(bp)
+	return c
+}
+
+// UseAfterPut reads the buffer after handing it back: the pool may already
+// have given it to another goroutine (poolleak: finding).
+func UseAfterPut() int {
+	bp := pool.Get().(*[]byte)
+	pool.Put(bp)
+	return len(*bp)
+}
+
+// Scoped discharges by defer, covering every path (poolleak: clean).
+func Scoped(f func([]byte)) {
+	bp := pool.Get().(*[]byte)
+	defer pool.Put(bp)
+	f(*bp)
+}
+
+// lease transfers a live obligation to its caller (summary: returns pooled).
+func lease() *[]byte {
+	return pool.Get().(*[]byte)
+}
+
+// putBack discharges its parameter (summary: puts parameter 0).
+func putBack(bp *[]byte) {
+	pool.Put(bp)
+}
+
+// Balanced routes the lease through both helpers (poolleak: clean).
+func Balanced() int {
+	bp := lease()
+	n := cap(*bp)
+	putBack(bp)
+	return n
+}
+
+// Borrowed takes the lease from the helper and never returns it (poolleak:
+// finding — the summary marks lease() as returning a pooled value).
+func Borrowed() int {
+	bp := lease()
+	return len(*bp)
+}
+
+// Relay passes the lease on to its own caller (poolleak: clean — the
+// obligation transfers with the return value).
+func Relay() *[]byte {
+	bp := lease()
+	*bp = (*bp)[:0]
+	return bp
+}

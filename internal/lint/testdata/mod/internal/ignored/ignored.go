@@ -25,3 +25,11 @@ func Fixed(seed int64) int {
 	//tdatlint:ignore globalrand stale waiver left behind after the fix
 	return rand.New(rand.NewSource(seed)).Intn(3)
 }
+
+// Mixed waives two codes on one line; only globalrand fires here, so the
+// wallclock half must surface as its own unusedignore — suppression
+// accounting is per-code, not per-line.
+func Mixed() int {
+	//tdatlint:ignore globalrand,wallclock one waived draw, and a stale clock waiver
+	return rand.Intn(9)
+}

@@ -1,0 +1,105 @@
+// Package ingest is the aliasretain fixture: every way a caller-owned
+// record buffer can illegally outlive its read sits next to the sanctioned
+// copy-what-you-keep idioms that must stay clean.
+package ingest
+
+import (
+	"fix.example/mod/internal/packet"
+	"fix.example/mod/internal/pcapio"
+)
+
+// Retain accumulates the reused record buffer across iterations
+// (aliasretain: finding — every kept element goes stale on the next read).
+func Retain(r *pcapio.Reader) [][]byte {
+	var kept [][]byte
+	_ = r.EachInto(func(rec pcapio.Record) error {
+		kept = append(kept, rec.Data)
+		return nil
+	})
+	return kept
+}
+
+// lastPayload is package state; anything stored here outlives every read.
+var lastPayload []byte
+
+// RetainView relays the record through packet.DecodeInto — the summary
+// engine knows the frame flows into pkt — and then parks the view in a
+// package variable (aliasretain: finding on the cross-function chain).
+func RetainView(r *pcapio.Reader) error {
+	var pkt packet.Packet
+	return r.EachInto(func(rec pcapio.Record) error {
+		if err := packet.DecodeInto(rec.Data, &pkt); err != nil {
+			return err
+		}
+		lastPayload = pkt.Payload
+		return nil
+	})
+}
+
+// stashed holds whatever stash was last handed.
+var stashed []byte
+
+// stash retains its argument in package state (summary: the parameter
+// escapes).
+func stash(b []byte) { stashed = b }
+
+// RetainViaHelper hands the record buffer to a helper whose summary says it
+// retains it (aliasretain: finding at the call site).
+func RetainViaHelper(r *pcapio.Reader) error {
+	return r.EachInto(func(rec pcapio.Record) error {
+		stash(rec.Data)
+		return nil
+	})
+}
+
+// Publish sends the reused buffer on a channel; the receiver races the next
+// ReadInto (aliasretain: finding).
+func Publish(r *pcapio.Reader, ch chan<- []byte) error {
+	var rec pcapio.Record
+	for {
+		if err := r.ReadInto(&rec); err != nil {
+			if err == pcapio.ErrEOF {
+				return nil
+			}
+			return err
+		}
+		ch <- rec.Data
+	}
+}
+
+// CopyKeep copies what it keeps — the sanctioned ownership transfer
+// (aliasretain: clean).
+func CopyKeep(r *pcapio.Reader) ([][]byte, error) {
+	var kept [][]byte
+	err := r.EachInto(func(rec pcapio.Record) error {
+		kept = append(kept, append([]byte(nil), rec.Data...))
+		return nil
+	})
+	return kept, err
+}
+
+// Total only reads scalars out of the record (aliasretain: clean).
+func Total(r *pcapio.Reader) (int64, error) {
+	var total int64
+	err := r.EachInto(func(rec pcapio.Record) error {
+		total += int64(len(rec.Data)) + rec.TimeMicros
+		return nil
+	})
+	return total, err
+}
+
+// DecodeRelay reuses one packet across iterations, the pipeline idiom: the
+// DecodeInto flow into a variable outside the callback is an overwrite-style
+// relay, not a retention (aliasretain: clean).
+func DecodeRelay(r *pcapio.Reader) (int, error) {
+	var pkt packet.Packet
+	ports := 0
+	err := r.EachInto(func(rec pcapio.Record) error {
+		if err := packet.DecodeInto(rec.Data, &pkt); err != nil {
+			return err
+		}
+		ports += int(pkt.SrcPort)
+		return nil
+	})
+	return ports, err
+}

@@ -1,0 +1,39 @@
+// Package packet is the fixture stand-in for the zero-copy decoder: the
+// summary engine must learn from DecodeInto's body that the frame flows into
+// the packet's fields (a ToParams flow), so aliasretain can follow a record
+// buffer through it without any special-casing of the name.
+package packet
+
+import "errors"
+
+// Packet is a decoded frame; Payload views the frame it was decoded from.
+type Packet struct {
+	SrcPort uint16
+	DstPort uint16
+	Payload []byte
+}
+
+// ErrShort rejects frames shorter than the fixed 4-byte header.
+var ErrShort = errors.New("packet fixture: frame too short")
+
+// DecodeInto parses frame into p. Payload aliases frame — whoever owns the
+// frame owns the view.
+func DecodeInto(frame []byte, p *Packet) error {
+	if len(frame) < 4 {
+		return ErrShort
+	}
+	p.SrcPort = uint16(frame[0])<<8 | uint16(frame[1])
+	p.DstPort = uint16(frame[2])<<8 | uint16(frame[3])
+	p.Payload = frame[4:]
+	return nil
+}
+
+// Decode is the allocating variant: the returned packet owns its payload.
+func Decode(frame []byte) (Packet, error) {
+	var p Packet
+	if err := DecodeInto(frame, &p); err != nil {
+		return Packet{}, err
+	}
+	p.Payload = append([]byte(nil), p.Payload...)
+	return p, nil
+}

@@ -1,0 +1,57 @@
+// Package pcapio is the fixture stand-in for the real capture reader: its
+// ReadInto/EachInto record buffers are caller-owned and recycled between
+// reads, which is the contract the aliasretain analyzer enforces on callers
+// (the analyzer matches this package by its module-relative path).
+package pcapio
+
+import "errors"
+
+// Record is one captured frame; Data aliases the reused read buffer.
+type Record struct {
+	TimeMicros int64
+	Data       []byte
+}
+
+// Reader replays a canned list of frames through the reused-buffer API.
+type Reader struct {
+	frames [][]byte
+	next   int
+	buf    []byte
+}
+
+// NewReader returns a reader over frames.
+func NewReader(frames [][]byte) *Reader { return &Reader{frames: frames} }
+
+// ErrEOF ends iteration.
+var ErrEOF = errors.New("pcapio fixture: EOF")
+
+// ReadInto fills rec with the next frame, reusing rec.Data's backing array —
+// the next ReadInto overwrites it, so callers copy what they keep.
+func (r *Reader) ReadInto(rec *Record) error {
+	if r.next >= len(r.frames) {
+		return ErrEOF
+	}
+	r.buf = append(r.buf[:0], r.frames[r.next]...)
+	rec.TimeMicros = int64(r.next)
+	rec.Data = r.buf
+	r.next++
+	return nil
+}
+
+// EachInto streams every frame through fn in one reused Record; fn must not
+// retain rec.Data past its return.
+func (r *Reader) EachInto(fn func(Record) error) error {
+	var rec Record
+	for {
+		err := r.ReadInto(&rec)
+		if err == ErrEOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+}

@@ -2,7 +2,7 @@ package lint
 
 import (
 	"go/ast"
-	"strings"
+	"go/types"
 )
 
 // wallclockBanned lists the time functions that read the wall clock or
@@ -19,30 +19,69 @@ func init() {
 	Register(&Analyzer{
 		Name: "wallclock",
 		Doc: "forbids wall-clock reads (time.Now, time.Since, time.Tick, ...) outside " +
-			"internal/obs and cmd/: the analyzer is passive, so all time must come from " +
-			"the trace (PAPER.md §III); self-instrumentation goes through the obs clock",
+			"internal/obs and cmd/ — directly, as a stored function value, or hidden " +
+			"behind any chain of helper calls (interprocedural summaries): the analyzer " +
+			"is passive, so all time must come from the trace (PAPER.md §III); " +
+			"self-instrumentation goes through the obs clock",
 		Run: runWallclock,
 	})
 }
 
 func runWallclock(p *Pass) {
-	if p.RelPath == "internal/obs" || strings.HasPrefix(p.RelPath, "cmd/") || p.PkgName() == "main" {
+	if sanctionedClockScope(&Package{RelPath: p.RelPath, Types: p.Pkg}) {
 		return
 	}
 	for _, f := range p.Files {
+		// calls records the expressions in call position, so a banned
+		// function referenced as a value (stored, passed, assigned) can be
+		// told apart from a direct call and reported with its own message.
+		calls := map[ast.Expr]bool{}
 		ast.Inspect(f, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
+			if c, ok := n.(*ast.CallExpr); ok {
+				calls[unparen(c.Fun)] = true
 			}
-			pkg, name, ok := pkgFuncCall(p.Info, call)
-			if !ok || pkg != "time" || !wallclockBanned[name] {
-				return true
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.SelectorExpr:
+				if pkgPath, name, ok := pkgSelector(p.Info, x); ok && pkgPath == "time" && wallclockBanned[name] {
+					if calls[ast.Expr(x)] {
+						p.Reportf(x.Pos(),
+							"time.%s reads the wall clock in analyzer code; derive time from the trace, or use obs.Now/obs.Since for self-instrumentation",
+							name)
+					} else {
+						p.Reportf(x.Pos(),
+							"time.%s captured as a function value smuggles the wall clock into analyzer code; derive time from the trace, or use obs.Now/obs.Since",
+							name)
+					}
+				}
+			case *ast.CallExpr:
+				callee := staticCallee(p.Info, x)
+				if callee == nil {
+					return true
+				}
+				if sum := p.Prog.SummaryOf(callee); sum != nil && sum.WallclockVia != "" {
+					p.Reportf(x.Pos(),
+						"call to %s reaches the wall clock (%s); derive time from the trace, or use obs.Now/obs.Since for self-instrumentation",
+						callee.Name(), chainWitness(callee.Name(), sum.WallclockVia))
+				}
 			}
-			p.Reportf(call.Pos(),
-				"time.%s reads the wall clock in analyzer code; derive time from the trace, or use obs.Now/obs.Since for self-instrumentation",
-				name)
 			return true
 		})
 	}
+}
+
+// pkgSelector resolves sel to a package-level name of an imported package
+// whether or not it is being called.
+func pkgSelector(info *types.Info, sel *ast.SelectorExpr) (pkgPath, name string, ok bool) {
+	id, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	pn, isPkg := info.Uses[id].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
 }

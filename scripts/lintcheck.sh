@@ -1,18 +1,23 @@
 #!/bin/sh
 # lintcheck.sh — run the in-repo static analyzers (cmd/tdatlint) over the
-# whole module and enforce the suppression ratchet: the number of
-# //tdatlint:ignore comments may never exceed the checked-in floor
-# (scripts/lintfloor.txt), so waivers can only be paid down, never
-# accumulated. Mirrors covercheck.sh/validatecheck.sh.
+# whole module and enforce two ratchets: the number of //tdatlint:ignore
+# suppressions may never exceed the checked-in floor (scripts/lintfloor.txt,
+# counted per waived code, so one multi-code line costs one per code), and
+# the whole run must finish inside a wall-time budget so the interprocedural
+# engine can't quietly turn CI into a coffee break. Waivers can only be paid
+# down, never accumulated. Mirrors covercheck.sh/validatecheck.sh.
 #
 # Usage: sh scripts/lintcheck.sh
+#   LINT_BUDGET_SECS overrides the time budget (default 300).
 set -eu
 
 floorfile=$(dirname "$0")/lintfloor.txt
+budget=${LINT_BUDGET_SECS:-300}
 fail=0
+start=$(date +%s)
 
 echo "== tdatlint ./... =="
-if ! go run ./cmd/tdatlint ./...; then
+if ! go run ./cmd/tdatlint -timing ./...; then
 	echo "FAIL unsuppressed lint diagnostics (see above)" >&2
 	fail=1
 fi
@@ -20,7 +25,9 @@ fi
 count=$(go run ./cmd/tdatlint -count-ignores ./...)
 floor=$(grep -v '^#' "$floorfile" | head -n1 | tr -d '[:space:]')
 if [ "$count" -gt "$floor" ]; then
-	echo "FAIL suppression count grew: $count //tdatlint:ignore comment(s), floor is $floor" >&2
+	echo "FAIL suppression count grew: $count per-code //tdatlint:ignore waiver(s), floor is $floor" >&2
+	echo "     new waivers and the analyzers they mute:" >&2
+	go run ./cmd/tdatlint -list-ignores ./... >&2
 	echo "     fix the violation instead of suppressing it, or make the case for raising the floor" >&2
 	fail=1
 elif [ "$count" -lt "$floor" ]; then
@@ -28,6 +35,14 @@ elif [ "$count" -lt "$floor" ]; then
 	echo "ok   suppressions $count (floor $floor)"
 else
 	echo "ok   suppressions $count (floor $floor)"
+fi
+
+elapsed=$(( $(date +%s) - start ))
+if [ "$elapsed" -gt "$budget" ]; then
+	echo "FAIL lint run took ${elapsed}s, budget is ${budget}s — see the -timing rows above for the slow analyzer" >&2
+	fail=1
+else
+	echo "ok   wall time ${elapsed}s (budget ${budget}s)"
 fi
 
 exit "$fail"
